@@ -1,0 +1,58 @@
+"""Ablation — pure partition statistics without any search.
+
+Separates *placement* quality from *load* quality: per-rank entry
+counts and per-group rank spread for each policy (Section III-D).
+Chunk achieves near-equal counts yet terrible load balance because it
+never spreads similarity groups — this bench quantifies that
+distinction on the 30 M-scale workload.
+"""
+
+import numpy as np
+
+from repro.bench.reporting import series_table
+from repro.core.partition import make_policy
+
+SIZE_M = 30.0
+RANKS = 16
+
+HEADERS = [
+    "policy", "count_imbalance_%", "mean_group_spread", "max_group_spread",
+]
+
+
+def _run_partition_stats(suite):
+    wl = suite.workload(SIZE_M)
+    grouping = wl.database.group_bases()
+    rows = []
+    for policy_name in ("chunk", "cyclic", "random"):
+        assignment = make_policy(policy_name, seed=7).assign(grouping, RANKS)
+        spread = assignment.per_group_spread(grouping)
+        rows.append(
+            (
+                policy_name,
+                100.0 * assignment.count_imbalance(),
+                float(spread.mean()),
+                int(spread.max()),
+            )
+        )
+    return rows
+
+
+def test_ablation_partition_statistics(benchmark, suite):
+    rows = benchmark.pedantic(
+        _run_partition_stats, args=(suite,), rounds=1, iterations=1
+    )
+    print()
+    print(series_table(
+        "Ablation: placement statistics per policy (30M workload, 16 ranks)",
+        HEADERS, rows, float_fmt=".2f",
+    ))
+
+    stats = {r[0]: r for r in rows}
+    # Every policy balances raw counts well...
+    for name, count_imb, mean_spread, max_spread in rows:
+        assert count_imb < 5.0, f"{name} count imbalance {count_imb:.1f}%"
+    # ...but only the fine-grained policies spread similarity groups.
+    assert stats["cyclic"][2] > 2.0 * stats["chunk"][2]
+    assert stats["random"][2] > 1.5 * stats["chunk"][2]
+    assert stats["chunk"][2] < 1.6  # groups stay on ~1 rank under chunk

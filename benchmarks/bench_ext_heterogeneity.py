@@ -1,0 +1,65 @@
+"""Extension — the §VIII load-predicting policy on heterogeneous clusters.
+
+The paper's future work announces "a load-predicting model for
+heterogeneous memory-distributed architectures"; `repro` implements it
+as the speed-aware LPT policy (``repro.core.predict``).  This bench
+sweeps machine heterogeneity (per-rank speed spread σ) and compares
+Cyclic — blind to machine speeds — against the predictive policy,
+which feeds the engine's machine model into weighted LPT.
+
+Expected shape: at low heterogeneity both are fine (Cyclic may even
+edge ahead — its per-query interleaving is finer than per-base LPT);
+as σ grows, Cyclic's imbalance rises ~linearly with the speed spread
+while LPT stays flat, because it hands slow machines proportionally
+less data.
+"""
+
+from repro.bench.reporting import series_table
+from repro.search.engine import DistributedSearchEngine, EngineConfig
+from repro.search.metrics import load_imbalance
+
+SIZE_M = 18.0
+RANKS = 16
+JITTERS = (0.0, 0.1, 0.2, 0.3)
+
+HEADERS = ["jitter_sigma", "cyclic_LI_%", "lpt_LI_%"]
+
+
+def _run_sweep(suite):
+    wl = suite.workload(SIZE_M)
+    rows = []
+    for jitter in JITTERS:
+        lis = {}
+        for policy in ("cyclic", "lpt"):
+            res = DistributedSearchEngine(
+                wl.database,
+                EngineConfig(
+                    n_ranks=RANKS,
+                    policy=policy,
+                    machine_jitter=jitter,
+                    machine_seed=1234,
+                ),
+            ).run(wl.spectra)
+            lis[policy] = 100.0 * load_imbalance(res.query_times)
+        rows.append((jitter, lis["cyclic"], lis["lpt"]))
+    return rows
+
+
+def test_ext_heterogeneity_predictive_policy(benchmark, suite):
+    rows = benchmark.pedantic(_run_sweep, args=(suite,), rounds=1, iterations=1)
+    print()
+    print(series_table(
+        "Extension (§VIII): LI vs machine heterogeneity (18M, 16 ranks)",
+        HEADERS, rows, float_fmt=".1f",
+    ))
+
+    by_jitter = {r[0]: (r[1], r[2]) for r in rows}
+    # At strong heterogeneity the predictive policy wins clearly.
+    cyclic_hi, lpt_hi = by_jitter[0.3]
+    assert lpt_hi < cyclic_hi, "speed-aware LPT should absorb heterogeneity"
+    assert lpt_hi < 25.0
+    # Cyclic's imbalance grows with heterogeneity.
+    cyclic_series = [r[1] for r in rows]
+    assert cyclic_series[-1] > cyclic_series[0]
+    # LPT stays comparatively flat: its worst point beats cyclic's worst.
+    assert max(r[2] for r in rows) < max(cyclic_series)

@@ -1,0 +1,62 @@
+"""Extension — hybrid OpenMP + MPI scaling (paper §VIII).
+
+The paper's future work proposes exploiting "both machine and core
+level parallelism" with a hybrid OpenMP + MPI design.  The engine
+models it with ``cores_per_rank``: parallel-phase compute divides by
+an intra-rank Amdahl speedup.  This bench fixes 4 MPI ranks (the
+paper's 4 physical machines) and sweeps cores per rank 1→16,
+reporting query time and the effective speedup over the 1-core
+configuration.
+
+Expected shape: near-linear gains for the first few cores, flattening
+toward the intra-rank Amdahl ceiling (1/s ≈ 20× at the default 5 %
+intra-rank serial fraction) — the diminishing-returns curve that
+motivates combining node- and core-level parallelism instead of
+scaling either alone.
+"""
+
+from repro.bench.reporting import series_table
+from repro.search.engine import DistributedSearchEngine, EngineConfig
+
+SIZE_M = 18.0
+RANKS = 4
+CORES = (1, 2, 4, 8, 16)
+
+HEADERS = ["cores_per_rank", "query_time_s", "speedup_vs_1core", "amdahl_model"]
+
+
+def _run_sweep(suite):
+    wl = suite.workload(SIZE_M)
+    times = {}
+    for cores in CORES:
+        cfg = EngineConfig(n_ranks=RANKS, policy="cyclic", cores_per_rank=cores)
+        times[cores] = (
+            DistributedSearchEngine(wl.database, cfg).run(wl.spectra).query_time,
+            cfg.intra_rank_speedup,
+        )
+    base = times[1][0]
+    return [
+        (cores, t, base / t, model)
+        for cores, (t, model) in sorted(times.items())
+    ]
+
+
+def test_ext_hybrid_core_scaling(benchmark, suite):
+    rows = benchmark.pedantic(_run_sweep, args=(suite,), rounds=1, iterations=1)
+    print()
+    print(series_table(
+        "Extension (§VIII): hybrid MPI+cores query scaling (18M, 4 ranks)",
+        HEADERS, rows, float_fmt=".4f",
+    ))
+
+    speedups = {r[0]: r[2] for r in rows}
+    models = {r[0]: r[3] for r in rows}
+    assert speedups[1] == 1.0
+    # Monotone improvement with cores.
+    ordered = [speedups[c] for c in CORES]
+    assert ordered == sorted(ordered)
+    # Tracks the intra-rank Amdahl model (same query workload per rank).
+    for cores in CORES:
+        assert abs(speedups[cores] - models[cores]) / models[cores] < 0.05
+    # Visible saturation: 16 cores deliver far less than 16x.
+    assert speedups[16] < 12.0

@@ -1,0 +1,45 @@
+"""Figure 10 — execution-time speedup vs MPI processes (Cyclic policy).
+
+Paper: "the total execution time does not scale linearly and
+saturates" (Amdahl's law), and "the scalability improves as the index
+size increases since the query time portion increases in total
+execution time."
+"""
+
+from collections import defaultdict
+
+from repro.bench.reporting import series_table
+from repro.search.metrics import amdahl_speedup
+
+HEADERS = ["size_M", "ranks", "speedup", "ideal", "serial_fraction"]
+
+
+def test_fig10_execution_speedup(benchmark, suite):
+    rows = benchmark.pedantic(suite.fig10_rows, rounds=1, iterations=1)
+    print()
+    print(series_table("Fig. 10: execution speedup vs MPI processes (cyclic)",
+                       HEADERS, rows, float_fmt=".3f"))
+
+    series = defaultdict(dict)
+    frac = {}
+    for size_m, p, s, _ideal, serial_fraction in rows:
+        series[size_m][p] = s
+        frac[size_m] = serial_fraction
+
+    max_p = max(p for sizes in series.values() for p in sizes)
+    for size_m, speedups in series.items():
+        ps = sorted(speedups)
+        vals = [speedups[p] for p in ps]
+        assert vals == sorted(vals)  # still monotone...
+        # ...but clearly sub-linear at the top end (saturation).
+        assert speedups[max_p] < 0.85 * max_p, (
+            f"{size_m}M: no Amdahl saturation visible"
+        )
+        # Consistent with the fitted serial fraction within tolerance.
+        expected = amdahl_speedup(max_p, frac[size_m])
+        assert speedups[max_p] > 0.5 * expected
+
+    # Scalability improves with index size (the paper's observation).
+    sizes = sorted(series)
+    assert series[sizes[-1]][max_p] > series[sizes[0]][max_p]
+    assert frac[sizes[-1]] < frac[sizes[0]]

@@ -1,0 +1,34 @@
+"""Figure 11 — CPU-time speedup of LBE policies over Chunk partitioning.
+
+Paper: Cyclic and Random partitioning yield order-of-magnitude CPU-time
+speedups over conventional Chunk (averages ≈8.6× and ≈7.5× with 16
+CPUs), measured through the wasted-CPU-time relation Twst = N·ΔTmax
+(Section VI).
+"""
+
+from collections import defaultdict
+
+from repro.bench.reporting import series_table
+
+HEADERS = ["size_M", "policy", "cpu_speedup_vs_chunk", "Twst_s"]
+
+
+def test_fig11_policy_speedup(benchmark, suite):
+    rows = benchmark.pedantic(suite.fig11_rows, rounds=1, iterations=1)
+    print()
+    print(series_table(
+        "Fig. 11: CPU-time speedup by load balance, 16 ranks",
+        HEADERS, rows, float_fmt=".2f",
+    ))
+
+    by_policy = defaultdict(list)
+    for _, policy, speedup, _twst in rows:
+        by_policy[policy].append(speedup)
+
+    # Chunk against itself is exactly 1.
+    assert all(s == 1.0 for s in by_policy["chunk"])
+    # Balanced policies: order-of-magnitude-ish gains on average.
+    for policy in ("cyclic", "random"):
+        avg = sum(by_policy[policy]) / len(by_policy[policy])
+        assert avg > 4.0, f"{policy} average speedup {avg:.1f}x too low"
+        assert all(s > 2.0 for s in by_policy[policy])

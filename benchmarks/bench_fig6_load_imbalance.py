@@ -1,0 +1,35 @@
+"""Figure 6 — normalized load imbalance vs index size, 16 partitions.
+
+Paper: LI stays ≤ 20 % for Cyclic and Random while conventional Chunk
+partitioning reaches ~120 % (16 MPI processes, four index sizes).
+"""
+
+from collections import defaultdict
+
+from repro.bench.reporting import series_table
+
+HEADERS = ["size_M", "entries", "policy", "LI_%"]
+
+
+def test_fig6_load_imbalance(benchmark, suite):
+    rows = benchmark.pedantic(suite.fig6_rows, rounds=1, iterations=1)
+    print()
+    print(series_table(
+        "Fig. 6: normalized load imbalance, 16 ranks", HEADERS, rows,
+        float_fmt=".1f",
+    ))
+
+    by_policy = defaultdict(list)
+    for _, _, policy, li in rows:
+        by_policy[policy].append(li)
+
+    # The paper's headline: balanced policies far below Chunk.
+    for policy in ("cyclic", "random"):
+        for li in by_policy[policy]:
+            assert li <= 35.0, f"{policy} LI {li:.1f}% too high"
+    for li in by_policy["chunk"]:
+        assert li >= 60.0, f"chunk LI {li:.1f}% suspiciously low"
+    # Chunk dominates every balanced policy at every size.
+    for i in range(len(by_policy["chunk"])):
+        assert by_policy["chunk"][i] > 3 * by_policy["cyclic"][i]
+        assert by_policy["chunk"][i] > 3 * by_policy["random"][i]

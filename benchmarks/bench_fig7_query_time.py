@@ -1,0 +1,35 @@
+"""Figure 7 — query time vs number of MPI processes (Cyclic policy).
+
+Paper: query time falls steadily with rank count for every index size
+(23,264 query spectra; 18 M–49.45 M entries).  Absolute seconds differ
+(scaled workload + virtual clock); the monotone shape and ordering by
+index size must hold.
+"""
+
+from collections import defaultdict
+
+from repro.bench.reporting import series_table
+
+HEADERS = ["size_M", "ranks", "query_time_s"]
+
+
+def test_fig7_query_time(benchmark, suite):
+    rows = benchmark.pedantic(suite.fig7_rows, rounds=1, iterations=1)
+    print()
+    print(series_table("Fig. 7: query time vs MPI processes (cyclic)",
+                       HEADERS, rows, float_fmt=".4f"))
+
+    series = defaultdict(dict)
+    for size_m, p, t in rows:
+        series[size_m][p] = t
+
+    for size_m, times in series.items():
+        ps = sorted(times)
+        # Monotone decreasing in rank count.
+        for a, b in zip(ps, ps[1:]):
+            assert times[b] < times[a], f"query time rose {a}->{b} at {size_m}M"
+    # Larger index => more query work at equal rank count.
+    sizes = sorted(series)
+    for p in sorted(series[sizes[0]]):
+        ts = [series[s][p] for s in sizes]
+        assert ts == sorted(ts), f"query time not increasing in size at p={p}"

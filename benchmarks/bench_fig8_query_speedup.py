@@ -1,0 +1,38 @@
+"""Figure 8 — query-time speedup vs MPI processes (Cyclic policy).
+
+Paper: "the query time scales almost linearly as the number of CPUs
+are increased" — speedups hug the ideal line; the base case is the
+smallest feasible rank count, assumed ideally efficient (Section V-D).
+"""
+
+from collections import defaultdict
+
+from repro.bench.reporting import series_table
+
+HEADERS = ["size_M", "ranks", "speedup", "ideal"]
+
+
+def test_fig8_query_speedup(benchmark, suite):
+    rows = benchmark.pedantic(suite.fig8_rows, rounds=1, iterations=1)
+    print()
+    print(series_table("Fig. 8: query speedup vs MPI processes (cyclic)",
+                       HEADERS, rows, float_fmt=".2f"))
+
+    series = defaultdict(dict)
+    for size_m, p, s, _ideal in rows:
+        series[size_m][p] = s
+
+    for size_m, speedups in series.items():
+        ps = sorted(speedups)
+        # Anchored at the smallest rank count.
+        assert speedups[ps[0]] == ps[0]
+        for p in ps:
+            # Near-linear: at least 70 % parallel efficiency, never
+            # super-linear beyond noise.
+            assert speedups[p] >= 0.70 * p, (
+                f"{size_m}M at p={p}: speedup {speedups[p]:.2f} below 70% efficiency"
+            )
+            assert speedups[p] <= 1.05 * p
+        # Monotone increasing.
+        vals = [speedups[p] for p in ps]
+        assert vals == sorted(vals)

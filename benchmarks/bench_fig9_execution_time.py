@@ -1,0 +1,32 @@
+"""Figure 9 — total execution time vs MPI processes (Cyclic policy).
+
+Paper: execution time (serial prep + index build + query + gather +
+merge) falls with rank count but less steeply than query time because
+of the serial portion.
+"""
+
+from collections import defaultdict
+
+from repro.bench.reporting import series_table
+
+HEADERS = ["size_M", "ranks", "execution_time_s"]
+
+
+def test_fig9_execution_time(benchmark, suite):
+    rows = benchmark.pedantic(suite.fig9_rows, rounds=1, iterations=1)
+    print()
+    print(series_table("Fig. 9: total execution time vs MPI processes (cyclic)",
+                       HEADERS, rows, float_fmt=".4f"))
+
+    series = defaultdict(dict)
+    for size_m, p, t in rows:
+        series[size_m][p] = t
+
+    for size_m, times in series.items():
+        ps = sorted(times)
+        for a, b in zip(ps, ps[1:]):
+            assert times[b] < times[a], f"execution time rose {a}->{b} at {size_m}M"
+        # Execution time exceeds query time at every point (serial part).
+        q = {p: suite.run(size_m, "cyclic", p).query_time for p in ps}
+        for p in ps:
+            assert times[p] > q[p]

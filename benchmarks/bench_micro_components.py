@@ -1,0 +1,96 @@
+"""Component microbenchmarks: the hot paths, measured for real.
+
+Unlike the figure benches (one-shot experiment reproductions), these
+measure steady-state throughput of the core operations with
+pytest-benchmark's usual multi-round statistics:
+
+* SLM index construction,
+* shared-peak filtration of one query,
+* candidate scoring of one query,
+* Algorithm 1 grouping,
+* bounded edit distance,
+* the three partition policies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.editdist import bounded_edit_distance
+from repro.core.grouping import GroupingConfig, group_peptides
+from repro.core.partition import make_policy
+from repro.index.slm import SLMIndex, SLMIndexSettings
+from repro.search.scoring import score_candidates
+from repro.spectra.preprocess import preprocess_spectrum
+
+
+@pytest.fixture(scope="module")
+def workload(suite):
+    return suite.workload(18.0)
+
+
+@pytest.fixture(scope="module")
+def built_index(workload):
+    db = workload.database
+    return SLMIndex(
+        db.entries, SLMIndexSettings(), fragments=db.fragments_for()
+    )
+
+
+@pytest.fixture(scope="module")
+def query(workload, built_index):
+    spectrum = preprocess_spectrum(workload.spectra[0])
+    fres = built_index.filter(spectrum)
+    return spectrum, fres
+
+
+def test_index_build(benchmark, workload):
+    db = workload.database
+    frags = db.fragments_for()
+    entries = db.entries[:5000]
+    frag_slice = frags[:5000]
+
+    index = benchmark(
+        lambda: SLMIndex(entries, SLMIndexSettings(), fragments=frag_slice)
+    )
+    assert index.n_ions > 0
+
+
+def test_filter_one_query(benchmark, built_index, query):
+    spectrum, _ = query
+    res = benchmark(built_index.filter, spectrum)
+    assert res.candidates.size > 0
+
+
+def test_score_one_query(benchmark, workload, built_index, query):
+    spectrum, fres = query
+    db = workload.database
+    frags = db.fragments_for()
+    out = benchmark(
+        score_candidates,
+        spectrum,
+        db.entries,
+        fres.candidates,
+        fragment_tolerance=0.05,
+        fragments=frags,
+    )
+    assert out.candidates_scored == fres.candidates.size
+
+
+def test_grouping_algorithm1(benchmark, workload):
+    sequences = workload.database.base_sequences()[:3000]
+    grouping = benchmark(group_peptides, sequences, GroupingConfig())
+    assert grouping.n_sequences == 3000
+
+
+def test_bounded_edit_distance(benchmark):
+    a = "ACDEFGHIKLMNPQRSTVWYACDEFGHIK"
+    b = "ACDEFGHLKLMNPQRSTVWYACDEGHIKK"
+    dist = benchmark(bounded_edit_distance, a, b, 10)
+    assert dist <= 10
+
+
+@pytest.mark.parametrize("policy", ["chunk", "cyclic", "random"])
+def test_partition_policy(benchmark, workload, policy):
+    grouping = workload.database.group_bases()
+    assignment = benchmark(make_policy(policy, seed=1).assign, grouping, 16)
+    assert assignment.n_items == grouping.n_sequences

@@ -1,0 +1,20 @@
+"""Benchmark-session fixtures.
+
+The figure benchmarks share one :class:`repro.bench.ExperimentSuite`:
+distributed-search runs are cached by (size, policy, ranks), so e.g.
+Fig. 6 and Fig. 11 reuse the same 16-rank searches instead of
+repeating them.  The suite is process-wide (module-level singleton)
+because pytest-benchmark runs all files in one process.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import default_suite
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """The shared experiment suite with the paper's four index sizes."""
+    return default_suite()

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Heterogeneous clusters and the §VIII load-predicting partitioner.
+
+The paper's experiments used "symmetrical or nearly symmetrical" CPUs
+and its future work (§VIII) announces a load-predicting model for
+*heterogeneous* memory-distributed architectures.  This example shows
+why that matters and how the implemented predictive policy solves it:
+
+1. build a cluster whose machines differ in speed (σ = 25 %),
+2. run Cyclic: data is spread evenly, so the *slow* machines finish
+   late — imbalance no data re-shuffling at equal counts can fix,
+3. run the predictive LPT policy: per-base work predictions divided by
+   measured machine speeds equalize *finishing times* instead of
+   entry counts,
+4. plot both, plus the per-rank picture (entries vs time) that shows
+   LPT deliberately under-filling slow machines.
+
+Run:  python examples/heterogeneous_cluster.py
+"""
+
+import numpy as np
+
+from repro.bench import WorkloadConfig, make_workload
+from repro.search import DistributedSearchEngine, EngineConfig, load_imbalance
+from repro.util import bar_chart, format_table, line_plot
+
+RANKS = 8
+JITTER = 0.25
+SEED = 42
+
+
+def main() -> None:
+    workload = make_workload(WorkloadConfig(size_m=18.0, n_spectra=80))
+    db, spectra = workload.database, workload.spectra
+
+    cfg_common = dict(
+        n_ranks=RANKS, machine_jitter=JITTER, machine_seed=SEED
+    )
+    runs = {
+        policy: DistributedSearchEngine(
+            db, EngineConfig(policy=policy, **cfg_common)
+        ).run(spectra)
+        for policy in ("cyclic", "lpt")
+    }
+
+    speeds = [
+        1.0 / EngineConfig(policy="cyclic", **cfg_common).machine_speed(r)
+        for r in range(RANKS)
+    ]
+    print(
+        f"cluster: {RANKS} machines, speed factors "
+        f"{np.round(speeds, 2).tolist()} (1.0 = nominal)\n"
+    )
+
+    rows = []
+    for rank in range(RANKS):
+        rows.append(
+            (
+                rank,
+                f"{speeds[rank]:.2f}",
+                runs["cyclic"].rank_stats[rank].n_entries,
+                f"{runs['cyclic'].query_times[rank] * 1e3:.2f}",
+                runs["lpt"].rank_stats[rank].n_entries,
+                f"{runs['lpt'].query_times[rank] * 1e3:.2f}",
+            )
+        )
+    print(
+        format_table(
+            ["rank", "speed", "cyclic entries", "cyclic ms",
+             "lpt entries", "lpt ms"],
+            rows,
+            title="Per-rank placement and query time (virtual ms)",
+        )
+    )
+
+    print(bar_chart(
+        {
+            f"cyclic (LI {100*load_imbalance(runs['cyclic'].query_times):.0f}%)":
+                max(runs["cyclic"].query_times) * 1e3,
+            f"lpt    (LI {100*load_imbalance(runs['lpt'].query_times):.0f}%)":
+                max(runs["lpt"].query_times) * 1e3,
+        },
+        title="Query makespan (slowest rank, ms)",
+        unit=" ms",
+    ))
+
+    # Entries-vs-speed scatter: LPT under-fills slow machines.
+    print(line_plot(
+        {
+            "cyclic": [
+                (speeds[r], runs["cyclic"].rank_stats[r].n_entries)
+                for r in range(RANKS)
+            ],
+            "lpt": [
+                (speeds[r], runs["lpt"].rank_stats[r].n_entries)
+                for r in range(RANKS)
+            ],
+        },
+        title="Entries assigned vs machine speed",
+        x_label="machine speed factor",
+        y_label="entries",
+        width=50,
+        height=12,
+    ))
+    print(
+        "Cyclic gives every machine the same share regardless of speed;\n"
+        "the predictive policy (paper §VIII) trades data for time —\n"
+        "fast machines index more peptides so everyone finishes together."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Anatomy of the load imbalance: *why* Chunk partitioning fails.
+
+The paper's Fig. 2 argues that contiguous partitioning of the sorted,
+grouped peptide list strands whole similarity neighbourhoods on single
+machines, so the machine owning a query's neighbourhood does all the
+scoring work while the rest idle.  This example makes that mechanism
+visible:
+
+* per-rank entry counts (all policies balance these — placement is
+  not the problem),
+* per-group rank spread (Chunk ≈ 1 rank per group; Cyclic ≈ p),
+* per-rank *candidates scored* and query-phase virtual time for one
+  run under each policy — the actual skew,
+* the resulting LI (Eq. 1) and wasted CPU time Twst = N·ΔTmax
+  (Section VI), including the paper's worked example.
+
+Run:  python examples/load_balance_anatomy.py
+"""
+
+import numpy as np
+
+from repro.bench import WorkloadConfig, make_workload
+from repro.core.partition import make_policy
+from repro.search import DistributedSearchEngine, EngineConfig
+from repro.search.metrics import load_imbalance, wasted_cpu_time
+from repro.util import format_table
+
+RANKS = 8
+
+
+def main() -> None:
+    workload = make_workload(WorkloadConfig(size_m=18.0, n_spectra=80))
+    db, spectra = workload.database, workload.spectra
+    grouping = db.group_bases()
+    print(
+        f"workload: {db.n_entries} entries from {db.n_bases} base peptides "
+        f"in {grouping.n_groups} similarity groups; {len(spectra)} queries; "
+        f"{RANKS} ranks\n"
+    )
+
+    # Placement statistics (no search needed).
+    rows = []
+    for name in ("chunk", "cyclic", "random"):
+        assignment = make_policy(name, seed=7).assign(grouping, RANKS)
+        spread = assignment.per_group_spread(grouping)
+        rows.append(
+            (
+                name,
+                f"{100 * assignment.count_imbalance():.2f}%",
+                f"{spread.mean():.2f}",
+            )
+        )
+    print(
+        format_table(
+            ["policy", "entry-count imbalance", "mean ranks per group"],
+            rows,
+            title="Placement: counts balance everywhere, spread does not",
+        )
+    )
+
+    # Load statistics (actual distributed searches).
+    rows = []
+    for name in ("chunk", "cyclic", "random"):
+        res = DistributedSearchEngine(
+            db, EngineConfig(n_ranks=RANKS, policy=name)
+        ).run(spectra)
+        scored = np.array([s.candidates_scored for s in res.rank_stats])
+        times = res.query_times
+        rows.append(
+            (
+                name,
+                f"{scored.min()}..{scored.max()}",
+                f"{100 * load_imbalance(times):.1f}%",
+                f"{wasted_cpu_time(times) * 1e3:.2f} ms",
+            )
+        )
+    print(
+        format_table(
+            ["policy", "candidates scored (min..max)", "LI (Eq. 1)", "Twst"],
+            rows,
+            title="Load: the same queries, three placements",
+        )
+    )
+
+    # The paper's Section VI worked example.
+    n, t_avg, dt_max = 16, 100.0, 80.0
+    times = [t_avg - dt_max / (n - 1)] * (n - 1) + [t_avg + dt_max]
+    print(
+        "Paper's worked example (N=16, Tavg=100 s, ΔTmax=80 s): "
+        f"Twst = {wasted_cpu_time(times):.0f} s "
+        "(paper: 1280 s, a 12.8x CPU-time degradation hiding behind an "
+        "apparent 80 s wall-clock delay)."
+    )
+
+
+if __name__ == "__main__":
+    main()

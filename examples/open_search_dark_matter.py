@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Open search vs precursor-windowed search on "dark matter" spectra.
+
+The paper's motivation (Section II-A): precursor-mass filtration
+cannot identify spectra carrying *unknown* modifications — their
+precursor mass is shifted away from every database peptide, so the
+mass window excludes the true answer.  Shared-peak (fragment-ion)
+open search still identifies them because most fragments are
+unshifted.
+
+This example generates a run where every spectrum carries an unknown
+mass shift and compares:
+
+* a windowed search (ΔM = 2 Da, classic closed search),
+* the paper's open search (ΔM = ∞, shared-peak threshold 4).
+
+It also shows the cost: the open search's candidate volume (cPSMs) is
+orders of magnitude larger — the very workload explosion that drives
+the paper's distributed-memory design.
+
+Run:  python examples/open_search_dark_matter.py
+"""
+
+from repro.db import ProteomeConfig
+from repro.index import SLMIndexSettings
+from repro.search import DatabaseConfig, IndexedDatabase, SerialSearchEngine
+from repro.spectra import SyntheticRunConfig, generate_run
+from repro.util import format_table
+
+
+def identification_rate(results, spectra) -> float:
+    best = results.best_by_scan()
+    hits = sum(
+        1
+        for s in spectra
+        if s.scan_id in best and best[s.scan_id].entry_id == s.true_peptide
+    )
+    return hits / len(spectra)
+
+
+def main() -> None:
+    db = IndexedDatabase.build(
+        DatabaseConfig(
+            proteome=ProteomeConfig(n_families=15, seed=21),
+            max_variants_per_peptide=6,
+        )
+    )
+    # Every query carries an unknown precursor shift of up to ±250 Da.
+    spectra = generate_run(
+        db.entries,
+        SyntheticRunConfig(
+            n_spectra=60,
+            seed=22,
+            dark_matter_fraction=1.0,
+            dark_matter_delta=250.0,
+            dropout=0.1,
+        ),
+    )
+    print(
+        f"database: {db.n_entries} entries; "
+        f"queries: {len(spectra)} spectra, all with unknown mass shifts\n"
+    )
+
+    rows = []
+    for label, settings in [
+        ("closed (ΔM = 2 Da)", SLMIndexSettings(precursor_tolerance=2.0)),
+        ("open   (ΔM = ∞)", SLMIndexSettings()),
+    ]:
+        res = SerialSearchEngine(db, settings).run(spectra)
+        rows.append(
+            (
+                label,
+                f"{100 * identification_rate(res, spectra):.0f}%",
+                res.total_cpsms,
+                f"{res.cpsms_per_query:.0f}",
+                f"{res.query_time * 1e3:.1f} ms",
+            )
+        )
+
+    print(
+        format_table(
+            ["search mode", "identified", "total cPSMs", "cPSMs/query", "query time"],
+            rows,
+            title="Dark-matter identification: closed vs open search",
+        )
+    )
+    print(
+        "The open search recovers the modified spectra the closed search\n"
+        "misses, at a large candidate-volume (compute/memory) cost —\n"
+        "the bottleneck LBE's distributed partitioning addresses."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment lacks the `wheel` package, so pip's PEP-517
+editable path fails; this shim lets `pip install -e . --no-use-pep517
+--no-build-isolation` (and plain `python setup.py develop`) work.  All
+metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

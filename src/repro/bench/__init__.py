@@ -1,0 +1,25 @@
+"""Experiment harness for the paper's evaluation (Figures 5–11).
+
+* :mod:`~repro.bench.workloads` — scaled standard workloads: the
+  paper's four index sizes (18 M / 30 M / 41 M / 49.45 M entries)
+  mapped ratio-preserving onto laptop-scale synthetic databases.
+* :mod:`~repro.bench.experiments` — :class:`ExperimentSuite`, one
+  method per paper figure, with run caching so the pytest-benchmark
+  files can share expensive searches.
+* :mod:`~repro.bench.reporting` — table/CSV rendering of the series.
+"""
+
+from repro.bench.workloads import Workload, WorkloadConfig, make_workload
+from repro.bench.experiments import ExperimentConfig, ExperimentSuite, default_suite
+from repro.bench.reporting import rows_to_csv, series_table
+
+__all__ = [
+    "Workload",
+    "WorkloadConfig",
+    "make_workload",
+    "ExperimentConfig",
+    "ExperimentSuite",
+    "default_suite",
+    "rows_to_csv",
+    "series_table",
+]

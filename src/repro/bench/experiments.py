@@ -1,0 +1,266 @@
+"""One callable per paper figure, with shared run caching.
+
+:class:`ExperimentSuite` owns the workloads and memoizes every
+distributed-search run keyed by (size, policy, rank count), so the
+seven figure benchmarks share rather than repeat the expensive
+searches.  Each ``figN_rows`` method returns plain tuples ready for
+:func:`repro.util.tables.format_table` — the same rows/series the
+paper's figures plot.
+
+Paper ↔ method map:
+
+=========  ==================================================
+Fig. 5     :meth:`ExperimentSuite.fig5_rows` (memory model)
+Fig. 6     :meth:`ExperimentSuite.fig6_rows` (load imbalance)
+Fig. 7     :meth:`ExperimentSuite.fig7_rows` (query time)
+Fig. 8     :meth:`ExperimentSuite.fig8_rows` (query speedup)
+Fig. 9     :meth:`ExperimentSuite.fig9_rows` (execution time)
+Fig. 10    :meth:`ExperimentSuite.fig10_rows` (execution speedup)
+Fig. 11    :meth:`ExperimentSuite.fig11_rows` (policy CPU speedup)
+§V-A       :meth:`ExperimentSuite.cpsm_rows` (candidate volume)
+=========  ==================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.bench.workloads import PAPER_SIZES_M, Workload, WorkloadConfig, make_workload
+from repro.index.memory import IndexMemoryModel
+from repro.search.engine import DistributedSearchEngine, EngineConfig
+from repro.search.metrics import (
+    estimate_serial_fraction,
+    load_imbalance,
+    policy_cpu_speedup,
+    speedup_series,
+    wasted_cpu_time,
+)
+from repro.search.psm import SearchResults
+from repro.search.serial import SerialSearchEngine
+
+__all__ = ["ExperimentConfig", "ExperimentSuite", "default_suite"]
+
+Row = Tuple[object, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentConfig:
+    """Suite-wide experiment parameters.
+
+    Attributes
+    ----------
+    sizes_m:
+        Nominal index sizes (paper-scale millions).
+    n_spectra:
+        Queries per workload.
+    imbalance_ranks:
+        Rank count of the load-imbalance experiments (paper: 16).
+    rank_sweep:
+        Rank counts of the scalability experiments.
+    policies:
+        Policies compared in Fig. 6/11.
+    seed:
+        Master seed.
+    """
+
+    sizes_m: Tuple[float, ...] = PAPER_SIZES_M
+    n_spectra: int = 120
+    imbalance_ranks: int = 16
+    rank_sweep: Tuple[int, ...] = (2, 4, 8, 16)
+    policies: Tuple[str, ...] = ("chunk", "cyclic", "random")
+    seed: int = 29
+
+
+class ExperimentSuite:
+    """Workload + run cache with one method per paper figure."""
+
+    def __init__(self, config: ExperimentConfig = ExperimentConfig()) -> None:
+        self.config = config
+        self._workloads: Dict[float, Workload] = {}
+        self._runs: Dict[Tuple[float, str, int], SearchResults] = {}
+        self._serial_runs: Dict[float, SearchResults] = {}
+
+    # -- building blocks -------------------------------------------------
+
+    def workload(self, size_m: float) -> Workload:
+        """The (cached) workload of nominal size ``size_m``."""
+        wl = self._workloads.get(size_m)
+        if wl is None:
+            wl = make_workload(
+                WorkloadConfig(
+                    size_m=size_m,
+                    n_spectra=self.config.n_spectra,
+                    seed=self.config.seed,
+                )
+            )
+            self._workloads[size_m] = wl
+        return wl
+
+    def run(self, size_m: float, policy: str, n_ranks: int) -> SearchResults:
+        """The (cached) distributed search for one configuration."""
+        key = (size_m, policy, n_ranks)
+        res = self._runs.get(key)
+        if res is None:
+            wl = self.workload(size_m)
+            engine = DistributedSearchEngine(
+                wl.database,
+                EngineConfig(n_ranks=n_ranks, policy=policy, policy_seed=self.config.seed),
+            )
+            res = engine.run(wl.spectra)
+            self._runs[key] = res
+        return res
+
+    def serial_run(self, size_m: float) -> SearchResults:
+        """The (cached) shared-memory reference search."""
+        res = self._serial_runs.get(size_m)
+        if res is None:
+            wl = self.workload(size_m)
+            res = SerialSearchEngine(wl.database).run(wl.spectra)
+            self._serial_runs[size_m] = res
+        return res
+
+    # -- Fig. 5: memory footprint -----------------------------------------
+
+    def fig5_rows(self) -> List[Row]:
+        """(size_m, shared GB, distributed GB, overhead %, GB/M shared,
+        GB/M distributed, peak/steady ratio).
+
+        Evaluated analytically at *paper scale* through the structural
+        memory model (cross-validated against live indexes in the test
+        suite), with the paper's 16 ranks.
+        """
+        model = IndexMemoryModel()
+        rows: List[Row] = []
+        p = self.config.imbalance_ranks
+        for size_m in self.config.sizes_m:
+            n = int(size_m * 1e6)
+            shared = model.shared(n)
+            dist = model.distributed(n, p)
+            overhead = (dist.steady_bytes - shared.steady_bytes) / shared.steady_bytes
+            rows.append(
+                (
+                    size_m,
+                    shared.steady_gb,
+                    dist.steady_gb,
+                    100.0 * overhead,
+                    model.gb_per_million(n),
+                    model.gb_per_million(n, p),
+                    dist.peak_bytes / dist.steady_bytes,
+                )
+            )
+        return rows
+
+    # -- Fig. 6: load imbalance ---------------------------------------------
+
+    def fig6_rows(self) -> List[Row]:
+        """(size_m, entries, policy, LI %) at ``imbalance_ranks``."""
+        rows: List[Row] = []
+        p = self.config.imbalance_ranks
+        for size_m in self.config.sizes_m:
+            wl = self.workload(size_m)
+            for policy in self.config.policies:
+                res = self.run(size_m, policy, p)
+                rows.append(
+                    (size_m, wl.n_entries, policy, 100.0 * load_imbalance(res.query_times))
+                )
+        return rows
+
+    # -- Fig. 7/8: query time & speedup ---------------------------------------
+
+    def _query_times(self, size_m: float) -> Dict[int, float]:
+        return {
+            p: self.run(size_m, "cyclic", p).query_time
+            for p in self.config.rank_sweep
+        }
+
+    def fig7_rows(self) -> List[Row]:
+        """(size_m, ranks, query time s) for the Cyclic policy."""
+        rows: List[Row] = []
+        for size_m in self.config.sizes_m:
+            for p, t in sorted(self._query_times(size_m).items()):
+                rows.append((size_m, p, t))
+        return rows
+
+    def fig8_rows(self) -> List[Row]:
+        """(size_m, ranks, query speedup, ideal)."""
+        rows: List[Row] = []
+        for size_m in self.config.sizes_m:
+            series = speedup_series(self._query_times(size_m))
+            for p, s in sorted(series.items()):
+                rows.append((size_m, p, s, float(p)))
+        return rows
+
+    # -- Fig. 9/10: execution time & speedup -----------------------------------
+
+    def _execution_times(self, size_m: float) -> Dict[int, float]:
+        return {
+            p: self.run(size_m, "cyclic", p).execution_time
+            for p in self.config.rank_sweep
+        }
+
+    def fig9_rows(self) -> List[Row]:
+        """(size_m, ranks, total execution time s) for Cyclic."""
+        rows: List[Row] = []
+        for size_m in self.config.sizes_m:
+            for p, t in sorted(self._execution_times(size_m).items()):
+                rows.append((size_m, p, t))
+        return rows
+
+    def fig10_rows(self) -> List[Row]:
+        """(size_m, ranks, execution speedup, ideal, fitted serial fraction)."""
+        rows: List[Row] = []
+        for size_m in self.config.sizes_m:
+            times = self._execution_times(size_m)
+            series = speedup_series(times)
+            serial_frac = estimate_serial_fraction(times)
+            for p, s in sorted(series.items()):
+                rows.append((size_m, p, s, float(p), serial_frac))
+        return rows
+
+    # -- Fig. 11: policy CPU-time speedup ----------------------------------------
+
+    def fig11_rows(self) -> List[Row]:
+        """(size_m, policy, CPU speedup over chunk, Twst seconds)."""
+        rows: List[Row] = []
+        p = self.config.imbalance_ranks
+        for size_m in self.config.sizes_m:
+            chunk_times = self.run(size_m, "chunk", p).query_times
+            for policy in self.config.policies:
+                times = self.run(size_m, policy, p).query_times
+                rows.append(
+                    (
+                        size_m,
+                        policy,
+                        policy_cpu_speedup(times, chunk_times),
+                        wasted_cpu_time(times),
+                    )
+                )
+        return rows
+
+    # -- §V-A: candidate volume ------------------------------------------------
+
+    def cpsm_rows(self) -> List[Row]:
+        """(size_m, entries, total cPSMs, cPSMs per query)."""
+        rows: List[Row] = []
+        for size_m in self.config.sizes_m:
+            wl = self.workload(size_m)
+            res = self.serial_run(size_m)
+            rows.append((size_m, wl.n_entries, res.total_cpsms, res.cpsms_per_query))
+        return rows
+
+
+@dataclass
+class _SuiteHolder:
+    suite: ExperimentSuite | None = None
+    config: ExperimentConfig = field(default_factory=ExperimentConfig)
+
+
+_HOLDER = _SuiteHolder()
+
+
+def default_suite() -> ExperimentSuite:
+    """Process-wide shared suite (the benchmark files' run cache)."""
+    if _HOLDER.suite is None:
+        _HOLDER.suite = ExperimentSuite(_HOLDER.config)
+    return _HOLDER.suite

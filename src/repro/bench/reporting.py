@@ -1,0 +1,44 @@
+"""Rendering helpers shared by the benchmark files and examples.
+
+The benchmark harness's contract is to *print the same rows/series the
+paper's figures plot*; these helpers render them as aligned text tables
+and optionally persist them as CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.util.tables import format_table
+
+__all__ = ["series_table", "rows_to_csv"]
+
+
+def series_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    float_fmt: str = ".3f",
+) -> str:
+    """Render one figure's rows with a title banner."""
+    banner = f"== {title} =="
+    return format_table(headers, rows, float_fmt=float_fmt, title=banner)
+
+
+def rows_to_csv(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> Path:
+    """Write rows as CSV; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="ascii") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(list(row))
+    return path

@@ -1,0 +1,35 @@
+"""Peptide chemistry substrate.
+
+Provides the value types and mass arithmetic that every layer above
+(digestion, indexing, search) relies on:
+
+* :class:`~repro.chem.peptide.Peptide` — an immutable peptide with an
+  optional set of localized modifications and cached neutral mass.
+* :mod:`~repro.chem.modifications` — variable-PTM specification and the
+  enumeration of modified variants (the mechanism by which the paper's
+  index sizes "grow exponentially").
+* :mod:`~repro.chem.fragments` — theoretical b/y fragment generation,
+  the source of the ions the SLM index stores.
+"""
+
+from repro.chem.peptide import Peptide, peptide_mass, validate_sequence
+from repro.chem.modifications import (
+    Modification,
+    ModificationSet,
+    VariantEnumerator,
+    paper_modifications,
+)
+from repro.chem.fragments import FragmentationSettings, fragment_mzs, theoretical_spectrum
+
+__all__ = [
+    "Peptide",
+    "peptide_mass",
+    "validate_sequence",
+    "Modification",
+    "ModificationSet",
+    "VariantEnumerator",
+    "paper_modifications",
+    "FragmentationSettings",
+    "fragment_mzs",
+    "theoretical_spectrum",
+]

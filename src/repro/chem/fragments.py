@@ -1,0 +1,129 @@
+"""Theoretical fragment (b/y ion) generation.
+
+A tandem MS/MS spectrum of a peptide is dominated by its *b* ions
+(N-terminal prefixes) and *y* ions (C-terminal suffixes).  The SLM
+index stores exactly these fragment m/z values; the synthetic query
+generator perturbs them.  Masses follow the standard relations::
+
+    b_i  = sum(residues[:i])  + sum(mod deltas in prefix)  + PROTON
+    y_i  = sum(residues[-i:]) + sum(mod deltas in suffix) + WATER + PROTON
+
+Higher charge states divide the neutral fragment mass accordingly:
+``mz = (M + z * PROTON) / z``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.chem.peptide import Peptide
+from repro.constants import AA_MONO, PROTON, WATER_MONO
+from repro.errors import ConfigurationError
+
+__all__ = ["FragmentationSettings", "fragment_mzs", "theoretical_spectrum"]
+
+
+@dataclass(frozen=True, slots=True)
+class FragmentationSettings:
+    """Controls which fragment series are generated.
+
+    Attributes
+    ----------
+    charges:
+        Fragment charge states to emit (the SLM-Transform default
+        indexes 1+ and 2+ fragments; the paper's ~2L ions per length-L
+        peptide corresponds to 1+ only, which is our default).
+    include_b:
+        Emit the b-ion series.
+    include_y:
+        Emit the y-ion series.
+    """
+
+    charges: Tuple[int, ...] = (1,)
+    include_b: bool = True
+    include_y: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.charges:
+            raise ConfigurationError("at least one fragment charge state is required")
+        if any(z < 1 for z in self.charges):
+            raise ConfigurationError(f"fragment charges must be >= 1, got {self.charges}")
+        if not (self.include_b or self.include_y):
+            raise ConfigurationError("at least one ion series must be enabled")
+
+    @property
+    def ions_per_residue(self) -> float:
+        """Expected number of generated ions per residue.
+
+        A length-L peptide has L-1 cleavage sites; each enabled series
+        contributes one ion per site per charge.  Used by the memory
+        model to size index structures without generating fragments.
+        """
+        series = int(self.include_b) + int(self.include_y)
+        return series * len(self.charges) * 1.0
+
+
+def _prefix_masses(peptide: Peptide) -> np.ndarray:
+    """Cumulative neutral residue masses of prefixes 1..L-1 (with mods)."""
+    seq = peptide.sequence
+    residue = np.fromiter((AA_MONO[aa] for aa in seq), dtype=np.float64, count=len(seq))
+    for pos, delta in peptide.mods:
+        residue[pos] += delta
+    return np.cumsum(residue)
+
+
+def fragment_mzs(
+    peptide: Peptide,
+    settings: FragmentationSettings = FragmentationSettings(),
+) -> np.ndarray:
+    """Return the sorted m/z values of all configured fragments.
+
+    Fragments of length-1 .. length-(L-1) prefixes (b) and suffixes (y)
+    are generated for every configured charge state.  A length-1
+    peptide has no internal cleavage site and yields an empty array.
+
+    Returns
+    -------
+    numpy.ndarray
+        Sorted float64 array of fragment m/z values.
+    """
+    length = peptide.length
+    if length < 2:
+        return np.empty(0, dtype=np.float64)
+    cumulative = _prefix_masses(peptide)
+    total = cumulative[-1]
+    prefix_neutral = cumulative[:-1]  # b fragments: residues[:i], i = 1..L-1
+    pieces: list[np.ndarray] = []
+    for z in settings.charges:
+        if settings.include_b:
+            pieces.append((prefix_neutral + z * PROTON) / z)
+        if settings.include_y:
+            suffix_neutral = total - prefix_neutral + WATER_MONO
+            pieces.append((suffix_neutral + z * PROTON) / z)
+    mzs = np.concatenate(pieces)
+    mzs.sort()
+    return mzs
+
+
+def theoretical_spectrum(
+    peptide: Peptide,
+    settings: FragmentationSettings = FragmentationSettings(),
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(mzs, intensities)`` for a theoretical spectrum.
+
+    Theoretical intensities follow the simple triangular profile used
+    by shared-peak engines: mid-sequence fragments are most intense.
+    The intensity model only matters to the synthetic spectra
+    generator; shared-peak filtration ignores intensities.
+    """
+    mzs = fragment_mzs(peptide, settings)
+    n = mzs.size
+    if n == 0:
+        return mzs, np.empty(0, dtype=np.float64)
+    # Triangular profile over the sorted m/z order, normalized to max 1.
+    ramp = np.minimum(np.arange(1, n + 1), np.arange(n, 0, -1)).astype(np.float64)
+    intensities = ramp / ramp.max()
+    return mzs, intensities

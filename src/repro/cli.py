@@ -1,0 +1,248 @@
+"""Command-line interface: the LBDSLIM-style end-user tool.
+
+Subcommands mirror the paper's toolchain stages::
+
+    python -m repro generate --out-dir data/           # proteome.fasta + run.ms2
+    python -m repro digest   --fasta data/proteome.fasta --out data/peptides.fasta
+    python -m repro group    --fasta data/peptides.fasta --out data/clustered.fasta
+    python -m repro search   --fasta data/proteome.fasta --ms2 data/run.ms2 \\
+                             --ranks 8 --policy cyclic --report data/psms.tsv
+    python -m repro figures --sizes 18 30 --spectra 60  # quick figure tables
+
+Every command is deterministic under ``--seed`` and prints a short
+summary table; ``search`` additionally reports per-policy load
+imbalance when ``--compare-policies`` is set.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Sequence
+
+from repro.bench.experiments import ExperimentConfig, ExperimentSuite
+from repro.bench.reporting import series_table
+from repro.core.grouping import GroupingConfig, group_peptides
+from repro.db.dedup import deduplicate_peptides
+from repro.db.digest import DigestionConfig, digest_proteome
+from repro.db.fasta import FastaRecord, read_fasta, write_fasta, write_grouped_fasta
+from repro.db.proteome import ProteomeConfig, generate_proteome
+from repro.chem.peptide import Peptide
+from repro.search.database import IndexedDatabase
+from repro.search.engine import DistributedSearchEngine, EngineConfig
+from repro.search.metrics import load_imbalance
+from repro.search.report import write_psm_report
+from repro.spectra.ms2 import read_ms2, write_ms2
+from repro.spectra.synthetic import SyntheticRunConfig, generate_run
+from repro.util.tables import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LBE distributed peptide search (IPDPSW 2019 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic proteome + MS2 run")
+    gen.add_argument("--out-dir", type=Path, required=True)
+    gen.add_argument("--families", type=int, default=20)
+    gen.add_argument("--spectra", type=int, default=100)
+    gen.add_argument("--seed", type=int, default=7)
+
+    dig = sub.add_parser("digest", help="tryptic digestion of a protein FASTA")
+    dig.add_argument("--fasta", type=Path, required=True)
+    dig.add_argument("--out", type=Path, required=True)
+    dig.add_argument("--missed-cleavages", type=int, default=2)
+    dig.add_argument("--min-length", type=int, default=6)
+    dig.add_argument("--max-length", type=int, default=40)
+
+    grp = sub.add_parser("group", help="Algorithm 1: write a clustered FASTA")
+    grp.add_argument("--fasta", type=Path, required=True,
+                     help="peptide FASTA (digest output)")
+    grp.add_argument("--out", type=Path, required=True)
+    grp.add_argument("--criterion", type=int, choices=(1, 2), default=2)
+    grp.add_argument("--gsize", type=int, default=20)
+
+    srch = sub.add_parser("search", help="distributed search of an MS2 file")
+    srch.add_argument("--fasta", type=Path, required=True,
+                      help="protein FASTA to digest and index")
+    srch.add_argument("--ms2", type=Path, required=True)
+    srch.add_argument("--ranks", type=int, default=4)
+    srch.add_argument("--policy", default="cyclic",
+                      choices=("chunk", "cyclic", "random", "lpt"))
+    srch.add_argument("--report", type=Path, default=None,
+                      help="write PSMs as TSV to this path")
+    srch.add_argument("--max-variants", type=int, default=8)
+    srch.add_argument("--top-k", type=int, default=5)
+    srch.add_argument("--compare-policies", action="store_true")
+    srch.add_argument("--seed", type=int, default=0)
+
+    figs = sub.add_parser("figures", help="print quick figure tables")
+    figs.add_argument("--sizes", type=float, nargs="+", default=[18.0, 49.45])
+    figs.add_argument("--spectra", type=int, default=60)
+    figs.add_argument("--seed", type=int, default=29)
+
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    proteome = generate_proteome(
+        ProteomeConfig(n_families=args.families, seed=args.seed)
+    )
+    fasta_path = args.out_dir / "proteome.fasta"
+    write_fasta(fasta_path, proteome.records)
+
+    peptides = deduplicate_peptides(digest_proteome(proteome.records))
+    db = IndexedDatabase.from_peptides(peptides, max_variants_per_peptide=8)
+    spectra = generate_run(
+        db.entries, SyntheticRunConfig(n_spectra=args.spectra, seed=args.seed + 1)
+    )
+    ms2_path = args.out_dir / "run.ms2"
+    write_ms2(ms2_path, spectra)
+    print(f"wrote {len(proteome.records)} proteins -> {fasta_path}")
+    print(f"wrote {len(spectra)} spectra -> {ms2_path}")
+    return 0
+
+
+def _cmd_digest(args: argparse.Namespace) -> int:
+    records = list(read_fasta(args.fasta))
+    config = DigestionConfig(
+        missed_cleavages=args.missed_cleavages,
+        min_length=args.min_length,
+        max_length=args.max_length,
+    )
+    peptides = deduplicate_peptides(digest_proteome(records, config))
+    write_fasta(
+        args.out,
+        (FastaRecord(f"pep{i}", p.sequence) for i, p in enumerate(peptides)),
+    )
+    print(f"digested {len(records)} proteins -> {len(peptides)} unique "
+          f"peptides -> {args.out}")
+    return 0
+
+
+def _cmd_group(args: argparse.Namespace) -> int:
+    sequences = [rec.sequence for rec in read_fasta(args.fasta)]
+    grouping = group_peptides(
+        sequences, GroupingConfig(criterion=args.criterion, gsize=args.gsize)
+    )
+    write_grouped_fasta(
+        args.out,
+        [sequences[i] for i in grouping.order],
+        grouping.group_sizes.tolist(),
+    )
+    print(f"grouped {grouping.n_sequences} peptides into "
+          f"{grouping.n_groups} groups -> {args.out}")
+    return 0
+
+
+def _search_once(
+    db: IndexedDatabase,
+    spectra,
+    policy: str,
+    args: argparse.Namespace,
+):
+    engine = DistributedSearchEngine(
+        db,
+        EngineConfig(
+            n_ranks=args.ranks,
+            policy=policy,
+            policy_seed=args.seed,
+            top_k=args.top_k,
+        ),
+    )
+    return engine.run(spectra)
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    records = list(read_fasta(args.fasta))
+    peptides = deduplicate_peptides(digest_proteome(records))
+    db = IndexedDatabase.from_peptides(
+        peptides, max_variants_per_peptide=args.max_variants
+    )
+    spectra = list(read_ms2(args.ms2))
+    print(f"index: {db.n_entries} entries from {db.n_bases} peptides; "
+          f"queries: {len(spectra)} spectra; ranks: {args.ranks}")
+
+    results = _search_once(db, spectra, args.policy, args)
+    print(
+        f"policy {args.policy}: {results.total_cpsms} cPSMs "
+        f"({results.cpsms_per_query:.0f}/query), "
+        f"LI {100 * load_imbalance(results.query_times):.1f}%, "
+        f"query {results.query_time * 1e3:.2f} ms, "
+        f"total {results.execution_time * 1e3:.2f} ms (virtual)"
+    )
+    if args.report is not None:
+        rows = write_psm_report(args.report, results, db.entries)
+        print(f"wrote {rows} PSM rows -> {args.report}")
+
+    if args.compare_policies:
+        rows = []
+        for policy in ("chunk", "cyclic", "random", "lpt"):
+            res = (
+                results if policy == args.policy
+                else _search_once(db, spectra, policy, args)
+            )
+            rows.append(
+                (
+                    policy,
+                    f"{100 * load_imbalance(res.query_times):.1f}%",
+                    f"{res.query_time * 1e3:.2f}",
+                    f"{res.execution_time * 1e3:.2f}",
+                )
+            )
+        print()
+        print(format_table(
+            ["policy", "LI", "query ms", "total ms"], rows,
+            title=f"policy comparison, {args.ranks} ranks",
+        ))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    suite = ExperimentSuite(
+        ExperimentConfig(
+            sizes_m=tuple(args.sizes), n_spectra=args.spectra, seed=args.seed
+        )
+    )
+    print(series_table(
+        "Fig. 6: load imbalance (16 ranks)",
+        ["size_M", "entries", "policy", "LI_%"],
+        suite.fig6_rows(), float_fmt=".1f",
+    ))
+    print(series_table(
+        "Fig. 8: query speedup (cyclic)",
+        ["size_M", "ranks", "speedup", "ideal"],
+        suite.fig8_rows(), float_fmt=".2f",
+    ))
+    print(series_table(
+        "Fig. 11: CPU-time speedup over chunk (16 ranks)",
+        ["size_M", "policy", "speedup", "Twst_s"],
+        suite.fig11_rows(), float_fmt=".2f",
+    ))
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "digest": _cmd_digest,
+    "group": _cmd_group,
+    "search": _cmd_search,
+    "figures": _cmd_figures,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

@@ -1,0 +1,125 @@
+"""Physical and chemical constants for mass-spectrometry proteomics.
+
+All masses are **monoisotopic** and expressed in unified atomic mass
+units (Da).  The residue masses are the masses of amino-acid residues
+*inside* a peptide chain, i.e. the free amino-acid mass minus one water
+molecule; a peptide's neutral mass is therefore ``sum(residues) +
+WATER_MONO``.
+
+The values follow the standard unimod / ExPASy tables and match the ones
+used by the SLM-Transform code base that the LBE paper builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Final, Mapping
+
+#: Monoisotopic mass of a water molecule (H2O), Da.
+WATER_MONO: Final[float] = 18.0105646863
+
+#: Monoisotopic mass of a proton (H+), Da.  Used to convert between
+#: neutral masses and m/z values: ``mz = (M + z * PROTON) / z``.
+PROTON: Final[float] = 1.00727646688
+
+#: Monoisotopic mass of a hydrogen atom (H), Da.
+HYDROGEN_MONO: Final[float] = 1.0078250319
+
+#: Monoisotopic mass of an ammonia molecule (NH3), Da.  Needed for
+#: a/b/y-NH3 neutral-loss series (not indexed by default, available to
+#: extensions).
+AMMONIA_MONO: Final[float] = 17.0265491015
+
+#: Monoisotopic residue masses of the 20 proteinogenic amino acids, Da.
+#: Leucine and isoleucine are isobaric; both are retained because the
+#: grouping stage works on *sequences*, not masses.
+AA_MONO: Final[Mapping[str, float]] = {
+    "G": 57.02146372,
+    "A": 71.03711378,
+    "S": 87.03202840,
+    "P": 97.05276384,
+    "V": 99.06841390,
+    "T": 101.04767846,
+    "C": 103.00918447,
+    "L": 113.08406396,
+    "I": 113.08406396,
+    "N": 114.04292744,
+    "D": 115.02694302,
+    "Q": 128.05857750,
+    "K": 128.09496300,
+    "E": 129.04259308,
+    "M": 131.04048508,
+    "H": 137.05891186,
+    "F": 147.06841390,
+    "R": 156.10111102,
+    "Y": 163.06332852,
+    "W": 186.07931294,
+}
+
+#: The canonical amino-acid alphabet in the order used for
+#: lexicographic operations throughout the package.
+ALPHABET: Final[str] = "ACDEFGHIKLMNPQRSTVWY"
+
+#: Set view of :data:`ALPHABET` for O(1) membership tests.
+ALPHABET_SET: Final[frozenset[str]] = frozenset(ALPHABET)
+
+#: Human-proteome-like amino-acid background frequencies (UniProt
+#: statistics, normalised).  Used by the synthetic proteome generator so
+#: that digests of generated proteins have realistic composition.
+AA_FREQUENCIES: Final[Mapping[str, float]] = {
+    "A": 0.0702,
+    "C": 0.0230,
+    "D": 0.0473,
+    "E": 0.0710,
+    "F": 0.0365,
+    "G": 0.0657,
+    "H": 0.0263,
+    "I": 0.0433,
+    "K": 0.0573,
+    "L": 0.0996,
+    "M": 0.0213,
+    "N": 0.0359,
+    "P": 0.0631,
+    "Q": 0.0477,
+    "R": 0.0564,
+    "S": 0.0833,
+    "T": 0.0536,
+    "V": 0.0597,
+    "W": 0.0122,
+    "Y": 0.0266,
+}
+
+#: Default digestion settings from the paper's experimental setup
+#: (Section V-A.1): fully tryptic, up to 2 missed cleavages, peptide
+#: lengths 6..40, peptide masses 100..5000 Da.
+DIGEST_MIN_LENGTH: Final[int] = 6
+DIGEST_MAX_LENGTH: Final[int] = 40
+DIGEST_MIN_MASS: Final[float] = 100.0
+DIGEST_MAX_MASS: Final[float] = 5000.0
+DIGEST_MISSED_CLEAVAGES: Final[int] = 2
+
+#: Default SLM-Transform settings from the paper (Section V-A.3).
+DEFAULT_RESOLUTION: Final[float] = 0.01  # m/z bin width `r`
+DEFAULT_FRAGMENT_TOLERANCE: Final[float] = 0.05  # ΔF, Da
+DEFAULT_SHARED_PEAK_THRESHOLD: Final[int] = 4  # Shpeak
+DEFAULT_TOP_PEAKS: Final[int] = 100  # peaks retained per query spectrum
+DEFAULT_MAX_MODIFIED_RESIDUES: Final[int] = 5
+
+#: Default LBE grouping parameters from Algorithm 1 / Section III-C.
+DEFAULT_GROUP_SIZE: Final[int] = 20  # gsize
+DEFAULT_EDIT_DISTANCE: Final[int] = 2  # d  (criterion 1)
+DEFAULT_NORMALIZED_CUTOFF: Final[float] = 0.86  # d' (criterion 2)
+
+
+def mass_of_residue(aa: str) -> float:
+    """Return the monoisotopic residue mass of a single amino acid.
+
+    Raises :class:`KeyError` with a helpful message for characters
+    outside the canonical alphabet (e.g. B, J, O, U, X, Z, which the
+    database layer strips before peptides reach the chemistry layer).
+    """
+    try:
+        return AA_MONO[aa]
+    except KeyError:
+        raise KeyError(
+            f"unknown amino acid {aa!r}; expected one of {ALPHABET}"
+        ) from None

@@ -1,0 +1,97 @@
+"""Levenshtein edit distance with banding and early exit.
+
+Algorithm 1 compares every sequence against the current group seed, so
+edit distance dominates grouping cost.  Two facts bound the work:
+
+* group membership only needs the distance *up to a cutoff* — anything
+  larger starts a new group regardless of its exact value;
+* if ``|len(a) - len(b)| > bound`` the distance certainly exceeds the
+  bound (each length difference costs at least one edit).
+
+:func:`bounded_edit_distance` exploits both with the classic banded
+dynamic program: only cells within ``bound`` of the diagonal are
+evaluated (O(min(n,m)·bound) time) and the scan exits as soon as a full
+row exceeds the bound.
+"""
+
+from __future__ import annotations
+
+__all__ = ["edit_distance", "bounded_edit_distance"]
+
+
+def edit_distance(a: str, b: str) -> int:
+    """Exact Levenshtein distance between ``a`` and ``b``.
+
+    Two-row dynamic program, O(len(a)·len(b)) time, O(min) space.
+    """
+    if a == b:
+        return 0
+    if len(a) < len(b):
+        a, b = b, a
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i] + [0] * len(b)
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current[j] = min(
+                previous[j] + 1,  # deletion
+                current[j - 1] + 1,  # insertion
+                previous[j - 1] + cost,  # substitution / match
+            )
+        previous = current
+    return previous[-1]
+
+
+def bounded_edit_distance(a: str, b: str, bound: int) -> int:
+    """Levenshtein distance capped at ``bound``.
+
+    Returns the exact distance when it is ``<= bound`` and ``bound + 1``
+    otherwise (a "greater than bound" sentinel).  ``bound < 0`` returns
+    ``bound + 1`` immediately (nothing can satisfy a negative bound).
+
+    The band around the diagonal has half-width ``bound``; cells
+    outside it can never contribute to a path of cost ``<= bound``.
+    """
+    if bound < 0:
+        return bound + 1
+    if a == b:
+        return 0
+    n, m = len(a), len(b)
+    if abs(n - m) > bound:
+        return bound + 1
+    if n < m:  # keep the outer loop over the longer string
+        a, b, n, m = b, a, m, n
+    if m == 0:
+        return n if n <= bound else bound + 1
+    big = bound + 1
+    previous = [j if j <= bound else big for j in range(m + 1)]
+    for i in range(1, n + 1):
+        ca = a[i - 1]
+        # Band: |i - j| <= bound  =>  j in [i - bound, i + bound].
+        j_lo = max(1, i - bound)
+        j_hi = min(m, i + bound)
+        current = [big] * (m + 1)
+        current[0] = i if i <= bound else big
+        row_min = current[0] if j_lo == 1 else big
+        for j in range(j_lo, j_hi + 1):
+            cb = b[j - 1]
+            cost = 0 if ca == cb else 1
+            best = previous[j - 1] + cost
+            above = previous[j] + 1
+            if above < best:
+                best = above
+            left = current[j - 1] + 1
+            if left < best:
+                best = left
+            if best > big:
+                best = big
+            current[j] = best
+            if best < row_min:
+                row_min = best
+        if row_min > bound:
+            return big
+        previous = current
+    result = previous[m]
+    return result if result <= bound else big

@@ -1,0 +1,165 @@
+"""Peptide sequence grouping — Algorithm 1 of the paper.
+
+The sequences are sorted by length, then lexicographically; groups are
+formed greedily: the first ungrouped sequence seeds a group, and each
+subsequent sequence joins while it stays within an edit-distance cutoff
+of the *seed* and the group is below the size cap ``gsize``.
+
+Two cutoff criteria are provided (Section III-C.1):
+
+* **criterion 1**: ``EditDistance(seed, s) <= max(d, len(s) / 2)``
+  with default ``d = 2``;
+* **criterion 2**: ``EditDistance(seed, s) / max(len(seed), len(s))
+  <= d'`` with default ``d' = 0.86`` — the criterion the paper's
+  experiments use.
+
+Grouping never reorders *within* the sorted order: a group is a
+contiguous run of the sorted sequence list, which is what lets the
+output be written as a "clustered FASTA" and partitioned by run-length
+(`group_sizes`) alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.constants import (
+    DEFAULT_EDIT_DISTANCE,
+    DEFAULT_GROUP_SIZE,
+    DEFAULT_NORMALIZED_CUTOFF,
+)
+from repro.core.editdist import bounded_edit_distance
+from repro.errors import ConfigurationError, PartitionError
+
+__all__ = ["GroupingConfig", "Grouping", "group_peptides", "sorted_order"]
+
+
+@dataclass(frozen=True, slots=True)
+class GroupingConfig:
+    """Parameters of Algorithm 1.
+
+    Attributes
+    ----------
+    criterion:
+        1 or 2 (see module docstring).  The paper evaluates with 2.
+    d:
+        Absolute edit-distance floor of criterion 1.
+    d_prime:
+        Normalized cutoff of criterion 2, in [0, 1].
+    gsize:
+        Maximum sequences per group (``csize`` in Algorithm 1).
+    """
+
+    criterion: int = 2
+    d: int = DEFAULT_EDIT_DISTANCE
+    d_prime: float = DEFAULT_NORMALIZED_CUTOFF
+    gsize: int = DEFAULT_GROUP_SIZE
+
+    def __post_init__(self) -> None:
+        if self.criterion not in (1, 2):
+            raise ConfigurationError(f"criterion must be 1 or 2, got {self.criterion}")
+        if self.d < 0:
+            raise ConfigurationError(f"d must be >= 0, got {self.d}")
+        if not 0.0 <= self.d_prime <= 1.0:
+            raise ConfigurationError(f"d_prime must be in [0,1], got {self.d_prime}")
+        if self.gsize < 1:
+            raise ConfigurationError(f"gsize must be >= 1, got {self.gsize}")
+
+    def cutoff_for(self, seed: str, candidate: str) -> int:
+        """The integral edit-distance bound for ``candidate`` vs ``seed``."""
+        if self.criterion == 1:
+            return max(self.d, len(candidate) // 2)
+        return int(self.d_prime * max(len(seed), len(candidate)))
+
+
+@dataclass(frozen=True, slots=True)
+class Grouping:
+    """Result of Algorithm 1.
+
+    Attributes
+    ----------
+    order:
+        Permutation of input positions: ``order[k]`` is the input index
+        of the k-th sequence in grouped (sorted) order.
+    group_sizes:
+        Run lengths of consecutive groups over the grouped order.
+    """
+
+    order: np.ndarray
+    group_sizes: np.ndarray
+
+    def __post_init__(self) -> None:
+        if int(self.group_sizes.sum()) != int(self.order.size):
+            raise PartitionError(
+                f"group sizes sum to {int(self.group_sizes.sum())} "
+                f"but order has {self.order.size} entries"
+            )
+        if self.group_sizes.size and int(self.group_sizes.min()) < 1:
+            raise PartitionError("every group must be non-empty")
+
+    @property
+    def n_groups(self) -> int:
+        """Number of groups."""
+        return int(self.group_sizes.size)
+
+    @property
+    def n_sequences(self) -> int:
+        """Number of grouped sequences."""
+        return int(self.order.size)
+
+    def group_bounds(self) -> np.ndarray:
+        """Exclusive prefix sums: group g spans [bounds[g], bounds[g+1])."""
+        bounds = np.zeros(self.n_groups + 1, dtype=np.int64)
+        np.cumsum(self.group_sizes, out=bounds[1:])
+        return bounds
+
+    def group_of(self) -> np.ndarray:
+        """Array mapping grouped-order position → group id."""
+        return np.repeat(np.arange(self.n_groups, dtype=np.int64), self.group_sizes)
+
+
+def sorted_order(sequences: Sequence[str]) -> np.ndarray:
+    """Positions of ``sequences`` sorted by (length, lexicographic).
+
+    This is the "SortByLength / LexSort" preamble of Algorithm 1.  The
+    sort is stable, so ties keep input order (determinism).
+    """
+    return np.array(
+        sorted(range(len(sequences)), key=lambda i: (len(sequences[i]), sequences[i])),
+        dtype=np.int64,
+    )
+
+
+def group_peptides(
+    sequences: Sequence[str],
+    config: GroupingConfig = GroupingConfig(),
+) -> Grouping:
+    """Run Algorithm 1 over ``sequences``.
+
+    Returns a :class:`Grouping`; ``sequences`` itself is not reordered.
+    Complexity is O(n · cost(edit distance to seed)) — each sequence is
+    compared against its current group seed exactly once, as in the
+    paper's pseudo-code.
+    """
+    n = len(sequences)
+    if n == 0:
+        return Grouping(
+            order=np.empty(0, dtype=np.int64),
+            group_sizes=np.empty(0, dtype=np.int64),
+        )
+    order = sorted_order(sequences)
+    group_sizes: List[int] = [1]
+    seed = sequences[int(order[0])]
+    for k in range(1, n):
+        seq = sequences[int(order[k])]
+        cutoff = config.cutoff_for(seed, seq)
+        dist = bounded_edit_distance(seed, seq, cutoff)
+        if dist > cutoff or group_sizes[-1] == config.gsize:
+            seed = seq
+            group_sizes.append(1)
+        else:
+            group_sizes[-1] += 1
+    return Grouping(order=order, group_sizes=np.asarray(group_sizes, dtype=np.int64))

@@ -1,0 +1,98 @@
+"""LBE planning: group → partition → per-rank manifests (the "LBE layer").
+
+:func:`plan_distribution` runs the full Section-III pipeline on a
+peptide list and returns an :class:`LBEPlan`, the single object the
+distributed engine needs: which peptides each rank indexes (in local-id
+order) plus the master's mapping table back to global ids.
+
+The plan operates on *base* peptide sequences (the paper clusters
+unmodified sequences; "the normal peptide sequences and their modified
+variants are considered to be part of the same data group",
+Section III-C).  Modified variants are attached at index-build time by
+the engine, colocated with their base peptide's rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.chem.peptide import Peptide
+from repro.core.grouping import Grouping, GroupingConfig, group_peptides
+from repro.core.mapping import MappingTable
+from repro.core.partition import PartitionAssignment, PartitionPolicy
+from repro.errors import ConfigurationError
+
+__all__ = ["LBEPlan", "plan_distribution"]
+
+
+@dataclass(frozen=True, slots=True)
+class LBEPlan:
+    """A complete data-distribution plan.
+
+    Attributes
+    ----------
+    grouping:
+        Output of Algorithm 1 over the base sequences.
+    assignment:
+        Rank assignment over grouped-order positions.
+    mapping:
+        Master mapping table: (rank, local id) → global peptide id.
+    n_ranks:
+        Number of ranks.
+    """
+
+    grouping: Grouping
+    assignment: PartitionAssignment
+    mapping: MappingTable
+    n_ranks: int
+
+    def rank_global_ids(self, rank: int) -> np.ndarray:
+        """Global peptide ids indexed by ``rank``, in local-id order."""
+        return self.mapping.globals_of(rank)
+
+    def rank_peptides(self, peptides: Sequence[Peptide], rank: int) -> List[Peptide]:
+        """Materialize the peptide objects of ``rank``'s partition."""
+        return [peptides[int(g)] for g in self.rank_global_ids(rank)]
+
+    def partition_sizes(self) -> np.ndarray:
+        """Peptides per rank."""
+        return np.array(
+            [self.mapping.rank_size(r) for r in range(self.n_ranks)], dtype=np.int64
+        )
+
+
+def plan_distribution(
+    peptides: Sequence[Peptide],
+    policy: PartitionPolicy,
+    n_ranks: int,
+    grouping_config: GroupingConfig = GroupingConfig(),
+) -> LBEPlan:
+    """Run grouping and partitioning; return the distribution plan.
+
+    Parameters
+    ----------
+    peptides:
+        Base (deduplicated, unmodified) peptides; global ids are the
+        positions in this sequence.
+    policy:
+        Partition policy instance (Chunk/Cyclic/Random).
+    n_ranks:
+        Number of ranks ``p``.
+    grouping_config:
+        Algorithm 1 parameters.
+    """
+    if n_ranks < 1:
+        raise ConfigurationError(f"n_ranks must be >= 1, got {n_ranks}")
+    sequences = [p.sequence for p in peptides]
+    grouping = group_peptides(sequences, grouping_config)
+    assignment = policy.assign(grouping, n_ranks)
+    mapping = MappingTable.from_assignment(assignment, grouping.order)
+    return LBEPlan(
+        grouping=grouping,
+        assignment=assignment,
+        mapping=mapping,
+        n_ranks=n_ranks,
+    )

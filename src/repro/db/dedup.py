@@ -1,0 +1,32 @@
+"""Duplicate peptide removal (``DBToolkit`` equivalent).
+
+Digesting homologous proteins produces many identical peptide
+sequences.  The paper removes duplicates before clustering (Section
+V-A.1).  We keep the *first* occurrence of each sequence (stable
+order), which preserves the protein id of the earliest parent — the
+same behaviour DBToolkit exhibits with its default settings.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+from repro.chem.peptide import Peptide
+
+__all__ = ["deduplicate_peptides"]
+
+
+def deduplicate_peptides(peptides: Sequence[Peptide]) -> List[Peptide]:
+    """Return ``peptides`` with duplicate *sequences* removed, stably.
+
+    Only the bare sequence is compared (modifications are not expected
+    at this pipeline stage; modified variants are enumerated after
+    deduplication, as in the paper's pipeline).
+    """
+    seen: Set[str] = set()
+    unique: List[Peptide] = []
+    for pep in peptides:
+        if pep.sequence not in seen:
+            seen.add(pep.sequence)
+            unique.append(pep)
+    return unique

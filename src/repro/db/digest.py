@@ -1,0 +1,144 @@
+"""In-silico tryptic digestion (OpenMS ``Digestor`` equivalent).
+
+Trypsin cleaves C-terminal to lysine (K) and arginine (R) except when
+the next residue is proline (P) — the classic "KR|P" rule.  Fully
+tryptic digestion with up to ``missed_cleavages`` skipped sites yields
+the candidate peptides; length and mass windows filter them (paper
+defaults: length 6..40, mass 100..5000 Da, 2 missed cleavages).
+
+Residues outside the canonical alphabet (X, B, Z, U, O, J from real
+databases) split the protein: fragments containing them are dropped,
+mirroring common search-engine behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+from repro.chem.peptide import Peptide
+from repro.constants import (
+    ALPHABET_SET,
+    DIGEST_MAX_LENGTH,
+    DIGEST_MAX_MASS,
+    DIGEST_MIN_LENGTH,
+    DIGEST_MIN_MASS,
+    DIGEST_MISSED_CLEAVAGES,
+    AA_MONO,
+    WATER_MONO,
+)
+from repro.db.fasta import FastaRecord
+from repro.errors import ConfigurationError
+
+__all__ = ["DigestionConfig", "digest_protein", "digest_proteome", "cleavage_sites"]
+
+
+@dataclass(frozen=True, slots=True)
+class DigestionConfig:
+    """Digestion parameters (defaults = paper Section V-A.1).
+
+    Attributes
+    ----------
+    missed_cleavages:
+        Maximum number of internal cleavage sites a peptide may span.
+    min_length / max_length:
+        Inclusive peptide length window.
+    min_mass / max_mass:
+        Inclusive neutral monoisotopic mass window in Da.
+    suppress_proline:
+        Apply the KR|P suppression rule (trypsin does not cleave K/R
+        followed by proline).
+    """
+
+    missed_cleavages: int = DIGEST_MISSED_CLEAVAGES
+    min_length: int = DIGEST_MIN_LENGTH
+    max_length: int = DIGEST_MAX_LENGTH
+    min_mass: float = DIGEST_MIN_MASS
+    max_mass: float = DIGEST_MAX_MASS
+    suppress_proline: bool = True
+
+    def __post_init__(self) -> None:
+        if self.missed_cleavages < 0:
+            raise ConfigurationError(
+                f"missed_cleavages must be >= 0, got {self.missed_cleavages}"
+            )
+        if self.min_length < 1 or self.min_length > self.max_length:
+            raise ConfigurationError(
+                f"invalid length window [{self.min_length}, {self.max_length}]"
+            )
+        if self.min_mass < 0 or self.min_mass > self.max_mass:
+            raise ConfigurationError(
+                f"invalid mass window [{self.min_mass}, {self.max_mass}]"
+            )
+
+
+def cleavage_sites(sequence: str, *, suppress_proline: bool = True) -> List[int]:
+    """Return the cut positions of trypsin in ``sequence``.
+
+    A cut position ``i`` means the bond *after* residue ``i-1`` is
+    cleaved, i.e. fragments are ``sequence[a:b]`` for consecutive cut
+    positions ``a < b``.  The returned list always starts with 0 and
+    ends with ``len(sequence)``.
+    """
+    sites = [0]
+    last = len(sequence) - 1
+    for i, aa in enumerate(sequence):
+        if aa in ("K", "R") and i < last:
+            if suppress_proline and sequence[i + 1] == "P":
+                continue
+            sites.append(i + 1)
+    sites.append(len(sequence))
+    return sites
+
+
+def _segments_without_ambiguous(sequence: str) -> Iterator[str]:
+    """Split ``sequence`` at non-canonical residues, yielding clean runs."""
+    start = 0
+    for i, aa in enumerate(sequence):
+        if aa not in ALPHABET_SET:
+            if i > start:
+                yield sequence[start:i]
+            start = i + 1
+    if start < len(sequence):
+        yield sequence[start:]
+
+
+def digest_protein(
+    record: FastaRecord,
+    config: DigestionConfig = DigestionConfig(),
+    *,
+    protein_id: int = -1,
+) -> List[Peptide]:
+    """Digest one protein into fully tryptic peptides.
+
+    Peptides are emitted in order of increasing start position, then
+    increasing missed-cleavage count, matching Digestor's output order.
+    """
+    peptides: List[Peptide] = []
+    for segment in _segments_without_ambiguous(record.sequence.upper()):
+        sites = cleavage_sites(segment, suppress_proline=config.suppress_proline)
+        n = len(sites)
+        for si in range(n - 1):
+            for mc in range(config.missed_cleavages + 1):
+                sj = si + 1 + mc
+                if sj >= n:
+                    break
+                fragment = segment[sites[si] : sites[sj]]
+                if not config.min_length <= len(fragment) <= config.max_length:
+                    continue
+                mass = WATER_MONO + sum(AA_MONO[aa] for aa in fragment)
+                if not config.min_mass <= mass <= config.max_mass:
+                    continue
+                peptides.append(Peptide(fragment, protein_id=protein_id))
+    return peptides
+
+
+def digest_proteome(
+    records: Sequence[FastaRecord],
+    config: DigestionConfig = DigestionConfig(),
+) -> List[Peptide]:
+    """Digest every protein of ``records``; peptides carry protein ids."""
+    out: List[Peptide] = []
+    for pid, record in enumerate(records):
+        out.extend(digest_protein(record, config, protein_id=pid))
+    return out

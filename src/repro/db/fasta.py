@@ -1,0 +1,181 @@
+"""FASTA input/output.
+
+Two flavours are supported:
+
+* plain protein/peptide FASTA (``read_fasta`` / ``write_fasta``),
+* the *grouped* FASTA produced by LBE's Algorithm 1, where the peptide
+  sequences of each similarity group appear consecutively and each
+  header records its group id (``write_grouped_fasta`` /
+  ``read_grouped_fasta``).  The paper's Python preprocessing script
+  emits exactly this "clustered database" (Section III-C.2).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Sequence, TextIO, Tuple, Union
+
+from repro.errors import FormatError
+
+__all__ = [
+    "FastaRecord",
+    "read_fasta",
+    "write_fasta",
+    "read_grouped_fasta",
+    "write_grouped_fasta",
+]
+
+PathOrHandle = Union[str, Path, TextIO]
+
+#: Maximum characters per sequence line written by the writers.
+_LINE_WIDTH = 60
+
+
+@dataclass(frozen=True, slots=True)
+class FastaRecord:
+    """One FASTA entry: a header (without ``>``) and a sequence."""
+
+    header: str
+    sequence: str
+
+
+def _open_for_read(source: PathOrHandle) -> tuple[TextIO, bool]:
+    if isinstance(source, (str, Path)):
+        return open(source, "r", encoding="ascii"), True
+    return source, False
+
+
+def _open_for_write(target: PathOrHandle) -> tuple[TextIO, bool]:
+    if isinstance(target, (str, Path)):
+        return open(target, "w", encoding="ascii"), True
+    return target, False
+
+
+def read_fasta(source: PathOrHandle) -> Iterator[FastaRecord]:
+    """Yield :class:`FastaRecord` entries from a FASTA file or handle.
+
+    Sequence lines are concatenated and upper-cased; blank lines are
+    ignored.  Raises :class:`~repro.errors.FormatError` on sequence
+    data before the first header or an entry with an empty sequence.
+    """
+    handle, owned = _open_for_read(source)
+    try:
+        header: str | None = None
+        chunks: List[str] = []
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith(">"):
+                if header is not None:
+                    seq = "".join(chunks)
+                    if not seq:
+                        raise FormatError(f"record {header!r} has an empty sequence")
+                    yield FastaRecord(header, seq)
+                header = line[1:].strip()
+                chunks = []
+            else:
+                if header is None:
+                    raise FormatError(
+                        f"line {lineno}: sequence data before the first '>' header"
+                    )
+                chunks.append(line.upper())
+        if header is not None:
+            seq = "".join(chunks)
+            if not seq:
+                raise FormatError(f"record {header!r} has an empty sequence")
+            yield FastaRecord(header, seq)
+    finally:
+        if owned:
+            handle.close()
+
+
+def write_fasta(target: PathOrHandle, records: Iterable[FastaRecord]) -> int:
+    """Write ``records`` to ``target`` in FASTA format.
+
+    Returns the number of records written.
+    """
+    handle, owned = _open_for_write(target)
+    count = 0
+    try:
+        for record in records:
+            handle.write(f">{record.header}\n")
+            seq = record.sequence
+            for start in range(0, len(seq), _LINE_WIDTH):
+                handle.write(seq[start : start + _LINE_WIDTH] + "\n")
+            count += 1
+    finally:
+        if owned:
+            handle.close()
+    return count
+
+
+def write_grouped_fasta(
+    target: PathOrHandle,
+    sequences: Sequence[str],
+    group_sizes: Sequence[int],
+) -> int:
+    """Write a clustered peptide database in LBE's grouped-FASTA form.
+
+    ``sequences`` must be in grouped order (the output order of
+    Algorithm 1) and ``group_sizes`` the run lengths of the groups.
+    Each header is ``grp<G>|pep<I>`` with the global group index G and
+    peptide index I, so the grouping is recoverable on read.
+
+    Returns the number of records written.
+    """
+    if sum(group_sizes) != len(sequences):
+        raise FormatError(
+            f"group sizes sum to {sum(group_sizes)} but there are "
+            f"{len(sequences)} sequences"
+        )
+    if any(size <= 0 for size in group_sizes):
+        raise FormatError("every group must contain at least one sequence")
+
+    def records() -> Iterator[FastaRecord]:
+        index = 0
+        for group_id, size in enumerate(group_sizes):
+            for _ in range(size):
+                yield FastaRecord(f"grp{group_id}|pep{index}", sequences[index])
+                index += 1
+
+    return write_fasta(target, records())
+
+
+def read_grouped_fasta(source: PathOrHandle) -> Tuple[List[str], List[int]]:
+    """Read a grouped FASTA back into ``(sequences, group_sizes)``.
+
+    Validates that group ids start at 0, are contiguous and
+    non-decreasing (groups must be consecutive runs).
+    """
+    sequences: List[str] = []
+    group_sizes: List[int] = []
+    last_group = -1
+    for record in read_fasta(source):
+        head = record.header.split("|", 1)[0]
+        if not head.startswith("grp"):
+            raise FormatError(f"header {record.header!r} lacks a 'grp<N>|' prefix")
+        try:
+            group_id = int(head[3:])
+        except ValueError:
+            raise FormatError(f"header {record.header!r} has a non-integer group id")
+        if group_id == last_group:
+            group_sizes[-1] += 1
+        elif group_id == last_group + 1:
+            group_sizes.append(1)
+            last_group = group_id
+        else:
+            raise FormatError(
+                f"group ids must be contiguous runs; saw grp{group_id} after grp{last_group}"
+            )
+        sequences.append(record.sequence)
+    return sequences, group_sizes
+
+
+def fasta_to_string(records: Iterable[FastaRecord]) -> str:
+    """Render ``records`` to an in-memory FASTA string (testing helper)."""
+    buf = io.StringIO()
+    write_fasta(buf, records)
+    return buf.getvalue()

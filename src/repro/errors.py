@@ -1,0 +1,49 @@
+"""Exception hierarchy for the LBE reproduction package.
+
+Every error raised intentionally by :mod:`repro` derives from
+:class:`ReproError`, so applications can catch the package's failures
+without masking programming errors (``TypeError`` etc. propagate
+unchanged).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all intentional errors raised by :mod:`repro`."""
+
+
+class InvalidSequenceError(ReproError, ValueError):
+    """A peptide/protein sequence contains characters outside the
+    canonical amino-acid alphabet or is empty where a non-empty
+    sequence is required."""
+
+
+class InvalidSpectrumError(ReproError, ValueError):
+    """An experimental spectrum is malformed (negative masses,
+    mismatched peak arrays, non-positive charge, ...)."""
+
+
+class FormatError(ReproError, ValueError):
+    """An on-disk file (FASTA / MS2) violates its format."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A parameter object is inconsistent (e.g. min length > max
+    length, zero ranks, unknown policy name)."""
+
+
+class PartitionError(ReproError, RuntimeError):
+    """A partitioning plan is infeasible or internally inconsistent
+    (e.g. assignment is not a disjoint cover of the input)."""
+
+
+class CommunicatorError(ReproError, RuntimeError):
+    """Misuse of the simulated MPI communicator (rank out of range,
+    mismatched collective participation, message to self without
+    buffering, ...)."""
+
+
+class SearchError(ReproError, RuntimeError):
+    """The search engine reached an inconsistent state (e.g. a partial
+    index references a peptide the mapping table does not know)."""

@@ -1,0 +1,31 @@
+"""SLM-Transform index substrate.
+
+Reimplementation of the SLM-Transform fragment-ion index (Haseeb et
+al., 2019 — reference [6] of the LBE paper), the host data structure
+LBE partitions:
+
+* :mod:`~repro.index.slm` — the index proper: fragment ions quantized
+  at resolution ``r`` into a CSR bucket layout with parent-peptide
+  back-references; shared-peak filtration queries.
+* :mod:`~repro.index.chunks` — the shared-memory chunking scheme of the
+  paper's Fig. 1 (sort by precursor mass, split into bounded chunks).
+* :mod:`~repro.index.memory` — byte-accurate memory accounting used to
+  reproduce Fig. 5 at paper scale.
+"""
+
+from repro.index.slm import SLMIndex, SLMIndexSettings, FilterResult
+from repro.index.chunks import ChunkedIndex, ChunkingConfig
+from repro.index.memory import IndexMemoryModel, MemoryBreakdown
+from repro.index.serialize import load_index, save_index
+
+__all__ = [
+    "SLMIndex",
+    "SLMIndexSettings",
+    "FilterResult",
+    "ChunkedIndex",
+    "ChunkingConfig",
+    "IndexMemoryModel",
+    "MemoryBreakdown",
+    "load_index",
+    "save_index",
+]

@@ -1,0 +1,147 @@
+"""Shared-memory index chunking (paper Fig. 1).
+
+When an index outgrows memory (or the 2-billion-ion ``int`` limit of
+the C++ original, Section III-D), shared-memory engines sort peptide
+entries by precursor mass and split them into bounded chunks; similar
+(near-isobaric) reference data then live contiguously in exactly one
+chunk, so a precursor-windowed query touches few chunks.
+
+:class:`ChunkedIndex` reproduces that scheme on top of
+:class:`~repro.index.slm.SLMIndex`.  For open searches every chunk must
+be visited (which is why the paper disables internal partitioning in
+its open-search experiments); for windowed searches the chunk list is
+pruned by precursor mass, and the pruning is observable through the
+work counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.chem.peptide import Peptide
+from repro.errors import ConfigurationError
+from repro.index.slm import FilterResult, SLMIndex, SLMIndexSettings
+from repro.spectra.model import Spectrum
+
+__all__ = ["ChunkingConfig", "ChunkedIndex"]
+
+
+@dataclass(frozen=True, slots=True)
+class ChunkingConfig:
+    """Chunking parameters.
+
+    Attributes
+    ----------
+    max_peptides_per_chunk:
+        Upper bound on peptides per chunk (the analogue of the 10.5 M
+        spectra per-process limit in Section V-B).
+    """
+
+    max_peptides_per_chunk: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.max_peptides_per_chunk < 1:
+            raise ConfigurationError(
+                "max_peptides_per_chunk must be >= 1, got "
+                f"{self.max_peptides_per_chunk}"
+            )
+
+
+class ChunkedIndex:
+    """Precursor-mass-sorted, chunked collection of SLM indexes.
+
+    Parameters
+    ----------
+    peptides:
+        Peptides to index; re-sorted by neutral mass internally.
+    settings:
+        Per-chunk SLM settings.
+    chunking:
+        Chunk size bound.
+
+    Notes
+    -----
+    ``local_to_input[i]`` maps the chunked ordering back to positions
+    in the constructor's ``peptides`` sequence, so filtration results
+    can be reported in the caller's id space.
+    """
+
+    def __init__(
+        self,
+        peptides: Sequence[Peptide],
+        settings: SLMIndexSettings = SLMIndexSettings(),
+        chunking: ChunkingConfig = ChunkingConfig(),
+    ) -> None:
+        self.settings = settings
+        self.chunking = chunking
+        masses = np.array([p.mass for p in peptides], dtype=np.float64)
+        order = np.argsort(masses, kind="stable")
+        self.local_to_input = order.astype(np.int64)
+        sorted_peps = [peptides[i] for i in order]
+
+        size = chunking.max_peptides_per_chunk
+        self.chunks: List[SLMIndex] = []
+        self.chunk_mass_ranges: List[tuple[float, float]] = []
+        self._chunk_starts: List[int] = []
+        for start in range(0, len(sorted_peps), size):
+            block = sorted_peps[start : start + size]
+            self.chunks.append(SLMIndex(block, settings))
+            self.chunk_mass_ranges.append((block[0].mass, block[-1].mass))
+            self._chunk_starts.append(start)
+
+    def __len__(self) -> int:
+        return int(self.local_to_input.size)
+
+    @property
+    def n_chunks(self) -> int:
+        """Number of chunks."""
+        return len(self.chunks)
+
+    def chunks_for(self, spectrum: Spectrum) -> List[int]:
+        """Chunk indices that may hold candidates for ``spectrum``.
+
+        Open search → all chunks.  Windowed search → chunks whose mass
+        range intersects ``neutral_mass ± ΔM``.
+        """
+        if self.settings.is_open_search:
+            return list(range(self.n_chunks))
+        tol = float(self.settings.precursor_tolerance)  # type: ignore[arg-type]
+        lo = spectrum.neutral_mass - tol
+        hi = spectrum.neutral_mass + tol
+        return [
+            i
+            for i, (mmin, mmax) in enumerate(self.chunk_mass_ranges)
+            if mmax >= lo and mmin <= hi
+        ]
+
+    def filter(self, spectrum: Spectrum) -> FilterResult:
+        """Filtration across (relevant) chunks, ids in input space."""
+        cand_parts: List[np.ndarray] = []
+        count_parts: List[np.ndarray] = []
+        buckets = 0
+        ions = 0
+        for ci in self.chunks_for(spectrum):
+            res = self.chunks[ci].filter(spectrum)
+            if res.candidates.size:
+                globl = self.local_to_input[res.candidates + self._chunk_starts[ci]]
+                cand_parts.append(globl.astype(np.int32))
+                count_parts.append(res.shared_peaks)
+            buckets += res.buckets_scanned
+            ions += res.ions_scanned
+        if cand_parts:
+            candidates = np.concatenate(cand_parts)
+            shared = np.concatenate(count_parts)
+            order = np.argsort(candidates, kind="stable")
+            candidates, shared = candidates[order], shared[order]
+        else:
+            candidates = np.empty(0, dtype=np.int32)
+            shared = np.empty(0, dtype=np.int32)
+        return FilterResult(
+            candidates=candidates,
+            shared_peaks=shared,
+            buckets_scanned=buckets,
+            ions_scanned=ions,
+        )

@@ -1,0 +1,315 @@
+"""The SLM fragment-ion index.
+
+Structure (mirroring the SLM-Transform C++ layout):
+
+* every indexed peptide's theoretical b/y fragments are quantized to
+  integer buckets of width ``resolution`` (``r = 0.01`` Da default),
+* ion entries are stored bucket-major in one flat ``int32`` array of
+  parent-peptide local ids (4 bytes/ion, as in the original whose 2G-ion
+  limit equals 8 GB),
+* a bucket-offset array (CSR) maps a bucket id to its ion-entry slice,
+* a peptide table stores neutral masses (float32) for the optional
+  precursor window filter.
+
+Querying a spectrum walks each query peak's tolerance window
+(±ΔF → a contiguous bucket range), gathers parent ids, and counts the
+matched ion entries per peptide (*shared ions* — each indexed ion
+falling inside any query peak's window contributes one count, exactly
+the tally a fragment-ion index accumulates).  Peptides reaching the
+shared-peak threshold become scoring candidates.
+
+The index also reports exact *work counters* (buckets and ion entries
+touched, candidates produced) which the distributed runtime converts to
+virtual time; this is what makes load-imbalance experiments
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.chem.fragments import FragmentationSettings, fragment_mzs
+from repro.chem.peptide import Peptide
+from repro.constants import (
+    DEFAULT_FRAGMENT_TOLERANCE,
+    DEFAULT_RESOLUTION,
+    DEFAULT_SHARED_PEAK_THRESHOLD,
+)
+from repro.errors import ConfigurationError
+from repro.spectra.model import Spectrum
+
+__all__ = ["SLMIndexSettings", "FilterResult", "SLMIndex"]
+
+
+@dataclass(frozen=True, slots=True)
+class SLMIndexSettings:
+    """Index/query settings (defaults = paper Section V-A.3).
+
+    Attributes
+    ----------
+    resolution:
+        Bucket width ``r`` in Da.
+    fragment_tolerance:
+        ΔF, half-width of the peak match window in Da.
+    shared_peak_threshold:
+        Minimum shared peaks for a peptide to become a candidate.
+    precursor_tolerance:
+        ΔM in Da; ``None`` or ``inf`` = open search (paper default).
+    fragmentation:
+        Which theoretical ion series are indexed.
+    """
+
+    resolution: float = DEFAULT_RESOLUTION
+    fragment_tolerance: float = DEFAULT_FRAGMENT_TOLERANCE
+    shared_peak_threshold: int = DEFAULT_SHARED_PEAK_THRESHOLD
+    precursor_tolerance: float | None = None
+    fragmentation: FragmentationSettings = field(default_factory=FragmentationSettings)
+
+    def __post_init__(self) -> None:
+        if self.resolution <= 0:
+            raise ConfigurationError(f"resolution must be > 0, got {self.resolution}")
+        if self.fragment_tolerance < 0:
+            raise ConfigurationError(
+                f"fragment_tolerance must be >= 0, got {self.fragment_tolerance}"
+            )
+        if self.shared_peak_threshold < 1:
+            raise ConfigurationError(
+                f"shared_peak_threshold must be >= 1, got {self.shared_peak_threshold}"
+            )
+        if self.precursor_tolerance is not None and self.precursor_tolerance < 0:
+            raise ConfigurationError(
+                f"precursor_tolerance must be >= 0 or None, got {self.precursor_tolerance}"
+            )
+
+    @property
+    def is_open_search(self) -> bool:
+        """True when no precursor window is applied."""
+        return self.precursor_tolerance is None or np.isinf(self.precursor_tolerance)
+
+
+@dataclass(slots=True)
+class FilterResult:
+    """Outcome of shared-peak filtration for one query spectrum.
+
+    Attributes
+    ----------
+    candidates:
+        Local peptide ids whose shared-peak count reached the threshold.
+    shared_peaks:
+        Shared-peak count per candidate (aligned with ``candidates``).
+    buckets_scanned:
+        Number of index buckets inspected.
+    ions_scanned:
+        Number of ion entries gathered across all inspected buckets
+        (the dominant filtration cost).
+    """
+
+    candidates: np.ndarray
+    shared_peaks: np.ndarray
+    buckets_scanned: int
+    ions_scanned: int
+
+
+class SLMIndex:
+    """A searchable fragment-ion index over a list of peptides.
+
+    Parameters
+    ----------
+    peptides:
+        The peptides (base + modified variants) to index.  Local ids
+        are positions in this sequence.
+    settings:
+        Index/query settings.
+    fragments:
+        Optional precomputed fragment m/z arrays aligned with
+        ``peptides`` (see
+        :meth:`repro.search.database.IndexedDatabase.fragments_for`);
+        skips per-peptide fragment generation during construction.
+
+    Notes
+    -----
+    Construction transiently materializes per-peptide fragment arrays
+    before the bucket-major sort — the source of the paper's "2×
+    temporary memory" remark (Section V-B); the memory model accounts
+    for it.
+    """
+
+    def __init__(
+        self,
+        peptides: Sequence[Peptide],
+        settings: SLMIndexSettings = SLMIndexSettings(),
+        *,
+        fragments: Sequence[np.ndarray] | None = None,
+    ) -> None:
+        self.settings = settings
+        self.peptides: List[Peptide] = list(peptides)
+        if fragments is not None and len(fragments) != len(self.peptides):
+            raise ConfigurationError(
+                f"{len(fragments)} fragment arrays for {len(self.peptides)} peptides"
+            )
+        self.masses = np.array([p.mass for p in self.peptides], dtype=np.float32)
+
+        # --- transient construction state (freed on return) ---------
+        ion_buckets: List[np.ndarray] = []
+        ion_parents: List[np.ndarray] = []
+        inv_r = 1.0 / settings.resolution
+        for local_id, pep in enumerate(self.peptides):
+            mzs = (
+                fragments[local_id]
+                if fragments is not None
+                else fragment_mzs(pep, settings.fragmentation)
+            )
+            if mzs.size == 0:
+                continue
+            buckets = np.floor(mzs * inv_r).astype(np.int64)
+            ion_buckets.append(buckets)
+            ion_parents.append(np.full(buckets.size, local_id, dtype=np.int32))
+        if ion_buckets:
+            all_buckets = np.concatenate(ion_buckets)
+            all_parents = np.concatenate(ion_parents)
+        else:
+            all_buckets = np.empty(0, dtype=np.int64)
+            all_parents = np.empty(0, dtype=np.int32)
+        del ion_buckets, ion_parents
+
+        order = np.argsort(all_buckets, kind="stable")
+        all_buckets = all_buckets[order]
+        self.ion_parents: np.ndarray = all_parents[order]
+
+        self.n_buckets = int(all_buckets[-1]) + 1 if all_buckets.size else 0
+        counts = np.bincount(
+            all_buckets, minlength=self.n_buckets
+        ) if all_buckets.size else np.zeros(0, dtype=np.int64)
+        self.bucket_offsets = np.zeros(self.n_buckets + 1, dtype=np.int64)
+        if self.n_buckets:
+            np.cumsum(counts, out=self.bucket_offsets[1:])
+
+    # -- introspection -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.peptides)
+
+    @property
+    def n_ions(self) -> int:
+        """Total indexed ion entries."""
+        return int(self.ion_parents.size)
+
+    def ions_of(self, local_id: int) -> int:
+        """Number of indexed ions of peptide ``local_id`` (O(n_ions))."""
+        return int(np.count_nonzero(self.ion_parents == local_id))
+
+    # -- querying ------------------------------------------------------
+
+    def _bucket_window(self, mz: float) -> tuple[int, int]:
+        """Bucket id range [lo, hi) covering ``mz ± ΔF``, clipped."""
+        r = self.settings.resolution
+        tol = self.settings.fragment_tolerance
+        lo = int(np.floor((mz - tol) / r))
+        hi = int(np.floor((mz + tol) / r)) + 1
+        return max(lo, 0), min(hi, self.n_buckets)
+
+    def filter(self, spectrum: Spectrum) -> FilterResult:
+        """Shared-peak filtration of ``spectrum`` against this index.
+
+        Counts matched ion entries per peptide: every indexed ion whose
+        bucket falls inside a query peak's tolerance window adds one.
+        The whole spectrum is processed with vectorized segment
+        gathering (no per-peak Python loop).
+        """
+        n = len(self.peptides)
+        if n == 0 or self.n_ions == 0 or spectrum.n_peaks == 0:
+            return FilterResult(
+                candidates=np.empty(0, dtype=np.int32),
+                shared_peaks=np.empty(0, dtype=np.int32),
+                buckets_scanned=0,
+                ions_scanned=0,
+            )
+        r = self.settings.resolution
+        tol = self.settings.fragment_tolerance
+        lo = np.floor((spectrum.mzs - tol) / r).astype(np.int64)
+        hi = np.floor((spectrum.mzs + tol) / r).astype(np.int64) + 1
+        np.clip(lo, 0, self.n_buckets, out=lo)
+        np.clip(hi, 0, self.n_buckets, out=hi)
+        valid = hi > lo
+        lo, hi = lo[valid], hi[valid]
+        buckets_scanned = int((hi - lo).sum())
+
+        offsets = self.bucket_offsets
+        starts = offsets[lo]
+        stops = offsets[hi]
+        spans = stops - starts
+        nonempty = spans > 0
+        starts, spans = starts[nonempty], spans[nonempty]
+        total = int(spans.sum())
+        ions_scanned = total
+        if total:
+            # Concatenate the ranges [starts_i, starts_i + spans_i)
+            # without a Python loop: unit steps with jump corrections
+            # at segment boundaries, then a cumulative sum.
+            steps = np.ones(total, dtype=np.int64)
+            steps[0] = starts[0]
+            seg_heads = np.cumsum(spans)[:-1]
+            steps[seg_heads] = starts[1:] - (starts[:-1] + spans[:-1] - 1)
+            gather = np.cumsum(steps)
+            counts = np.bincount(self.ion_parents[gather], minlength=n).astype(
+                np.int32
+            )
+        else:
+            counts = np.zeros(n, dtype=np.int32)
+
+        if not self.settings.is_open_search:
+            tol = float(self.settings.precursor_tolerance)  # type: ignore[arg-type]
+            outside = np.abs(self.masses - spectrum.neutral_mass) > tol
+            counts[outside] = 0
+
+        cands = np.flatnonzero(counts >= self.settings.shared_peak_threshold).astype(
+            np.int32
+        )
+        return FilterResult(
+            candidates=cands,
+            shared_peaks=counts[cands],
+            buckets_scanned=buckets_scanned,
+            ions_scanned=ions_scanned,
+        )
+
+    def filter_bruteforce(self, spectrum: Spectrum) -> FilterResult:
+        """Reference implementation: per-peptide peak matching.
+
+        Quadratic; used only by tests to validate :meth:`filter`.
+        Matching uses the same bucket quantization and the same
+        ion-multiplicity semantics as the index (each (ion, peak
+        window) containment adds one), so both paths agree exactly.
+        """
+        n = len(self.peptides)
+        counts = np.zeros(n, dtype=np.int32)
+        inv_r = 1.0 / self.settings.resolution
+        for local_id, pep in enumerate(self.peptides):
+            mzs = fragment_mzs(pep, self.settings.fragmentation)
+            if mzs.size == 0:
+                continue
+            pep_buckets = np.sort(np.floor(mzs * inv_r).astype(np.int64))
+            shared = 0
+            for mz in spectrum.mzs:
+                lo, hi = self._bucket_window(float(mz))
+                if lo >= hi:
+                    continue
+                i = np.searchsorted(pep_buckets, lo, side="left")
+                j = np.searchsorted(pep_buckets, hi, side="left")
+                shared += int(j - i)
+            counts[local_id] = shared
+        if not self.settings.is_open_search:
+            tol = float(self.settings.precursor_tolerance)  # type: ignore[arg-type]
+            outside = np.abs(self.masses - spectrum.neutral_mass) > tol
+            counts[outside] = 0
+        cands = np.flatnonzero(counts >= self.settings.shared_peak_threshold).astype(
+            np.int32
+        )
+        return FilterResult(
+            candidates=cands,
+            shared_peaks=counts[cands],
+            buckets_scanned=0,
+            ions_scanned=0,
+        )

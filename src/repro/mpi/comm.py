@@ -1,0 +1,315 @@
+"""The simulated-MPI communicator.
+
+Rank code receives a :class:`Communicator` (the analogue of
+``MPI.COMM_WORLD``) exposing the mpi4py-style lowercase object API:
+
+* point-to-point: :meth:`Communicator.send` / :meth:`Communicator.recv`
+* collectives: :meth:`barrier`, :meth:`bcast`, :meth:`scatter`,
+  :meth:`gather`, :meth:`allgather`, :meth:`allreduce`, :meth:`reduce`
+
+Semantics match MPI where it matters for correctness: per
+(source, destination, tag) channels are FIFO; collectives must be
+entered by every rank; ``gather``/``scatter`` order payloads by rank.
+
+Timing: every operation advances the calling rank's
+:class:`~repro.mpi.simtime.VirtualClock` according to the
+:class:`~repro.mpi.simtime.CommCostModel`; receives additionally
+synchronize the receiver's clock to the message's (virtual) arrival
+time, so causality holds in virtual time even though threads execute
+in arbitrary real order.
+
+Deadlock guard: blocking receives time out after ``timeout`` real
+seconds and raise :class:`~repro.errors.CommunicatorError` instead of
+hanging the test suite.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CommunicatorError
+from repro.mpi.simtime import CommCostModel, VirtualClock, payload_nbytes
+
+__all__ = ["Communicator", "Fabric"]
+
+#: Default tag (mirrors MPI's convention of tag 0 for untagged traffic).
+_DEFAULT_TAG = 0
+
+
+@dataclass(slots=True)
+class _Message:
+    payload: Any
+    depart_time: float
+
+
+class Fabric:
+    """Shared state connecting the communicators of one SPMD run.
+
+    Holds the per-channel FIFO queues, the reusable barrier, and the
+    clock registry.  Users never construct a Fabric directly; the
+    launcher does.
+    """
+
+    #: Poll interval (real seconds) for blocked receives; bounds how
+    #: long a receiver waits before noticing a peer's failure.
+    _POLL = 0.02
+
+    def __init__(
+        self,
+        n_ranks: int,
+        cost_model: CommCostModel,
+        *,
+        timeout: float = 60.0,
+    ) -> None:
+        if n_ranks < 1:
+            raise CommunicatorError(f"n_ranks must be >= 1, got {n_ranks}")
+        self.n_ranks = n_ranks
+        self.cost_model = cost_model
+        self.timeout = timeout
+        self.clocks: List[VirtualClock] = [VirtualClock() for _ in range(n_ranks)]
+        self.aborted = threading.Event()
+        self._channels: Dict[Tuple[int, int, int], "queue.Queue[_Message]"] = {}
+        self._channels_lock = threading.Lock()
+        self._barrier_times = [0.0] * n_ranks
+        self._barrier_max = 0.0
+
+        def _barrier_action() -> None:
+            self._barrier_max = max(self._barrier_times)
+
+        self._barrier = threading.Barrier(n_ranks, action=_barrier_action)
+
+    def abort(self) -> None:
+        """Mark the run failed: wakes blocked receivers and the barrier."""
+        self.aborted.set()
+        self._barrier.abort()
+
+    def channel(self, src: int, dst: int, tag: int) -> "queue.Queue[_Message]":
+        """The FIFO for (src → dst, tag), created on first use."""
+        key = (src, dst, tag)
+        with self._channels_lock:
+            chan = self._channels.get(key)
+            if chan is None:
+                chan = queue.Queue()
+                self._channels[key] = chan
+            return chan
+
+    def get_message(self, chan: "queue.Queue[_Message]", context: str) -> _Message:
+        """Blocking dequeue with deadlock guard and abort fast-path."""
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                return chan.get(timeout=self._POLL)
+            except queue.Empty:
+                if self.aborted.is_set():
+                    raise CommunicatorError(
+                        f"{context}: aborted because a peer rank failed"
+                    ) from None
+                if time.monotonic() > deadline:
+                    raise CommunicatorError(
+                        f"{context}: timed out after {self.timeout}s — deadlock?"
+                    ) from None
+
+
+class Communicator:
+    """One rank's endpoint of the simulated communicator."""
+
+    def __init__(self, fabric: Fabric, rank: int) -> None:
+        if not 0 <= rank < fabric.n_ranks:
+            raise CommunicatorError(
+                f"rank {rank} outside [0, {fabric.n_ranks})"
+            )
+        self._fabric = fabric
+        self._rank = rank
+
+    # -- introspection (mpi4py naming) ---------------------------------
+
+    def Get_rank(self) -> int:
+        """This rank's id (mpi4py spelling)."""
+        return self._rank
+
+    def Get_size(self) -> int:
+        """Number of ranks (mpi4py spelling)."""
+        return self._fabric.n_ranks
+
+    @property
+    def rank(self) -> int:
+        """This rank's id."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks."""
+        return self._fabric.n_ranks
+
+    @property
+    def clock(self) -> VirtualClock:
+        """This rank's virtual clock."""
+        return self._fabric.clocks[self._rank]
+
+    @property
+    def is_master(self) -> bool:
+        """True on rank 0, the paper's MPI master machine."""
+        return self._rank == 0
+
+    def charge_compute(self, seconds: float) -> None:
+        """Advance this rank's clock by ``seconds`` of modeled compute."""
+        self.clock.advance(seconds)
+
+    # -- point-to-point -------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = _DEFAULT_TAG) -> None:
+        """Send ``obj`` to ``dest``.
+
+        Charges the p2p cost to the sender; the message arrives (in
+        virtual time) at the sender's post-charge clock.
+        """
+        self._check_peer(dest)
+        cost = self._fabric.cost_model.p2p(payload_nbytes(obj))
+        depart = self.clock.advance(cost)
+        self._fabric.channel(self._rank, dest, tag).put(
+            _Message(payload=obj, depart_time=depart)
+        )
+
+    def recv(self, source: int, tag: int = _DEFAULT_TAG) -> Any:
+        """Receive the next message from ``source``.
+
+        Blocks (real time) until the message exists; then synchronizes
+        this rank's clock to the virtual arrival time.
+        """
+        self._check_peer(source)
+        chan = self._fabric.channel(source, self._rank, tag)
+        msg = self._fabric.get_message(
+            chan, f"rank {self._rank} recv from {source} (tag {tag})"
+        )
+        self.clock.sync_to(msg.depart_time)
+        return msg.payload
+
+    # -- collectives -----------------------------------------------------
+
+    def barrier(self) -> None:
+        """Synchronize all ranks; every clock jumps to the global max."""
+        fabric = self._fabric
+        fabric._barrier_times[self._rank] = self.clock.now
+        try:
+            fabric._barrier.wait(timeout=fabric.timeout)
+        except threading.BrokenBarrierError:
+            raise CommunicatorError(
+                f"rank {self._rank}: barrier broken (peer died or timeout)"
+            ) from None
+        self.clock.sync_to(fabric._barrier_max)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root``; returns the object everywhere.
+
+        Root charges one tree-collective cost; receivers sync to the
+        root's post-charge time (tree pipelining is folded into the
+        root-side charge).
+        """
+        self._check_peer(root)
+        fabric = self._fabric
+        if self._rank == root:
+            cost = fabric.cost_model.collective(payload_nbytes(obj), self.size)
+            depart = self.clock.advance(cost)
+            for dst in range(self.size):
+                if dst != root:
+                    fabric.channel(root, dst, -1).put(
+                        _Message(payload=obj, depart_time=depart)
+                    )
+            return obj
+        chan = fabric.channel(root, self._rank, -1)
+        msg = fabric.get_message(chan, f"rank {self._rank} bcast from root {root}")
+        self.clock.sync_to(msg.depart_time)
+        return msg.payload
+
+    def scatter(self, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
+        """Scatter one element of ``objs`` to each rank from ``root``."""
+        self._check_peer(root)
+        fabric = self._fabric
+        if self._rank == root:
+            if objs is None or len(objs) != self.size:
+                raise CommunicatorError(
+                    f"scatter at root needs exactly {self.size} elements"
+                )
+            total = sum(payload_nbytes(o) for o in objs)
+            depart = self.clock.advance(
+                fabric.cost_model.collective(total, self.size)
+            )
+            for dst in range(self.size):
+                if dst != root:
+                    fabric.channel(root, dst, -2).put(
+                        _Message(payload=objs[dst], depart_time=depart)
+                    )
+            return objs[root]
+        chan = fabric.channel(root, self._rank, -2)
+        msg = fabric.get_message(chan, f"rank {self._rank} scatter from root {root}")
+        self.clock.sync_to(msg.depart_time)
+        return msg.payload
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        """Gather one object per rank at ``root`` (rank order).
+
+        Returns the list at root, ``None`` elsewhere.
+        """
+        self._check_peer(root)
+        fabric = self._fabric
+        if self._rank != root:
+            cost = fabric.cost_model.p2p(payload_nbytes(obj))
+            depart = self.clock.advance(cost)
+            fabric.channel(self._rank, root, -3).put(
+                _Message(payload=obj, depart_time=depart)
+            )
+            return None
+        out: List[Any] = [None] * self.size
+        out[root] = obj
+        latest = self.clock.now
+        for src in range(self.size):
+            if src == root:
+                continue
+            chan = fabric.channel(src, root, -3)
+            msg = fabric.get_message(chan, f"root {root} gather from rank {src}")
+            latest = max(latest, msg.depart_time)
+            out[src] = msg.payload
+        self.clock.sync_to(latest)
+        # Root-side processing: one latency per received message.
+        self.clock.advance(fabric.cost_model.latency * (self.size - 1))
+        return out
+
+    def allgather(self, obj: Any) -> List[Any]:
+        """Gather at rank 0, then broadcast the full list."""
+        gathered = self.gather(obj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def reduce(
+        self,
+        obj: Any,
+        op: Callable[[Any, Any], Any] = lambda a, b: a + b,
+        root: int = 0,
+    ) -> Any:
+        """Reduce with ``op`` at ``root`` (rank order, left fold)."""
+        gathered = self.gather(obj, root=root)
+        if self._rank != root:
+            return None
+        acc = gathered[0]
+        for item in gathered[1:]:
+            acc = op(acc, item)
+        return acc
+
+    def allreduce(
+        self, obj: Any, op: Callable[[Any, Any], Any] = lambda a, b: a + b
+    ) -> Any:
+        """Reduce at rank 0 and broadcast the result."""
+        reduced = self.reduce(obj, op=op, root=0)
+        return self.bcast(reduced, root=0)
+
+    # -- helpers ---------------------------------------------------------
+
+    def _check_peer(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise CommunicatorError(f"peer rank {rank} outside [0, {self.size})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Communicator(rank={self._rank}, size={self.size})"

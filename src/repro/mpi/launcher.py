@@ -1,0 +1,123 @@
+"""SPMD program launcher (the ``mpiexec`` analogue).
+
+:func:`run_spmd` executes one Python callable on every rank of a fresh
+:class:`~repro.mpi.comm.Fabric`, each rank in its own thread, and
+collects per-rank return values and final virtual clocks.
+
+Exceptions on any rank abort the run: the first traceback (by rank
+order) is re-raised in the caller after all threads have been joined,
+so a failing rank can never leave the suite hanging — blocked peers
+time out via the communicator's deadlock guard.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from repro.errors import CommunicatorError
+from repro.mpi.comm import Communicator, Fabric
+from repro.mpi.simtime import CommCostModel
+
+__all__ = ["SpmdResult", "run_spmd"]
+
+
+@dataclass(frozen=True, slots=True)
+class SpmdResult:
+    """Outcome of one SPMD run.
+
+    Attributes
+    ----------
+    results:
+        Per-rank return values of the rank function.
+    clock_times:
+        Per-rank final virtual times (seconds).
+    """
+
+    results: List[Any]
+    clock_times: List[float]
+
+    @property
+    def n_ranks(self) -> int:
+        """Number of ranks that ran."""
+        return len(self.results)
+
+    @property
+    def makespan(self) -> float:
+        """The slowest rank's final virtual time."""
+        return max(self.clock_times) if self.clock_times else 0.0
+
+    @property
+    def total_cpu_time(self) -> float:
+        """Sum of per-rank virtual times (system CPU-time)."""
+        return float(sum(self.clock_times))
+
+
+def run_spmd(
+    fn: Callable[[Communicator], Any],
+    n_ranks: int,
+    *,
+    cost_model: CommCostModel | None = None,
+    timeout: float = 120.0,
+) -> SpmdResult:
+    """Run ``fn(comm)`` on ``n_ranks`` ranks; return results and clocks.
+
+    Parameters
+    ----------
+    fn:
+        The SPMD program; receives that rank's
+        :class:`~repro.mpi.comm.Communicator`.
+    n_ranks:
+        Number of ranks to launch.
+    cost_model:
+        Communication cost model (default:
+        :class:`~repro.mpi.simtime.CommCostModel` defaults).
+    timeout:
+        Real-time deadlock guard passed to the fabric.
+
+    Raises
+    ------
+    Exception
+        Re-raises the lowest-rank exception if any rank failed.
+    """
+    fabric = Fabric(n_ranks, cost_model or CommCostModel(), timeout=timeout)
+    results: List[Any] = [None] * n_ranks
+    errors: List[Optional[BaseException]] = [None] * n_ranks
+
+    def _worker(rank: int) -> None:
+        comm = Communicator(fabric, rank)
+        try:
+            results[rank] = fn(comm)
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            errors[rank] = exc
+            # Wake peers blocked in barrier()/recv() so they fail fast
+            # instead of waiting out the timeout.
+            fabric.abort()
+
+    if n_ranks == 1:
+        # Single-rank runs execute inline: simpler tracebacks, no threads.
+        _worker(0)
+    else:
+        threads = [
+            threading.Thread(target=_worker, args=(rank,), daemon=True, name=f"rank-{rank}")
+            for rank in range(n_ranks)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    for rank, err in enumerate(errors):
+        if err is not None:
+            if isinstance(err, CommunicatorError) and any(
+                e is not None and not isinstance(e, CommunicatorError)
+                for e in errors
+            ):
+                # Prefer the root cause over secondary timeout errors.
+                continue
+            raise err
+    return SpmdResult(
+        results=results,
+        clock_times=[clock.now for clock in fabric.clocks],
+    )

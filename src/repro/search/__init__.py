@@ -1,0 +1,64 @@
+"""Distributed peptide search engine (the LBDSLIM analogue).
+
+Pipeline objects:
+
+* :class:`~repro.search.database.IndexedDatabase` — base peptides plus
+  their enumerated modified variants ("entries"), the unit LBE
+  partitions and the SLM index stores.
+* :class:`~repro.search.serial.SerialSearchEngine` — the shared-memory
+  reference implementation (ground truth + baseline for Fig. 5).
+* :class:`~repro.search.engine.DistributedSearchEngine` — the SPMD
+  engine over the simulated cluster, with per-rank phase accounting.
+* :mod:`~repro.search.metrics` — load imbalance (Eq. 1), wasted CPU
+  time, speedup and Amdahl utilities used by the benchmark harness.
+"""
+
+from repro.search.database import DatabaseConfig, IndexedDatabase
+from repro.search.costs import QueryCostModel, SerialCostModel
+from repro.search.psm import PSM, SpectrumResult, SearchResults, RankStats
+from repro.search.scoring import score_candidates, ScoringOutcome
+from repro.search.serial import SerialSearchEngine
+from repro.search.engine import DistributedSearchEngine, EngineConfig
+from repro.search.fdr import (
+    combined_target_decoy,
+    estimate_fdr,
+    make_decoy_peptides,
+    qvalues,
+)
+from repro.search.report import read_psm_report, write_psm_report
+from repro.search.metrics import (
+    load_imbalance,
+    wasted_cpu_time,
+    policy_cpu_speedup,
+    speedup_series,
+    amdahl_speedup,
+    estimate_serial_fraction,
+)
+
+__all__ = [
+    "DatabaseConfig",
+    "IndexedDatabase",
+    "QueryCostModel",
+    "SerialCostModel",
+    "PSM",
+    "SpectrumResult",
+    "SearchResults",
+    "RankStats",
+    "score_candidates",
+    "ScoringOutcome",
+    "SerialSearchEngine",
+    "DistributedSearchEngine",
+    "EngineConfig",
+    "load_imbalance",
+    "wasted_cpu_time",
+    "policy_cpu_speedup",
+    "speedup_series",
+    "amdahl_speedup",
+    "estimate_serial_fraction",
+    "combined_target_decoy",
+    "estimate_fdr",
+    "make_decoy_peptides",
+    "qvalues",
+    "read_psm_report",
+    "write_psm_report",
+]

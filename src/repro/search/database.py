@@ -1,0 +1,222 @@
+"""The indexed database: base peptides plus modified-variant entries.
+
+The paper's pipeline (Section V-A.1) is: proteome → in-silico digestion
+→ duplicate removal → variable-modification expansion → index.  The
+*entries* (base peptides and their modified variants) are what the SLM
+index stores and what LBE distributes; entry counts are the paper's
+"index size (million peptides & spectra)" axis.
+
+Entries are laid out base-major: the entries of base peptide ``b``
+occupy the contiguous global-id range ``entry_offsets[b] ..
+entry_offsets[b+1]``, with the unmodified peptide first.  Grouping runs
+on base sequences (Section III-C: variants belong to their base's
+group) and is expanded to entry space with
+:meth:`IndexedDatabase.expand_grouping`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.chem.fragments import FragmentationSettings, fragment_mzs
+from repro.chem.modifications import ModificationSet, VariantEnumerator, paper_modifications
+from repro.chem.peptide import Peptide
+from repro.core.grouping import Grouping, GroupingConfig, group_peptides
+from repro.db.dedup import deduplicate_peptides
+from repro.db.digest import DigestionConfig, digest_proteome
+from repro.db.fasta import FastaRecord
+from repro.db.proteome import ProteomeConfig, generate_proteome
+from repro.errors import ConfigurationError, PartitionError
+
+__all__ = ["DatabaseConfig", "IndexedDatabase"]
+
+
+@dataclass(frozen=True, slots=True)
+class DatabaseConfig:
+    """End-to-end database construction parameters.
+
+    Attributes
+    ----------
+    proteome:
+        Synthetic proteome parameters (ignored when explicit records
+        are supplied to :meth:`IndexedDatabase.build`).
+    digestion:
+        Tryptic digestion parameters.
+    modifications:
+        Variable-modification set (default: the paper's three mods).
+    max_variants_per_peptide:
+        Truncation knob for variant enumeration — the workload
+        builder's index-size control.
+    """
+
+    proteome: ProteomeConfig = ProteomeConfig()
+    digestion: DigestionConfig = DigestionConfig()
+    modifications: ModificationSet = field(default_factory=paper_modifications)
+    max_variants_per_peptide: int | None = 16
+
+
+class IndexedDatabase:
+    """Base peptides plus expanded entries, with id arithmetic.
+
+    Attributes
+    ----------
+    base_peptides:
+        Deduplicated unmodified peptides; base id = position.
+    entries:
+        All index entries (every base peptide followed by its modified
+        variants), base-major order; entry id = position.
+    entry_offsets:
+        ``entry_offsets[b] .. entry_offsets[b+1]`` is base ``b``'s
+        entry range; length ``n_bases + 1``.
+    """
+
+    def __init__(self, base_peptides: List[Peptide], entries: List[Peptide],
+                 entry_offsets: np.ndarray) -> None:
+        if entry_offsets.ndim != 1 or entry_offsets.size != len(base_peptides) + 1:
+            raise ConfigurationError("entry_offsets must have n_bases + 1 elements")
+        if int(entry_offsets[-1]) != len(entries):
+            raise ConfigurationError("entry_offsets inconsistent with entries")
+        self.base_peptides = base_peptides
+        self.entries = entries
+        self.entry_offsets = entry_offsets
+        self._fragment_cache: dict[FragmentationSettings, List[np.ndarray]] = {}
+        self._grouping_cache: dict[GroupingConfig, Grouping] = {}
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_peptides(
+        cls,
+        base_peptides: Sequence[Peptide],
+        modifications: ModificationSet | None = None,
+        *,
+        max_variants_per_peptide: int | None = 16,
+    ) -> "IndexedDatabase":
+        """Expand ``base_peptides`` into an entry database."""
+        mods = modifications if modifications is not None else paper_modifications()
+        enum = VariantEnumerator(mods, max_variants_per_peptide=max_variants_per_peptide)
+        entries: List[Peptide] = []
+        offsets = np.zeros(len(base_peptides) + 1, dtype=np.int64)
+        for b, pep in enumerate(base_peptides):
+            entries.extend(enum.variants(pep))
+            offsets[b + 1] = len(entries)
+        return cls(list(base_peptides), entries, offsets)
+
+    @classmethod
+    def build(
+        cls,
+        config: DatabaseConfig = DatabaseConfig(),
+        *,
+        records: Sequence[FastaRecord] | None = None,
+    ) -> "IndexedDatabase":
+        """Full pipeline: proteome → digest → dedup → expand.
+
+        ``records`` overrides the synthetic proteome (e.g. proteins
+        read from a FASTA file).
+        """
+        if records is None:
+            records = generate_proteome(config.proteome).records
+        digested = digest_proteome(records, config.digestion)
+        unique = deduplicate_peptides(digested)
+        return cls.from_peptides(
+            unique,
+            config.modifications,
+            max_variants_per_peptide=config.max_variants_per_peptide,
+        )
+
+    # -- id arithmetic ----------------------------------------------------
+
+    @property
+    def n_bases(self) -> int:
+        """Number of base peptides."""
+        return len(self.base_peptides)
+
+    @property
+    def n_entries(self) -> int:
+        """Number of entries (the paper's "index size")."""
+        return len(self.entries)
+
+    def entry_counts(self) -> np.ndarray:
+        """Entries per base peptide, length ``n_bases``."""
+        return np.diff(self.entry_offsets)
+
+    def base_of_entry(self, entry_id: int) -> int:
+        """Base id owning ``entry_id`` (binary search)."""
+        if not 0 <= entry_id < self.n_entries:
+            raise ConfigurationError(
+                f"entry id {entry_id} outside [0, {self.n_entries})"
+            )
+        return int(np.searchsorted(self.entry_offsets, entry_id, side="right") - 1)
+
+    def base_sequences(self) -> List[str]:
+        """Base peptide sequences (Algorithm 1's input)."""
+        return [p.sequence for p in self.base_peptides]
+
+    # -- fragment cache ----------------------------------------------------
+
+    def fragments_for(
+        self, fragmentation: FragmentationSettings = FragmentationSettings()
+    ) -> List[np.ndarray]:
+        """Fragment m/z arrays of every entry, computed once and cached.
+
+        Fragment generation dominates repeated index builds (every
+        policy × rank-count combination rebuilds partial indexes over
+        the same entries), so the cache is keyed by the — hashable —
+        fragmentation settings and shared across engines.
+        """
+        cached = self._fragment_cache.get(fragmentation)
+        if cached is None:
+            cached = [fragment_mzs(pep, fragmentation) for pep in self.entries]
+            self._fragment_cache[fragmentation] = cached
+        return cached
+
+    # -- grouping expansion ------------------------------------------------
+
+    def group_bases(self, config: GroupingConfig = GroupingConfig()) -> Grouping:
+        """Run Algorithm 1 over the base sequences.
+
+        Cached per configuration: grouping is policy- and
+        rank-count-independent, so every engine built over this
+        database shares one grouping run (the real cost is still
+        charged virtually to the master each time).
+        """
+        cached = self._grouping_cache.get(config)
+        if cached is None:
+            cached = group_peptides(self.base_sequences(), config)
+            self._grouping_cache[config] = cached
+        return cached
+
+    def expand_grouping(self, base_grouping: Grouping) -> Grouping:
+        """Lift a base-space grouping to entry space.
+
+        Each base peptide's entries stay contiguous (variants travel
+        with their base, Section III-C); entry-space group sizes are
+        the per-group sums of entry counts.
+        """
+        if base_grouping.n_sequences != self.n_bases:
+            raise PartitionError(
+                f"grouping covers {base_grouping.n_sequences} bases, "
+                f"database has {self.n_bases}"
+            )
+        counts = self.entry_counts()
+        offsets = self.entry_offsets
+        order_parts = [
+            np.arange(offsets[b], offsets[b + 1], dtype=np.int64)
+            for b in base_grouping.order
+        ]
+        expanded_order = (
+            np.concatenate(order_parts) if order_parts else np.empty(0, dtype=np.int64)
+        )
+        counts_in_grouped = counts[base_grouping.order]
+        bounds = base_grouping.group_bounds()
+        group_sizes = np.array(
+            [
+                int(counts_in_grouped[bounds[g] : bounds[g + 1]].sum())
+                for g in range(base_grouping.n_groups)
+            ],
+            dtype=np.int64,
+        )
+        return Grouping(order=expanded_order, group_sizes=group_sizes)

@@ -1,0 +1,415 @@
+"""The distributed search engine (LBDSLIM over the simulated cluster).
+
+Execution follows the paper's Fig. 3/4 flow:
+
+1. **Serial prep (master).**  Group base sequences (Algorithm 1),
+   expand to entry space, partition with the configured policy, build
+   the mapping table; virtual cost charged to rank 0.
+2. **Manifest scatter.**  Rank 0 scatters each rank's global-entry-id
+   manifest (communication charged through the cost model).
+3. **Partial index build (parallel).**  Each rank builds an SLM index
+   over its entries and discards everything else.
+4. **Distributed querying (parallel).**  Every rank preprocesses and
+   searches *all* query spectra against its partial index, tracking
+   work counters; per-rank query-phase virtual durations are the load
+   imbalance inputs (Fig. 6).
+5. **Gather & merge (master).**  Ranks send per-spectrum candidate
+   counts and local-id top-k matches; the master maps local → global
+   ids through the O(1) mapping table and merges top-k lists.
+
+The distributed result is bit-identical to the serial engine's (same
+candidates, scores, tie-breaking) for every policy and rank count —
+enforced by the integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.grouping import GroupingConfig
+from repro.core.mapping import MappingTable
+from repro.core.partition import PartitionAssignment, make_policy
+from repro.core.predict import WorkModel
+from repro.core.planner import LBEPlan
+from repro.errors import ConfigurationError
+from repro.index.slm import SLMIndex, SLMIndexSettings
+from repro.mpi.comm import Communicator
+from repro.mpi.launcher import run_spmd
+from repro.mpi.simtime import CommCostModel
+from repro.search.costs import QueryCostModel, SerialCostModel
+from repro.search.database import IndexedDatabase
+from repro.search.psm import RankStats, SearchResults, SpectrumResult
+from repro.search.scoring import score_candidates
+from repro.search.serial import top_k_psms
+from repro.spectra.model import Spectrum
+from repro.spectra.preprocess import PreprocessConfig, preprocess_spectrum
+from repro.util.rng import rng_from
+
+__all__ = ["EngineConfig", "DistributedSearchEngine"]
+
+
+@dataclass(frozen=True, slots=True)
+class EngineConfig:
+    """Distributed engine configuration.
+
+    Attributes
+    ----------
+    n_ranks:
+        MPI process count ``p``.
+    policy:
+        Partition policy name: ``chunk`` / ``cyclic`` / ``random``.
+    policy_seed:
+        Seed for the Random policy's shuffles.
+    grouping:
+        Algorithm 1 parameters.
+    index:
+        SLM index/query settings.
+    preprocess:
+        Query peak-picking settings.
+    top_k:
+        PSMs retained per spectrum.
+    query_costs / serial_costs:
+        Virtual cost models.
+    comm:
+        Communication cost model of the simulated fabric.
+    machine_jitter:
+        Relative per-rank CPU speed spread (Gaussian σ).  The paper's
+        cluster machines were only "nearly symmetrical" (Section
+        V-A.4); this residual heterogeneity is what floors the
+        balanced policies' imbalance at ~10–15 % instead of ~0.
+        Set 0.0 for a perfectly homogeneous cluster.
+    machine_seed:
+        Seed of the per-rank speed draws (policy-independent, so every
+        policy faces the same machines).
+    cores_per_rank:
+        Cores available to each MPI process for the hybrid
+        OpenMP + MPI mode the paper announces as future work (§VIII).
+        Parallel-phase compute charges (index build, filtration,
+        scoring) are divided by the intra-rank Amdahl speedup; serial
+        prep, preprocessing bookkeeping, and communication are not.
+    intra_serial_fraction:
+        Serial fraction of the *within-rank* work for the intra-rank
+        Amdahl model (shared-memory engines parallelize the query loop
+        almost perfectly; default 5 %).
+    """
+
+    n_ranks: int = 4
+    policy: str = "cyclic"
+    policy_seed: int = 0
+    grouping: GroupingConfig = GroupingConfig()
+    index: SLMIndexSettings = field(default_factory=SLMIndexSettings)
+    preprocess: PreprocessConfig = PreprocessConfig()
+    top_k: int = 5
+    query_costs: QueryCostModel = QueryCostModel()
+    serial_costs: SerialCostModel = SerialCostModel()
+    comm: CommCostModel = CommCostModel()
+    machine_jitter: float = 0.07
+    machine_seed: int = 1234
+    cores_per_rank: int = 1
+    intra_serial_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.n_ranks < 1:
+            raise ConfigurationError(f"n_ranks must be >= 1, got {self.n_ranks}")
+        if self.top_k < 1:
+            raise ConfigurationError(f"top_k must be >= 1, got {self.top_k}")
+        if self.machine_jitter < 0:
+            raise ConfigurationError(
+                f"machine_jitter must be >= 0, got {self.machine_jitter}"
+            )
+        if self.cores_per_rank < 1:
+            raise ConfigurationError(
+                f"cores_per_rank must be >= 1, got {self.cores_per_rank}"
+            )
+        if not 0.0 <= self.intra_serial_fraction <= 1.0:
+            raise ConfigurationError(
+                "intra_serial_fraction must be in [0,1], got "
+                f"{self.intra_serial_fraction}"
+            )
+
+    @property
+    def intra_rank_speedup(self) -> float:
+        """Amdahl speedup of one rank's ``cores_per_rank`` cores."""
+        c, s = self.cores_per_rank, self.intra_serial_fraction
+        return 1.0 / (s + (1.0 - s) / c)
+
+    def machine_speed(self, rank: int) -> float:
+        """Relative compute-cost multiplier of ``rank`` (1.0 = nominal).
+
+        Drawn once per rank from ``N(1, machine_jitter)``, floored at
+        0.5; a value of 1.1 means the rank takes 10 % longer for the
+        same work.
+        """
+        if self.machine_jitter == 0.0:
+            return 1.0
+        draw = float(rng_from(self.machine_seed, "machine", rank).standard_normal())
+        return max(0.5, 1.0 + self.machine_jitter * draw)
+
+
+#: Per-rank payload returned from the query phase to the master:
+#: (scan-order candidate counts, per-scan (local ids, scores, shared)).
+_RankPayload = Tuple[np.ndarray, List[Tuple[np.ndarray, np.ndarray, np.ndarray]]]
+
+
+class DistributedSearchEngine:
+    """Distributed peptide search with LBE data distribution.
+
+    Parameters
+    ----------
+    database:
+        The indexed database (shared knowledge; each rank only *keeps*
+        its own partition, as in the paper).
+    config:
+        Engine configuration.
+    """
+
+    def __init__(self, database: IndexedDatabase, config: EngineConfig) -> None:
+        self.database = database
+        self.config = config
+        self._plan: LBEPlan | None = None
+
+    # -- planning --------------------------------------------------------
+
+    @property
+    def plan(self) -> LBEPlan:
+        """The LBE distribution plan (computed lazily, cached)."""
+        if self._plan is None:
+            self._plan = self._make_plan()
+        return self._plan
+
+    def _make_plan(self) -> LBEPlan:
+        """Partition at *base-sequence* granularity, then expand.
+
+        The paper's clustered FASTA holds peptide sequences; each
+        machine extracts its sequence partition and SLM-Transform
+        enumerates the modified variants locally (Section III-D), so a
+        base peptide and all its variants are colocated by
+        construction.  The mapping table is still in entry-id space:
+        each rank's entry manifest is the concatenation of its bases'
+        contiguous entry ranges.
+        """
+        db = self.database
+        cfg = self.config
+        base_grouping = db.group_bases(cfg.grouping)
+        if cfg.policy == "lpt":
+            # Predictive policy (paper §VIII): structural work model
+            # over the bases, speeds from the engine's machine model
+            # (machine_speed is a cost multiplier; speed = 1/multiplier).
+            model = WorkModel()
+            weights = model.structural(
+                db.entry_counts(),
+                np.array([p.length for p in db.base_peptides], dtype=np.float64),
+            )
+            speeds = [1.0 / cfg.machine_speed(r) for r in range(cfg.n_ranks)]
+            policy = make_policy(cfg.policy, weights=weights, speeds=speeds)
+        else:
+            policy = make_policy(cfg.policy, seed=cfg.policy_seed)
+        assignment: PartitionAssignment = policy.assign(base_grouping, cfg.n_ranks)
+        offsets = db.entry_offsets
+        per_rank_entries = []
+        for rank in range(cfg.n_ranks):
+            base_ids = base_grouping.order[assignment.members(rank)]
+            ranges = [
+                np.arange(offsets[b], offsets[b + 1], dtype=np.int64)
+                for b in base_ids
+            ]
+            per_rank_entries.append(
+                np.concatenate(ranges) if ranges else np.empty(0, dtype=np.int64)
+            )
+        mapping = MappingTable(per_rank_entries)
+        return LBEPlan(
+            grouping=base_grouping,
+            assignment=assignment,
+            mapping=mapping,
+            n_ranks=cfg.n_ranks,
+        )
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, spectra: Sequence[Spectrum]) -> SearchResults:
+        """Search ``spectra``; returns merged results with phase times."""
+        db = self.database
+        cfg = self.config
+        plan = self.plan
+        spectra = list(spectra)
+        all_fragments = db.fragments_for(cfg.index.fragmentation)
+        # Every rank preprocesses every query (charged to its clock);
+        # the computation is deterministic and rank-independent, so the
+        # real work is hoisted out of the rank program and shared.
+        processed_spectra = [
+            preprocess_spectrum(s, cfg.preprocess) for s in spectra
+        ]
+
+        def rank_program(comm: Communicator):
+            stats = RankStats(rank=comm.rank)
+            phase: Dict[str, float] = {}
+            # Compute-cost multiplier: machine speed (heterogeneity)
+            # over the hybrid intra-rank speedup (paper §VIII).
+            speed = cfg.machine_speed(comm.rank) / cfg.intra_rank_speedup
+
+            def charge(seconds: float) -> None:
+                comm.charge_compute(seconds * speed)
+
+            # Phase 1: serial prep on the master.
+            if comm.is_master:
+                comm.charge_compute(
+                    cfg.serial_costs.prep_cost(db.n_entries, db.n_bases)
+                )
+                phase["serial_prep"] = comm.clock.now
+                manifests = [
+                    np.asarray(plan.rank_global_ids(r), dtype=np.int64)
+                    for r in range(comm.size)
+                ]
+            else:
+                manifests = None
+
+            # Phase 2: manifest scatter.
+            my_entry_ids = comm.scatter(manifests, root=0)
+
+            # Phase 3: partial index build.
+            t0 = comm.clock.now
+            my_entries = [db.entries[int(g)] for g in my_entry_ids]
+            my_fragments = [all_fragments[int(g)] for g in my_entry_ids]
+            index = SLMIndex(my_entries, cfg.index, fragments=my_fragments)
+            charge(cfg.query_costs.build_cost(len(index), index.n_ions))
+            stats.n_entries = len(index)
+            stats.n_ions = index.n_ions
+            comm.barrier()
+            stats.build_time = comm.clock.now - t0
+
+            # Phase 4: distributed querying (every rank, every spectrum).
+            t0 = comm.clock.now
+            counts = np.zeros(len(spectra), dtype=np.int64)
+            local_psms: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+            for si, processed in enumerate(processed_spectra):
+                charge(cfg.query_costs.per_spectrum_preprocess)
+                fres = index.filter(processed)
+                charge(cfg.query_costs.filter_cost(fres))
+                stats.buckets_scanned += fres.buckets_scanned
+                stats.ions_scanned += fres.ions_scanned
+                outcome = score_candidates(
+                    processed,
+                    my_entries,
+                    fres.candidates,
+                    fragment_tolerance=cfg.index.fragment_tolerance,
+                    fragmentation=cfg.index.fragmentation,
+                    fragments=my_fragments,
+                )
+                charge(cfg.query_costs.scoring_cost(outcome))
+                stats.candidates_scored += outcome.candidates_scored
+                stats.residues_scored += outcome.residues_scored
+                counts[si] = fres.candidates.size
+                # Tie-break by *global* entry id so the per-rank top-k
+                # agrees with the serial engine's global ordering
+                # (local-id order is grouped-order, not global order).
+                keep = (
+                    np.lexsort(
+                        (my_entry_ids[fres.candidates], -outcome.scores)
+                    )[: cfg.top_k]
+                    if fres.candidates.size
+                    else np.empty(0, dtype=np.int64)
+                )
+                local_psms.append(
+                    (
+                        fres.candidates[keep].astype(np.int64),
+                        outcome.scores[keep],
+                        fres.shared_peaks[keep].astype(np.int64),
+                    )
+                )
+            stats.query_time = comm.clock.now - t0
+
+            # Phase 5: gather to master.
+            t0 = comm.clock.now
+            payload: _RankPayload = (counts, local_psms)
+            gathered = comm.gather(payload, root=0)
+            stats.comm_time = comm.clock.now - t0
+
+            merged: List[SpectrumResult] | None = None
+            if comm.is_master:
+                merged, n_psms = self._merge(gathered, spectra, plan.mapping)
+                comm.charge_compute(cfg.serial_costs.merge_cost(n_psms))
+                phase["master_end"] = comm.clock.now
+            return stats, merged, phase
+
+        spmd = run_spmd(rank_program, cfg.n_ranks, cost_model=cfg.comm)
+
+        all_stats = [res[0] for res in spmd.results]
+        merged = spmd.results[0][1]
+        assert merged is not None  # master always merges
+        master_clock = spmd.clock_times[0]
+
+        prep = self.config.serial_costs.prep_cost(db.n_entries, db.n_bases)
+        build = max(s.build_time for s in all_stats)
+        query = max(s.query_time for s in all_stats)
+        phase_times = {
+            "serial_prep": prep,
+            "build": build,
+            "query": query,
+            "gather": max(s.comm_time for s in all_stats),
+            "merge": master_clock
+            - spmd.results[0][2].get("master_end", master_clock),
+            "total": master_clock,
+        }
+        # merge time: recompute explicitly (master_end includes merge).
+        total_psms = sum(len(sr.psms) for sr in merged)
+        phase_times["merge"] = self.config.serial_costs.merge_cost(total_psms)
+
+        return SearchResults(
+            spectra=merged,
+            rank_stats=all_stats,
+            phase_times=phase_times,
+            policy_name=cfg.policy,
+            n_ranks=cfg.n_ranks,
+        )
+
+    # -- master-side merge ---------------------------------------------------
+
+    def _merge(
+        self,
+        gathered: List[_RankPayload],
+        spectra: Sequence[Spectrum],
+        mapping: MappingTable,
+    ) -> Tuple[List[SpectrumResult], int]:
+        """Combine per-rank payloads into global results.
+
+        Local ids are translated through the mapping table (one array
+        access per id, as in the paper's Fig. 4); candidate counts add
+        up; top-k lists merge by (score desc, entry id asc).
+        """
+        results: List[SpectrumResult] = []
+        total_psms = 0
+        for si, spectrum in enumerate(spectra):
+            gids_parts: List[np.ndarray] = []
+            scores_parts: List[np.ndarray] = []
+            shared_parts: List[np.ndarray] = []
+            n_candidates = 0
+            for rank, (counts, local_psms) in enumerate(gathered):
+                n_candidates += int(counts[si])
+                local_ids, scores, shared = local_psms[si]
+                if local_ids.size:
+                    gids_parts.append(mapping.to_global_batch(rank, local_ids))
+                    scores_parts.append(scores)
+                    shared_parts.append(shared)
+            if gids_parts:
+                gids = np.concatenate(gids_parts)
+                scores = np.concatenate(scores_parts)
+                shared = np.concatenate(shared_parts)
+            else:
+                gids = np.empty(0, dtype=np.int64)
+                scores = np.empty(0, dtype=np.float64)
+                shared = np.empty(0, dtype=np.int64)
+            psms = top_k_psms(
+                spectrum.scan_id, gids, scores, shared, self.config.top_k
+            )
+            total_psms += len(psms)
+            results.append(
+                SpectrumResult(
+                    scan_id=spectrum.scan_id,
+                    n_candidates=n_candidates,
+                    psms=psms,
+                )
+            )
+        return results, total_psms

@@ -1,0 +1,139 @@
+"""Target-decoy false-discovery-rate estimation.
+
+The paper reports candidate counts but, like every production search
+engine, its host pipeline validates identifications with the standard
+target-decoy approach (Elias & Gygi, 2007): search a database that
+interleaves real ("target") peptides with reversed ("decoy") peptides;
+any decoy hit is by construction a false match, so the decoy-hit rate
+above a score threshold estimates the false-discovery rate among the
+target hits.
+
+This module provides:
+
+* :func:`make_decoy_peptides` — reversed-sequence decoys (the classic
+  ``DBToolkit``-style reversal that preserves length, composition and
+  the C-terminal residue so tryptic statistics match),
+* :func:`combined_target_decoy` — an :class:`IndexedDatabase` over the
+  interleaved target+decoy peptides plus the decoy indicator,
+* :func:`estimate_fdr` / :func:`qvalues` — FDR at a threshold and
+  monotone q-values over a score-sorted PSM list.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.chem.modifications import ModificationSet
+from repro.chem.peptide import Peptide
+from repro.errors import ConfigurationError
+from repro.search.database import IndexedDatabase
+
+__all__ = [
+    "make_decoy_peptides",
+    "combined_target_decoy",
+    "estimate_fdr",
+    "qvalues",
+]
+
+
+def make_decoy_peptides(targets: Sequence[Peptide]) -> List[Peptide]:
+    """Reversed-sequence decoys, one per target.
+
+    The C-terminal residue stays in place (tryptic peptides end in
+    K/R; preserving that keeps decoy fragment statistics comparable),
+    the prefix is reversed — the conventional "pseudo-reverse" decoy.
+    Decoys keep their target's ``protein_id`` negated minus one so the
+    provenance is recoverable and never collides with target ids.
+    """
+    decoys: List[Peptide] = []
+    for pep in targets:
+        seq = pep.sequence
+        if len(seq) > 1:
+            decoy_seq = seq[-2::-1] + seq[-1]
+        else:
+            decoy_seq = seq
+        decoys.append(Peptide(decoy_seq, protein_id=-pep.protein_id - 1))
+    return decoys
+
+
+def combined_target_decoy(
+    targets: Sequence[Peptide],
+    modifications: ModificationSet | None = None,
+    *,
+    max_variants_per_peptide: int | None = 16,
+) -> Tuple[IndexedDatabase, np.ndarray]:
+    """Interleaved target+decoy database and its decoy indicator.
+
+    Returns ``(database, is_decoy)`` where ``is_decoy[entry_id]`` is
+    True for decoy entries.  Targets and their decoys alternate
+    (t0, d0, t1, d1, ...) so any Chunk-style split stays balanced in
+    decoy fraction.  Duplicate decoy sequences that collide with a
+    target (palindromic peptides) are kept — the standard approach —
+    and simply dilute sensitivity slightly.
+    """
+    if not targets:
+        raise ConfigurationError("need at least one target peptide")
+    decoys = make_decoy_peptides(targets)
+    interleaved: List[Peptide] = []
+    decoy_flags: List[bool] = []
+    for t, d in zip(targets, decoys):
+        interleaved.append(t)
+        decoy_flags.append(False)
+        interleaved.append(d)
+        decoy_flags.append(True)
+    db = IndexedDatabase.from_peptides(
+        interleaved,
+        modifications,
+        max_variants_per_peptide=max_variants_per_peptide,
+    )
+    is_decoy = np.zeros(db.n_entries, dtype=bool)
+    offsets = db.entry_offsets
+    for base_id, flag in enumerate(decoy_flags):
+        if flag:
+            is_decoy[offsets[base_id] : offsets[base_id + 1]] = True
+    return db, is_decoy
+
+
+def estimate_fdr(scores: np.ndarray, is_decoy: np.ndarray, threshold: float) -> float:
+    """FDR among target PSMs scoring ``>= threshold``.
+
+    Standard estimator: ``#decoys / max(#targets, 1)`` above the
+    threshold (decoy hits estimate the false positives hiding among
+    the targets).
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    is_decoy = np.asarray(is_decoy, dtype=bool)
+    if scores.shape != is_decoy.shape:
+        raise ConfigurationError("scores and is_decoy must align")
+    above = scores >= threshold
+    n_decoy = int(np.count_nonzero(above & is_decoy))
+    n_target = int(np.count_nonzero(above & ~is_decoy))
+    return n_decoy / max(n_target, 1)
+
+
+def qvalues(scores: np.ndarray, is_decoy: np.ndarray) -> np.ndarray:
+    """q-value per PSM: the minimum FDR at which it is accepted.
+
+    PSMs are ranked by descending score; the running decoy/target
+    ratio gives FDR at each rank, and a reverse cumulative minimum
+    enforces monotonicity.  Returns q-values aligned with the input
+    order.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    is_decoy = np.asarray(is_decoy, dtype=bool)
+    if scores.shape != is_decoy.shape:
+        raise ConfigurationError("scores and is_decoy must align")
+    n = scores.size
+    if n == 0:
+        return np.empty(0, dtype=np.float64)
+    order = np.argsort(-scores, kind="stable")
+    decoy_sorted = is_decoy[order]
+    cum_decoy = np.cumsum(decoy_sorted)
+    cum_target = np.cumsum(~decoy_sorted)
+    fdr = cum_decoy / np.maximum(cum_target, 1)
+    q_sorted = np.minimum.accumulate(fdr[::-1])[::-1]
+    out = np.empty(n, dtype=np.float64)
+    out[order] = q_sorted
+    return out

@@ -1,0 +1,135 @@
+"""Performance metrics: the paper's Equations and derived quantities.
+
+* :func:`load_imbalance` — Eq. 1: ``LI = ΔTmax / Tavg`` where
+  ``ΔTmax`` is the maximum positive deviation from the mean per-rank
+  compute time.
+* :func:`wasted_cpu_time` — Section VI: ``Twst = x · N · Tavg =
+  N · ΔTmax``.
+* :func:`policy_cpu_speedup` — Fig. 11's quantity: the ratio of wasted
+  CPU time under the conventional Chunk partitioning to a policy's
+  (equivalently, the LI ratio scaled by the Tavg ratio).
+* :func:`speedup_series` — Fig. 8/10's quantity: speedup over a rank
+  sweep, anchored at the smallest measured rank count which is assumed
+  ideally efficient (the paper's base-case convention, Section V-D).
+* :func:`amdahl_speedup` / :func:`estimate_serial_fraction` — the
+  saturation model behind Fig. 10.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "load_imbalance",
+    "wasted_cpu_time",
+    "policy_cpu_speedup",
+    "speedup_series",
+    "amdahl_speedup",
+    "estimate_serial_fraction",
+]
+
+
+def _validate_times(times: Sequence[float]) -> np.ndarray:
+    arr = np.asarray(times, dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigurationError("need at least one rank time")
+    if np.any(arr < 0):
+        raise ConfigurationError("rank times must be >= 0")
+    return arr
+
+
+def load_imbalance(times: Sequence[float]) -> float:
+    """Eq. 1: ``LI = ΔTmax / Tavg`` (0.0 for a perfectly balanced run).
+
+    ``times`` are per-rank compute times of one experiment.  Returns a
+    fraction (multiply by 100 for the paper's percentage axis).
+    """
+    arr = _validate_times(times)
+    avg = float(arr.mean())
+    if avg == 0.0:
+        return 0.0
+    return float((arr.max() - avg) / avg)
+
+
+def wasted_cpu_time(times: Sequence[float]) -> float:
+    """Section VI: ``Twst = N · ΔTmax`` seconds of system CPU time.
+
+    The total CPU time ranks spend idling while the slowest rank
+    finishes (every other rank waits ``Tmax - t_i``, bounded by the
+    paper's ``N · ΔTmax`` approximation which we follow exactly).
+    """
+    arr = _validate_times(times)
+    return float(arr.size * (arr.max() - arr.mean()))
+
+
+def policy_cpu_speedup(
+    policy_times: Sequence[float], chunk_times: Sequence[float]
+) -> float:
+    """Fig. 11: CPU-time speedup of a policy over Chunk partitioning.
+
+    Computed as the ratio of stalled system CPU time
+    ``Twst(chunk) / Twst(policy)``.  A perfectly balanced policy run
+    (zero waste) returns ``inf``; Chunk against itself returns 1.0.
+    """
+    chunk_waste = wasted_cpu_time(chunk_times)
+    policy_waste = wasted_cpu_time(policy_times)
+    if policy_waste == 0.0:
+        return float("inf") if chunk_waste > 0 else 1.0
+    return chunk_waste / policy_waste
+
+
+def speedup_series(times_by_ranks: Mapping[int, float]) -> Dict[int, float]:
+    """Speedup over a rank sweep, anchored at the smallest rank count.
+
+    The paper cannot run 1 process (partition size limits), so the
+    smallest measured configuration ``p_min`` is taken as ideally
+    efficient: ``speedup(p) = p_min · T(p_min) / T(p)`` (Section V-D's
+    base-case convention).
+    """
+    if not times_by_ranks:
+        raise ConfigurationError("empty rank sweep")
+    for p, t in times_by_ranks.items():
+        if p < 1:
+            raise ConfigurationError(f"rank count must be >= 1, got {p}")
+        if t < 0:
+            raise ConfigurationError(f"time must be >= 0, got {t}")
+    p_min = min(times_by_ranks)
+    t_min = times_by_ranks[p_min]
+    out: Dict[int, float] = {}
+    for p, t in sorted(times_by_ranks.items()):
+        out[p] = float("inf") if t == 0 else p_min * t_min / t
+    return out
+
+
+def amdahl_speedup(n_ranks: int, serial_fraction: float) -> float:
+    """Amdahl's law: ``1 / (s + (1 - s) / p)``."""
+    if n_ranks < 1:
+        raise ConfigurationError(f"n_ranks must be >= 1, got {n_ranks}")
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise ConfigurationError(
+            f"serial_fraction must be in [0,1], got {serial_fraction}"
+        )
+    return 1.0 / (serial_fraction + (1.0 - serial_fraction) / n_ranks)
+
+
+def estimate_serial_fraction(times_by_ranks: Mapping[int, float]) -> float:
+    """Least-squares fit of ``T(p) = a + b / p``; returns ``a / (a+b)``.
+
+    ``a`` is the serial time, ``b`` the perfectly parallel time at one
+    rank; the serial fraction drives :func:`amdahl_speedup`.  Requires
+    at least two distinct rank counts.  The fit clips to [0, 1].
+    """
+    if len(times_by_ranks) < 2:
+        raise ConfigurationError("need at least two rank counts to fit")
+    ps = np.array(sorted(times_by_ranks), dtype=np.float64)
+    ts = np.array([times_by_ranks[int(p)] for p in ps], dtype=np.float64)
+    design = np.column_stack([np.ones_like(ps), 1.0 / ps])
+    (a, b), *_ = np.linalg.lstsq(design, ts, rcond=None)
+    total = a + b
+    if total <= 0:
+        return 0.0
+    return float(np.clip(a / total, 0.0, 1.0))

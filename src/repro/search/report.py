@@ -1,0 +1,116 @@
+"""PSM report files (tab-separated, search-engine style).
+
+The paper's host pipeline ultimately emits peptide-spectrum matches as
+flat files; this module writes and reads the equivalent TSV report:
+one row per retained PSM, annotated with the matched peptide's
+sequence/modifications, so downstream tools (or the FDR module) can
+consume search output without touching Python objects.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Sequence, TextIO, Union
+
+from repro.chem.peptide import Peptide
+from repro.errors import FormatError
+from repro.search.psm import PSM, SearchResults
+
+__all__ = ["write_psm_report", "read_psm_report"]
+
+PathOrHandle = Union[str, Path, TextIO]
+
+_COLUMNS = [
+    "scan",
+    "rank",
+    "entry_id",
+    "peptide",
+    "score",
+    "shared_peaks",
+    "n_candidates",
+]
+
+
+def _open(target: PathOrHandle, mode: str):
+    if isinstance(target, (str, Path)):
+        return open(target, mode, encoding="ascii"), True
+    return target, False
+
+
+def write_psm_report(
+    target: PathOrHandle,
+    results: SearchResults,
+    peptides: Sequence[Peptide],
+) -> int:
+    """Write ``results`` as a TSV report; returns PSM rows written.
+
+    ``peptides`` is the entry universe (``database.entries``) used to
+    annotate each PSM with its peptide string (mods rendered in
+    bracket notation, e.g. ``PEPT[+15.995]IDEK``).
+    """
+    handle, owned = _open(target, "w")
+    rows = 0
+    try:
+        handle.write("\t".join(_COLUMNS) + "\n")
+        for sr in results.spectra:
+            for rank, psm in enumerate(sr.psms, start=1):
+                peptide = peptides[psm.entry_id]
+                handle.write(
+                    "\t".join(
+                        [
+                            str(sr.scan_id),
+                            str(rank),
+                            str(psm.entry_id),
+                            peptide.annotated(),
+                            f"{psm.score:.6f}",
+                            str(psm.shared_peaks),
+                            str(sr.n_candidates),
+                        ]
+                    )
+                    + "\n"
+                )
+                rows += 1
+    finally:
+        if owned:
+            handle.close()
+    return rows
+
+
+def read_psm_report(source: PathOrHandle) -> List[PSM]:
+    """Read a TSV report back into :class:`PSM` records.
+
+    Peptide strings are not parsed back into objects (the entry id is
+    the canonical reference); rows must carry the exact header the
+    writer emits.
+    """
+    handle, owned = _open(source, "r")
+    try:
+        header = handle.readline().rstrip("\n")
+        if header.split("\t") != _COLUMNS:
+            raise FormatError(f"unexpected PSM report header: {header!r}")
+        psms: List[PSM] = []
+        for lineno, line in enumerate(handle, start=2):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            fields = line.split("\t")
+            if len(fields) != len(_COLUMNS):
+                raise FormatError(
+                    f"line {lineno}: expected {len(_COLUMNS)} fields, "
+                    f"got {len(fields)}"
+                )
+            try:
+                psms.append(
+                    PSM(
+                        scan_id=int(fields[0]),
+                        entry_id=int(fields[2]),
+                        score=float(fields[4]),
+                        shared_peaks=int(fields[5]),
+                    )
+                )
+            except ValueError:
+                raise FormatError(f"line {lineno}: malformed row {line!r}") from None
+        return psms
+    finally:
+        if owned:
+            handle.close()

@@ -1,0 +1,149 @@
+"""MS2 file format reader/writer.
+
+The MS2 format (McDonald et al., 2004) is the text format the paper
+converts its PRIDE dataset into with ``msconvert`` before searching.
+Layout::
+
+    H   <header lines, ignored semantically>
+    S   <scan#> <scan#> <precursor m/z>
+    Z   <charge> <neutral (M+H)+ mass>
+    I   <key> <value>        (optional per-scan info)
+    <mz> <intensity>         (peak lines)
+
+We write one ``Z`` line per spectrum (the common single-charge-assigned
+case) and round-trip the ``I  TruePeptide`` annotation used by the
+synthetic generator so ground truth survives serialization.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, List, Sequence, TextIO, Union
+
+import numpy as np
+
+from repro.constants import PROTON
+from repro.errors import FormatError
+from repro.spectra.model import Spectrum
+
+__all__ = ["read_ms2", "write_ms2"]
+
+PathOrHandle = Union[str, Path, TextIO]
+
+
+def _open(source: PathOrHandle, mode: str) -> tuple[TextIO, bool]:
+    if isinstance(source, (str, Path)):
+        return open(source, mode, encoding="ascii"), True
+    return source, False
+
+
+def write_ms2(target: PathOrHandle, spectra: Sequence[Spectrum]) -> int:
+    """Write ``spectra`` to ``target`` in MS2 format; returns the count."""
+    handle, owned = _open(target, "w")
+    try:
+        handle.write("H\tCreationTool\trepro.spectra.ms2\n")
+        handle.write("H\tExtractor\tLBE reproduction synthetic pipeline\n")
+        for spec in spectra:
+            handle.write(f"S\t{spec.scan_id}\t{spec.scan_id}\t{spec.precursor_mz:.5f}\n")
+            mh = spec.neutral_mass + PROTON  # MS2 convention: singly-protonated mass
+            handle.write(f"Z\t{spec.charge}\t{mh:.5f}\n")
+            if spec.true_peptide is not None:
+                handle.write(f"I\tTruePeptide\t{spec.true_peptide}\n")
+            for mz, inten in zip(spec.mzs, spec.intensities):
+                handle.write(f"{mz:.5f} {inten:.2f}\n")
+        return len(spectra)
+    finally:
+        if owned:
+            handle.close()
+
+
+def _finish_scan(
+    scan_id: int | None,
+    precursor_mz: float,
+    charge: int | None,
+    true_peptide: int | None,
+    mzs: List[float],
+    intensities: List[float],
+) -> Spectrum:
+    if scan_id is None:
+        raise FormatError("peak data before the first 'S' line")
+    if charge is None:
+        raise FormatError(f"scan {scan_id} lacks a 'Z' (charge) line")
+    return Spectrum(
+        scan_id=scan_id,
+        precursor_mz=precursor_mz,
+        charge=charge,
+        mzs=np.asarray(mzs, dtype=np.float64),
+        intensities=np.asarray(intensities, dtype=np.float64),
+        true_peptide=true_peptide,
+    )
+
+
+def read_ms2(source: PathOrHandle) -> Iterator[Spectrum]:
+    """Yield :class:`Spectrum` objects from an MS2 file or handle.
+
+    Raises :class:`~repro.errors.FormatError` on malformed lines.
+    """
+    handle, owned = _open(source, "r")
+    try:
+        scan_id: int | None = None
+        precursor_mz = 0.0
+        charge: int | None = None
+        true_peptide: int | None = None
+        mzs: List[float] = []
+        intensities: List[float] = []
+        in_scan = False
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            tag = line.split("\t", 1)[0] if "\t" in line else line.split(" ", 1)[0]
+            if tag == "H":
+                continue
+            if tag == "S":
+                if in_scan:
+                    yield _finish_scan(
+                        scan_id, precursor_mz, charge, true_peptide, mzs, intensities
+                    )
+                fields = line.split()
+                if len(fields) < 4:
+                    raise FormatError(f"line {lineno}: malformed S line {line!r}")
+                scan_id = int(fields[1])
+                precursor_mz = float(fields[3])
+                charge = None
+                true_peptide = None
+                mzs, intensities = [], []
+                in_scan = True
+            elif tag == "Z":
+                fields = line.split()
+                if len(fields) < 3:
+                    raise FormatError(f"line {lineno}: malformed Z line {line!r}")
+                charge = int(fields[1])
+            elif tag == "I":
+                fields = line.split()
+                if len(fields) >= 3 and fields[1] == "TruePeptide":
+                    true_peptide = int(fields[2])
+            elif tag == "D":  # charge-dependent data, ignored
+                continue
+            else:
+                if not in_scan:
+                    raise FormatError(
+                        f"line {lineno}: peak data before the first 'S' line"
+                    )
+                fields = line.split()
+                if len(fields) != 2:
+                    raise FormatError(f"line {lineno}: malformed peak line {line!r}")
+                try:
+                    mzs.append(float(fields[0]))
+                    intensities.append(float(fields[1]))
+                except ValueError:
+                    raise FormatError(
+                        f"line {lineno}: non-numeric peak line {line!r}"
+                    ) from None
+        if in_scan:
+            yield _finish_scan(
+                scan_id, precursor_mz, charge, true_peptide, mzs, intensities
+            )
+    finally:
+        if owned:
+            handle.close()

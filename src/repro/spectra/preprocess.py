@@ -1,0 +1,85 @@
+"""Query-spectrum preprocessing (SLM-Transform fragment extraction).
+
+The paper configures SLM-Transform to "extract the 100 most intense
+peaks from each query spectrum" (Section V-A.3).  Preprocessing is part
+of the *parallel* work each rank performs on every query, so the
+distributed engine charges its cost to the rank clocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.constants import DEFAULT_TOP_PEAKS
+from repro.errors import ConfigurationError
+from repro.spectra.model import Spectrum
+
+__all__ = ["PreprocessConfig", "preprocess_spectrum", "preprocess_batch"]
+
+
+@dataclass(frozen=True, slots=True)
+class PreprocessConfig:
+    """Peak-picking parameters.
+
+    Attributes
+    ----------
+    top_peaks:
+        Keep at most this many most-intense peaks (paper: 100).
+    min_mz:
+        Discard peaks below this m/z (instrument low-mass cutoff).
+    normalize:
+        Rescale retained intensities to max 1.0.
+    """
+
+    top_peaks: int = DEFAULT_TOP_PEAKS
+    min_mz: float = 0.0
+    normalize: bool = True
+
+    def __post_init__(self) -> None:
+        if self.top_peaks < 1:
+            raise ConfigurationError(f"top_peaks must be >= 1, got {self.top_peaks}")
+        if self.min_mz < 0:
+            raise ConfigurationError(f"min_mz must be >= 0, got {self.min_mz}")
+
+
+def preprocess_spectrum(
+    spectrum: Spectrum, config: PreprocessConfig = PreprocessConfig()
+) -> Spectrum:
+    """Return a new spectrum with only the top-N most intense peaks.
+
+    Peaks below ``min_mz`` are dropped first; the remaining peaks are
+    ranked by intensity (ties broken by m/z for determinism) and the
+    strongest ``top_peaks`` survive, re-sorted by m/z.
+    """
+    mzs, intens = spectrum.mzs, spectrum.intensities
+    if config.min_mz > 0 and mzs.size:
+        keep = mzs >= config.min_mz
+        mzs, intens = mzs[keep], intens[keep]
+    if mzs.size > config.top_peaks:
+        # argsort on (-intensity, mz): lexsort keys are last-key-major.
+        order = np.lexsort((mzs, -intens))[: config.top_peaks]
+        mzs, intens = mzs[order], intens[order]
+        order = np.argsort(mzs, kind="stable")
+        mzs, intens = mzs[order], intens[order]
+    else:
+        mzs, intens = mzs.copy(), intens.copy()
+    if config.normalize and intens.size and intens.max() > 0:
+        intens = intens / intens.max()
+    return Spectrum(
+        scan_id=spectrum.scan_id,
+        precursor_mz=spectrum.precursor_mz,
+        charge=spectrum.charge,
+        mzs=mzs,
+        intensities=intens,
+        true_peptide=spectrum.true_peptide,
+    )
+
+
+def preprocess_batch(
+    spectra: Sequence[Spectrum], config: PreprocessConfig = PreprocessConfig()
+) -> List[Spectrum]:
+    """Preprocess every spectrum in ``spectra``."""
+    return [preprocess_spectrum(s, config) for s in spectra]

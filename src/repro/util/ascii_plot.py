@@ -1,0 +1,108 @@
+"""ASCII line/bar charts for terminal figure output.
+
+The benchmark harness prints the series the paper's figures plot; a
+tiny plotter renders them visually in environments without matplotlib
+(this reproduction is offline by design).  Only two chart types are
+needed:
+
+* :func:`line_plot` — multi-series scatter/line over a numeric x axis
+  (used for the speedup/time figures),
+* :func:`bar_chart` — horizontal labelled bars (used for imbalance
+  comparisons).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["line_plot", "bar_chart"]
+
+#: Marker characters assigned to series in insertion order.
+_MARKERS = "ox+*#@%&"
+
+
+def line_plot(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    title: str | None = None,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render ``series`` (name → [(x, y), ...]) as an ASCII chart.
+
+    Points are plotted on a ``width``×``height`` grid scaled to the
+    data's bounding box; each series uses its own marker, listed in
+    the legend.  Later series overwrite earlier ones on collisions.
+    """
+    if not series:
+        raise ConfigurationError("need at least one series")
+    if width < 10 or height < 4:
+        raise ConfigurationError("chart too small to render")
+    points = [(x, y) for pts in series.values() for (x, y) in pts]
+    if not points:
+        raise ConfigurationError("series contain no points")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, pts), marker in zip(series.items(), _MARKERS):
+        for x, y in pts:
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_hi_label = f"{y_hi:.4g}"
+    y_lo_label = f"{y_lo:.4g}"
+    margin = max(len(y_hi_label), len(y_lo_label), len(y_label)) + 1
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = y_hi_label
+        elif r == height - 1:
+            label = y_lo_label
+        elif r == height // 2 and y_label:
+            label = y_label
+        else:
+            label = ""
+        lines.append(label.rjust(margin) + " |" + "".join(row))
+    lines.append(" " * margin + " +" + "-" * width)
+    x_axis = f"{x_lo:.4g}".ljust(width - len(f"{x_hi:.4g}")) + f"{x_hi:.4g}"
+    lines.append(" " * (margin + 2) + x_axis)
+    if x_label:
+        lines.append(" " * (margin + 2) + x_label.center(width))
+    legend = "   ".join(
+        f"{marker} {name}" for (name, _), marker in zip(series.items(), _MARKERS)
+    )
+    lines.append(" " * (margin + 2) + legend)
+    return "\n".join(lines) + "\n"
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    *,
+    width: int = 50,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Render labelled horizontal bars scaled to the maximum value."""
+    if not values:
+        raise ConfigurationError("need at least one bar")
+    if any(v < 0 for v in values.values()):
+        raise ConfigurationError("bar values must be >= 0")
+    peak = max(values.values()) or 1.0
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for name, value in values.items():
+        bar = "#" * max(1 if value > 0 else 0, round(value / peak * width))
+        lines.append(f"{name.rjust(label_w)} | {bar} {value:.4g}{unit}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,67 @@
+"""Plain-text table rendering shared by benchmarks and examples.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; a tiny fixed-width formatter keeps that output readable without
+pulling in plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table"]
+
+
+def _render_cell(value: object, float_fmt: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    float_fmt: str = ".3f",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of row tuples; each row must have ``len(headers)``
+        entries.  Floats are formatted with ``float_fmt``.
+    float_fmt:
+        Format spec applied to float cells (default three decimals).
+    title:
+        Optional title line printed above the table.
+
+    Returns
+    -------
+    str
+        The rendered table, newline-terminated.
+    """
+    rendered: list[list[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells = [_render_cell(v, float_fmt) for v in row]
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row {cells!r} has {len(cells)} cells, expected {len(headers)}"
+            )
+        rendered.append(cells)
+
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(headers))]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    for idx, cells in enumerate(rendered):
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(cells, widths)))
+        if idx == 0:
+            lines.append(sep)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,69 @@
+"""Phase timing helpers used by the engine's serial/parallel accounting.
+
+The distributed engine needs to attribute elapsed (virtual) time to
+named phases -- index build, query, merge -- to reproduce the paper's
+distinction between *query time* (Fig. 7/8) and *total execution time*
+(Fig. 9/10).  :class:`PhaseTimer` is a small ledger of named durations
+that supports both measured wall time and externally-charged virtual
+time.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+__all__ = ["PhaseTimer"]
+
+
+class PhaseTimer:
+    """Accumulates named durations in seconds.
+
+    The timer can mix two kinds of charges:
+
+    * wall-clock measurement via the :meth:`measure` context manager,
+    * explicit charges via :meth:`charge` (used for virtual time from
+      the simulated cluster's cost model).
+
+    Phases accumulate: charging the same phase twice adds up.
+    """
+
+    def __init__(self) -> None:
+        self._phases: Dict[str, float] = {}
+
+    def charge(self, phase: str, seconds: float) -> None:
+        """Add ``seconds`` to ``phase`` (creating it if needed)."""
+        if seconds < 0:
+            raise ValueError(f"cannot charge negative time {seconds!r} to {phase!r}")
+        self._phases[phase] = self._phases.get(phase, 0.0) + float(seconds)
+
+    @contextmanager
+    def measure(self, phase: str) -> Iterator[None]:
+        """Context manager charging measured wall time to ``phase``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.charge(phase, time.perf_counter() - start)
+
+    def get(self, phase: str) -> float:
+        """Return the accumulated seconds of ``phase`` (0.0 if absent)."""
+        return self._phases.get(phase, 0.0)
+
+    def total(self) -> float:
+        """Return the sum over all phases."""
+        return sum(self._phases.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return a copy of the ledger."""
+        return dict(self._phases)
+
+    def merge(self, other: "PhaseTimer") -> None:
+        """Add every phase of ``other`` into this ledger."""
+        for phase, seconds in other._phases.items():
+            self.charge(phase, seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v:.6f}s" for k, v in sorted(self._phases.items()))
+        return f"PhaseTimer({inner})"

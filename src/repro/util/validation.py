@@ -1,0 +1,43 @@
+"""Small argument-validation helpers.
+
+Raising :class:`repro.errors.ConfigurationError` consistently (rather
+than ad-hoc ``ValueError``\\ s) lets callers distinguish bad parameter
+objects from bad data files.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_range",
+]
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+
+
+def check_non_negative(name: str, value: float) -> None:
+    """Raise unless ``value`` is >= 0."""
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_probability(name: str, value: float) -> None:
+    """Raise unless ``value`` lies in the closed interval [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be within [0, 1], got {value!r}")
+
+
+def check_range(name: str, low: float, high: float) -> None:
+    """Raise unless ``low <= high``."""
+    if low > high:
+        raise ConfigurationError(
+            f"{name}: lower bound {low!r} exceeds upper bound {high!r}"
+        )

@@ -1,0 +1,52 @@
+"""Shared fixtures: small deterministic workloads reused across tests.
+
+Session scope keeps the suite fast: building a database and its
+fragment cache once is enough because everything downstream is
+read-only with respect to these objects.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.proteome import ProteomeConfig
+from repro.search.database import DatabaseConfig, IndexedDatabase
+from repro.spectra.synthetic import SyntheticRunConfig, generate_run
+
+
+@pytest.fixture(scope="session")
+def small_db() -> IndexedDatabase:
+    """~8k-entry database: big enough for realistic candidate sets."""
+    return IndexedDatabase.build(
+        DatabaseConfig(
+            proteome=ProteomeConfig(n_families=8, seed=101),
+            max_variants_per_peptide=6,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_db() -> IndexedDatabase:
+    """~1k-entry database for the heavier equivalence tests."""
+    return IndexedDatabase.build(
+        DatabaseConfig(
+            proteome=ProteomeConfig(n_families=2, seed=77),
+            max_variants_per_peptide=3,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def small_spectra(small_db):
+    """25 synthetic query spectra drawn from ``small_db``."""
+    return generate_run(
+        small_db.entries, SyntheticRunConfig(n_spectra=25, seed=55)
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_spectra(tiny_db):
+    """12 synthetic query spectra drawn from ``tiny_db``."""
+    return generate_run(
+        tiny_db.entries, SyntheticRunConfig(n_spectra=12, seed=56)
+    )

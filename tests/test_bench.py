@@ -1,0 +1,129 @@
+"""Tests for the benchmark harness (workloads, suite, reporting)."""
+
+import pytest
+
+from repro.bench.experiments import ExperimentConfig, ExperimentSuite
+from repro.bench.reporting import rows_to_csv, series_table
+from repro.bench.workloads import PAPER_SIZES_M, Workload, WorkloadConfig, make_workload
+from repro.errors import ConfigurationError
+
+TINY = ExperimentConfig(
+    sizes_m=(2.0,), n_spectra=10, imbalance_ranks=4, rank_sweep=(2, 4)
+)
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return ExperimentSuite(TINY)
+
+
+def test_paper_sizes():
+    assert PAPER_SIZES_M == (18.0, 30.0, 41.0, 49.45)
+
+
+def test_workload_scaling_monotone():
+    small = make_workload(WorkloadConfig(size_m=1.0, n_spectra=5))
+    large = make_workload(WorkloadConfig(size_m=3.0, n_spectra=5))
+    assert large.n_entries > small.n_entries
+
+
+def test_workload_label():
+    assert Workload(
+        config=WorkloadConfig(size_m=18.0, n_spectra=5),
+        database=make_workload(WorkloadConfig(size_m=1.0, n_spectra=5)).database,
+        spectra=[],
+    ).label == "18M"
+
+
+def test_workload_invalid():
+    with pytest.raises(ConfigurationError):
+        WorkloadConfig(size_m=0)
+    with pytest.raises(ConfigurationError):
+        WorkloadConfig(n_spectra=0)
+
+
+def test_workload_deterministic():
+    a = make_workload(WorkloadConfig(size_m=1.0, n_spectra=5, seed=3))
+    b = make_workload(WorkloadConfig(size_m=1.0, n_spectra=5, seed=3))
+    assert a.n_entries == b.n_entries
+    assert [s.true_peptide for s in a.spectra] == [s.true_peptide for s in b.spectra]
+
+
+def test_suite_caches_runs(suite):
+    a = suite.run(2.0, "cyclic", 4)
+    b = suite.run(2.0, "cyclic", 4)
+    assert a is b
+
+
+def test_suite_caches_workloads(suite):
+    assert suite.workload(2.0) is suite.workload(2.0)
+
+
+def test_fig5_rows_shape(suite):
+    rows = suite.fig5_rows()
+    assert len(rows) == 1
+    size_m, shared_gb, dist_gb, overhead, gbm_s, gbm_d, peak_ratio = rows[0]
+    assert dist_gb > shared_gb
+    assert 0 < overhead < 100
+    assert peak_ratio > 1.0
+
+
+def test_fig6_rows_shape(suite):
+    rows = suite.fig6_rows()
+    assert len(rows) == 3  # one size x three policies
+    by_policy = {r[2]: r[3] for r in rows}
+    assert set(by_policy) == {"chunk", "cyclic", "random"}
+    assert by_policy["chunk"] > by_policy["cyclic"]
+
+
+def test_fig7_rows_monotone_in_ranks(suite):
+    rows = suite.fig7_rows()
+    times = {p: t for (_, p, t) in rows}
+    assert times[4] < times[2]
+
+
+def test_fig8_rows_speedup_anchor(suite):
+    rows = suite.fig8_rows()
+    by_p = {p: s for (_, p, s, _) in rows}
+    assert by_p[2] == pytest.approx(2.0)
+    assert by_p[4] > 2.0
+
+
+def test_fig9_fig10_consistency(suite):
+    t_rows = {p: t for (_, p, t) in suite.fig9_rows()}
+    s_rows = {p: s for (_, p, s, _, _) in suite.fig10_rows()}
+    assert s_rows[4] == pytest.approx(2 * t_rows[2] / t_rows[4])
+
+
+def test_fig10_serial_fraction_in_range(suite):
+    fracs = {f for (_, _, _, _, f) in suite.fig10_rows()}
+    assert all(0.0 <= f <= 1.0 for f in fracs)
+
+
+def test_fig11_chunk_is_one(suite):
+    rows = suite.fig11_rows()
+    by_policy = {r[1]: r[2] for r in rows}
+    assert by_policy["chunk"] == pytest.approx(1.0)
+    assert by_policy["cyclic"] > 1.0
+
+
+def test_cpsm_rows(suite):
+    rows = suite.cpsm_rows()
+    (size_m, entries, total, per_query) = rows[0]
+    assert total > 0
+    assert per_query == pytest.approx(total / TINY.n_spectra)
+
+
+def test_series_table_renders(suite):
+    text = series_table("Fig 6", ["size", "entries", "policy", "LI"],
+                        suite.fig6_rows())
+    assert text.startswith("== Fig 6 ==")
+    assert "chunk" in text
+
+
+def test_rows_to_csv(tmp_path, suite):
+    path = rows_to_csv(tmp_path / "out" / "fig6.csv",
+                       ["size", "entries", "policy", "LI"], suite.fig6_rows())
+    content = path.read_text().splitlines()
+    assert content[0] == "size,entries,policy,LI"
+    assert len(content) == 4

@@ -1,0 +1,128 @@
+"""Tests for theoretical b/y fragment generation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.chem.fragments import FragmentationSettings, fragment_mzs, theoretical_spectrum
+from repro.chem.peptide import Peptide
+from repro.constants import AA_MONO, ALPHABET, PROTON, WATER_MONO
+from repro.errors import ConfigurationError
+
+SEQUENCES = st.text(alphabet=ALPHABET, min_size=2, max_size=30)
+
+
+def test_dipeptide_fragments_by_hand():
+    # AG: b1 = A + proton; y1 = G + water + proton.
+    mzs = fragment_mzs(Peptide("AG"))
+    expected = sorted(
+        [AA_MONO["A"] + PROTON, AA_MONO["G"] + WATER_MONO + PROTON]
+    )
+    assert np.allclose(mzs, expected)
+
+
+def test_fragment_count_b_and_y():
+    pep = Peptide("PEPTIDEK")
+    mzs = fragment_mzs(pep)
+    assert mzs.size == 2 * (pep.length - 1)
+
+
+def test_single_residue_has_no_fragments():
+    assert fragment_mzs(Peptide("K")).size == 0
+
+
+def test_fragments_sorted():
+    mzs = fragment_mzs(Peptide("PEPTIDEKR"))
+    assert np.all(np.diff(mzs) >= 0)
+
+
+def test_modification_shifts_prefix_fragments():
+    plain = fragment_mzs(Peptide("AGK"))
+    modded = fragment_mzs(Peptide("AGK", ((0, 10.0),)))
+    # b1 and b2 shift by +10; y1, y2 unchanged -> sets differ.
+    assert not np.allclose(np.sort(plain), np.sort(modded))
+    # Total ion count unchanged.
+    assert plain.size == modded.size
+
+
+def test_mod_on_terminal_residue_shifts_y_series():
+    plain = set(np.round(fragment_mzs(Peptide("AGK")), 6))
+    modded = set(np.round(fragment_mzs(Peptide("AGK", ((2, 10.0),))), 6))
+    shifted = {round(m + 10.0, 6) for m in plain}
+    # y ions shift, b ions do not; intersection keeps the b series.
+    assert plain & modded  # unshifted b ions survive
+    assert modded & shifted  # shifted y ions appear
+
+
+def test_charge_two_fragments():
+    s1 = FragmentationSettings(charges=(1,))
+    s2 = FragmentationSettings(charges=(1, 2))
+    pep = Peptide("PEPTIDEK")
+    assert fragment_mzs(pep, s2).size == 2 * fragment_mzs(pep, s1).size
+
+
+def test_b_only_and_y_only():
+    pep = Peptide("PEPTIDEK")
+    b = fragment_mzs(pep, FragmentationSettings(include_y=False))
+    y = fragment_mzs(pep, FragmentationSettings(include_b=False))
+    both = fragment_mzs(pep)
+    assert b.size == y.size == pep.length - 1
+    assert np.allclose(np.sort(np.concatenate([b, y])), both)
+
+
+def test_invalid_settings_rejected():
+    with pytest.raises(ConfigurationError):
+        FragmentationSettings(charges=())
+    with pytest.raises(ConfigurationError):
+        FragmentationSettings(charges=(0,))
+    with pytest.raises(ConfigurationError):
+        FragmentationSettings(include_b=False, include_y=False)
+
+
+def test_ions_per_residue():
+    assert FragmentationSettings().ions_per_residue == 2.0
+    assert FragmentationSettings(charges=(1, 2)).ions_per_residue == 4.0
+    assert FragmentationSettings(include_y=False).ions_per_residue == 1.0
+
+
+def test_theoretical_spectrum_shapes():
+    mzs, intens = theoretical_spectrum(Peptide("PEPTIDEK"))
+    assert mzs.shape == intens.shape
+    assert intens.max() == 1.0
+    assert np.all(intens > 0)
+
+
+def test_theoretical_spectrum_empty_for_single_residue():
+    mzs, intens = theoretical_spectrum(Peptide("K"))
+    assert mzs.size == 0 and intens.size == 0
+
+
+@given(SEQUENCES)
+def test_b_y_sum_identity(seq):
+    """b_i + y_(L-i) = precursor neutral mass + 2 protons + water...
+
+    Precisely: b_i + y_{L-i} = M + 2*PROTON where M is the neutral
+    peptide mass (b contributes prefix + proton, y contributes
+    suffix + water + proton; prefix + suffix + water = M).
+    """
+    pep = Peptide(seq)
+    settings = FragmentationSettings()
+    b = fragment_mzs(pep, FragmentationSettings(include_y=False))
+    y = fragment_mzs(pep, FragmentationSettings(include_b=False))
+    total = pep.mass + 2 * PROTON
+    # b ions ascend with prefix length; y ions ascend with suffix length,
+    # so pair b_i with y_{L-i} = sorted(y)[L-1-i-1]... simplest: check sums
+    # as multisets.
+    sums = np.sort(b)[:, None] + np.sort(y)[None, ::-1]
+    diag = np.diagonal(sums)
+    assert np.allclose(diag, total, atol=1e-6)
+
+
+@given(SEQUENCES)
+def test_fragments_positive_and_bounded(seq):
+    pep = Peptide(seq)
+    mzs = fragment_mzs(pep)
+    assert np.all(mzs > 0)
+    assert np.all(mzs < pep.mass + 2 * PROTON)

@@ -1,0 +1,154 @@
+"""Tests for variable-modification specification and variant enumeration."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.chem.modifications import (
+    DEAMIDATION_DELTA,
+    GLYGLY_DELTA,
+    OXIDATION_DELTA,
+    Modification,
+    ModificationSet,
+    VariantEnumerator,
+    paper_modifications,
+)
+from repro.chem.peptide import Peptide
+from repro.constants import ALPHABET
+from repro.errors import ConfigurationError
+
+
+def test_paper_modifications_content():
+    mods = paper_modifications()
+    by_name = {m.name: m for m in mods}
+    assert set(by_name) == {"deamidation", "glygly", "oxidation"}
+    assert by_name["deamidation"].residues == "NQ"
+    assert by_name["glygly"].residues == "KC"
+    assert by_name["oxidation"].residues == "M"
+    assert mods.max_modified_residues == 5
+
+
+def test_known_deltas():
+    assert math.isclose(OXIDATION_DELTA, 15.9949, abs_tol=1e-3)
+    assert math.isclose(DEAMIDATION_DELTA, 0.9840, abs_tol=1e-3)
+    assert math.isclose(GLYGLY_DELTA, 114.0429, abs_tol=1e-3)
+
+
+def test_modification_sites():
+    mod = Modification("oxidation", "M", OXIDATION_DELTA)
+    assert mod.sites("MAMA") == (0, 2)
+    assert mod.sites("AAAA") == ()
+
+
+def test_modification_without_residues_rejected():
+    with pytest.raises(ConfigurationError):
+        Modification("bad", "", 1.0)
+
+
+def test_duplicate_names_rejected():
+    m = Modification("m", "M", 1.0)
+    with pytest.raises(ConfigurationError, match="duplicate"):
+        ModificationSet((m, m))
+
+
+def test_negative_cap_rejected():
+    with pytest.raises(ConfigurationError):
+        ModificationSet((Modification("m", "M", 1.0),), max_modified_residues=-1)
+
+
+def test_site_deltas_overlapping_mods():
+    mods = ModificationSet(
+        (
+            Modification("a", "K", 1.0),
+            Modification("b", "KC", 2.0),
+        )
+    )
+    deltas = mods.site_deltas("KCK")
+    assert deltas == {0: [1.0, 2.0], 1: [2.0], 2: [1.0, 2.0]}
+
+
+def test_variants_unmodified_first():
+    enum = VariantEnumerator(paper_modifications())
+    vs = list(enum.variants(Peptide("MK")))
+    assert vs[0] == Peptide("MK")
+    assert all(v.is_modified for v in vs[1:])
+
+
+def test_variant_count_formula_single_site():
+    # "M" has one oxidation site: 1 modified variant.
+    enum = VariantEnumerator(paper_modifications())
+    assert enum.count_variants("AMA") == 1
+    assert len(list(enum.variants(Peptide("AMA")))) == 2
+
+
+def test_variant_count_two_sites():
+    # "MM": singles {0},{1} plus pair {0,1} -> 3 modified variants.
+    enum = VariantEnumerator(paper_modifications())
+    assert enum.count_variants("MM") == 3
+
+
+def test_variant_cap_respected():
+    enum = VariantEnumerator(paper_modifications(), max_variants_per_peptide=2)
+    vs = list(enum.variants(Peptide("MNKQC")))
+    assert len(vs) == 3  # unmodified + 2 capped variants
+
+
+def test_variant_cap_zero_yields_base_only():
+    enum = VariantEnumerator(paper_modifications(), max_variants_per_peptide=0)
+    assert list(enum.variants(Peptide("MNKQC"))) == [Peptide("MNKQC")]
+
+
+def test_negative_cap_rejected_enumerator():
+    with pytest.raises(ConfigurationError):
+        VariantEnumerator(paper_modifications(), max_variants_per_peptide=-1)
+
+
+def test_max_modified_residues_bounds_combination_size():
+    mods = ModificationSet(
+        (Modification("ox", "M", 1.0),), max_modified_residues=2
+    )
+    enum = VariantEnumerator(mods)
+    vs = list(enum.variants(Peptide("MMMM")))
+    assert max(v.mod_count() for v in vs) == 2
+
+
+def test_count_matches_enumeration_no_cap():
+    enum = VariantEnumerator(paper_modifications())
+    for seq in ("MK", "NQC", "AAAA", "MNKQCM"):
+        produced = sum(1 for v in enum.variants(Peptide(seq)) if v.is_modified)
+        assert produced == enum.count_variants(seq), seq
+
+
+def test_variants_inherit_protein_id():
+    enum = VariantEnumerator(paper_modifications())
+    vs = list(enum.variants(Peptide("MK", protein_id=9)))
+    assert all(v.protein_id == 9 for v in vs)
+
+
+def test_enumeration_deterministic():
+    enum = VariantEnumerator(paper_modifications())
+    a = [v.mods for v in enum.variants(Peptide("MNKQ"))]
+    b = [v.mods for v in enum.variants(Peptide("MNKQ"))]
+    assert a == b
+
+
+def test_expand_flattens():
+    enum = VariantEnumerator(paper_modifications(), max_variants_per_peptide=1)
+    out = enum.expand([Peptide("MK"), Peptide("AAAA")])
+    # MK: base + 1 variant; AAAA: base only.
+    assert len(out) == 3
+
+
+@given(st.text(alphabet=ALPHABET, min_size=1, max_size=12))
+def test_count_variants_agrees_with_enumeration(seq):
+    enum = VariantEnumerator(paper_modifications(), max_variants_per_peptide=50)
+    produced = sum(1 for v in enum.variants(Peptide(seq)) if v.is_modified)
+    assert produced == enum.count_variants(seq)
+
+
+@given(st.text(alphabet=ALPHABET, min_size=1, max_size=10))
+def test_all_variants_unique(seq):
+    enum = VariantEnumerator(paper_modifications(), max_variants_per_peptide=64)
+    vs = list(enum.variants(Peptide(seq)))
+    assert len(set(vs)) == len(vs)

@@ -1,0 +1,96 @@
+"""Unit and property tests for the Peptide value type and mass math."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.chem.peptide import Peptide, peptide_mass, validate_sequence
+from repro.constants import AA_MONO, ALPHABET, WATER_MONO
+from repro.errors import InvalidSequenceError
+
+SEQUENCES = st.text(alphabet=ALPHABET, min_size=1, max_size=40)
+
+
+def test_mass_of_single_glycine():
+    assert math.isclose(peptide_mass("G"), AA_MONO["G"] + WATER_MONO)
+
+
+def test_known_peptide_mass():
+    # PEPTIDE: canonical reference value ~799.36 Da.
+    assert math.isclose(peptide_mass("PEPTIDE"), 799.35996, abs_tol=1e-4)
+
+
+def test_mass_with_modification_adds_delta():
+    base = peptide_mass("PEPTIDE")
+    assert math.isclose(
+        peptide_mass("PEPTIDE", [(0, 15.9949)]), base + 15.9949, abs_tol=1e-9
+    )
+
+
+def test_empty_sequence_rejected():
+    with pytest.raises(InvalidSequenceError):
+        validate_sequence("")
+
+
+def test_invalid_residue_rejected():
+    with pytest.raises(InvalidSequenceError, match="invalid residues"):
+        Peptide("PEPTIDEX")
+
+
+def test_mod_position_out_of_range_rejected():
+    with pytest.raises(InvalidSequenceError, match="outside sequence"):
+        Peptide("AAA", ((3, 1.0),))
+
+
+def test_mods_normalized_to_sorted_order():
+    p = Peptide("MKMK", ((2, 1.5), (0, 2.5)))
+    assert p.mods == ((0, 2.5), (2, 1.5))
+
+
+def test_equal_peptides_hash_equal():
+    a = Peptide("MKMK", ((2, 1.5), (0, 2.5)))
+    b = Peptide("MKMK", ((0, 2.5), (2, 1.5)))
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_modified_flag_and_count():
+    assert not Peptide("AAA").is_modified
+    p = Peptide("MAA", ((0, 15.99),))
+    assert p.is_modified
+    assert p.mod_count() == 1
+
+
+def test_annotated_renders_delta():
+    p = Peptide("MAA", ((0, 15.995),))
+    assert p.annotated() == "M[+15.995]AA"
+    assert str(Peptide("MAA")) == "MAA"
+
+
+def test_protein_id_carried():
+    assert Peptide("AAA", protein_id=7).protein_id == 7
+
+
+@given(SEQUENCES)
+def test_mass_positive_and_exceeds_water(seq):
+    assert peptide_mass(seq) > WATER_MONO
+
+
+@given(SEQUENCES, SEQUENCES)
+def test_mass_additive_over_concatenation(a, b):
+    # Concatenation merges two waters into one.
+    assert math.isclose(
+        peptide_mass(a + b), peptide_mass(a) + peptide_mass(b) - WATER_MONO,
+        rel_tol=1e-12,
+    )
+
+
+@given(SEQUENCES)
+def test_peptide_mass_matches_function(seq):
+    assert math.isclose(Peptide(seq).mass, peptide_mass(seq), rel_tol=1e-15)
+
+
+@given(SEQUENCES)
+def test_length_property(seq):
+    assert Peptide(seq).length == len(seq)

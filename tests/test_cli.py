@@ -1,0 +1,115 @@
+"""Tests for the command-line interface (invoked in-process)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.db.fasta import read_fasta, read_grouped_fasta
+from repro.search.report import read_psm_report
+from repro.spectra.ms2 import read_ms2
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    """A generated data directory shared by the CLI tests."""
+    out = tmp_path_factory.mktemp("cli")
+    rc = main([
+        "generate", "--out-dir", str(out),
+        "--families", "4", "--spectra", "12", "--seed", "5",
+    ])
+    assert rc == 0
+    return out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_policy():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["search", "--fasta", "x", "--ms2", "y",
+                                   "--policy", "bogus"])
+
+
+def test_generate_outputs(workspace):
+    records = list(read_fasta(workspace / "proteome.fasta"))
+    spectra = list(read_ms2(workspace / "run.ms2"))
+    assert len(records) >= 4
+    assert len(spectra) == 12
+
+
+def test_digest_command(workspace):
+    out = workspace / "peptides.fasta"
+    rc = main([
+        "digest", "--fasta", str(workspace / "proteome.fasta"),
+        "--out", str(out),
+    ])
+    assert rc == 0
+    peptides = list(read_fasta(out))
+    assert len(peptides) > 50
+    seqs = [p.sequence for p in peptides]
+    assert len(set(seqs)) == len(seqs)  # deduplicated
+
+
+def test_group_command(workspace):
+    peptides = workspace / "peptides.fasta"
+    if not peptides.exists():
+        main(["digest", "--fasta", str(workspace / "proteome.fasta"),
+              "--out", str(peptides)])
+    out = workspace / "clustered.fasta"
+    rc = main(["group", "--fasta", str(peptides), "--out", str(out),
+               "--criterion", "2", "--gsize", "20"])
+    assert rc == 0
+    seqs, sizes = read_grouped_fasta(out)
+    assert sum(sizes) == len(seqs)
+    assert max(sizes) <= 20
+
+
+def test_search_command_with_report(workspace, capsys):
+    report = workspace / "psms.tsv"
+    rc = main([
+        "search",
+        "--fasta", str(workspace / "proteome.fasta"),
+        "--ms2", str(workspace / "run.ms2"),
+        "--ranks", "3", "--policy", "cyclic",
+        "--report", str(report),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "cPSMs" in out and "LI" in out
+    psms = read_psm_report(report)
+    assert psms
+    scans = {p.scan_id for p in psms}
+    assert scans <= set(range(1, 13))
+
+
+def test_search_lpt_policy(workspace, capsys):
+    rc = main([
+        "search",
+        "--fasta", str(workspace / "proteome.fasta"),
+        "--ms2", str(workspace / "run.ms2"),
+        "--ranks", "2", "--policy", "lpt",
+    ])
+    assert rc == 0
+    assert "policy lpt" in capsys.readouterr().out
+
+
+def test_search_compare_policies(workspace, capsys):
+    rc = main([
+        "search",
+        "--fasta", str(workspace / "proteome.fasta"),
+        "--ms2", str(workspace / "run.ms2"),
+        "--ranks", "2", "--compare-policies",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    for policy in ("chunk", "cyclic", "random", "lpt"):
+        assert policy in out
+
+
+def test_figures_command(capsys):
+    rc = main(["figures", "--sizes", "0.7", "--spectra", "8", "--seed", "3"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Fig. 6" in out and "Fig. 8" in out and "Fig. 11" in out
+    assert "chunk" in out and "cyclic" in out

@@ -1,0 +1,74 @@
+"""Sanity checks on the physical-constant tables."""
+
+import math
+
+import pytest
+
+from repro import constants
+
+
+def test_alphabet_covers_masses():
+    assert set(constants.ALPHABET) == set(constants.AA_MONO)
+
+
+def test_twenty_amino_acids():
+    assert len(constants.AA_MONO) == 20
+
+
+def test_leucine_isoleucine_isobaric():
+    assert constants.AA_MONO["L"] == constants.AA_MONO["I"]
+
+
+def test_glycine_is_lightest_tryptophan_heaviest():
+    masses = constants.AA_MONO
+    assert min(masses, key=masses.get) == "G"
+    assert max(masses, key=masses.get) == "W"
+
+
+def test_residue_masses_in_plausible_range():
+    for aa, mass in constants.AA_MONO.items():
+        assert 57.0 < mass < 187.0, aa
+
+
+def test_water_and_proton_reference_values():
+    assert math.isclose(constants.WATER_MONO, 18.010565, abs_tol=1e-5)
+    assert math.isclose(constants.PROTON, 1.007276, abs_tol=1e-5)
+
+
+def test_frequencies_normalized():
+    assert math.isclose(sum(constants.AA_FREQUENCIES.values()), 1.0, abs_tol=0.01)
+
+
+def test_frequencies_cover_alphabet():
+    assert set(constants.AA_FREQUENCIES) == set(constants.ALPHABET)
+
+
+def test_mass_of_residue_known():
+    assert constants.mass_of_residue("G") == constants.AA_MONO["G"]
+
+
+def test_mass_of_residue_unknown_raises():
+    with pytest.raises(KeyError, match="unknown amino acid"):
+        constants.mass_of_residue("X")
+
+
+def test_digest_defaults_match_paper():
+    assert constants.DIGEST_MIN_LENGTH == 6
+    assert constants.DIGEST_MAX_LENGTH == 40
+    assert constants.DIGEST_MISSED_CLEAVAGES == 2
+    assert constants.DIGEST_MIN_MASS == 100.0
+    assert constants.DIGEST_MAX_MASS == 5000.0
+
+
+def test_slm_defaults_match_paper():
+    assert constants.DEFAULT_RESOLUTION == 0.01
+    assert constants.DEFAULT_FRAGMENT_TOLERANCE == 0.05
+    assert constants.DEFAULT_SHARED_PEAK_THRESHOLD == 4
+    assert constants.DEFAULT_TOP_PEAKS == 100
+    assert constants.DEFAULT_MAX_MODIFIED_RESIDUES == 5
+
+
+def test_lbe_defaults_match_paper():
+    assert constants.DEFAULT_GROUP_SIZE == 20
+    assert constants.DEFAULT_EDIT_DISTANCE == 2
+    assert constants.DEFAULT_NORMALIZED_CUTOFF == 0.86

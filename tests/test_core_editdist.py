@@ -1,0 +1,116 @@
+"""Unit and property tests for the (bounded) edit distance."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.editdist import bounded_edit_distance, edit_distance
+
+WORDS = st.text(alphabet="ACDEFGHIK", max_size=25)
+
+
+def reference_levenshtein(a: str, b: str) -> int:
+    """Textbook full-matrix implementation (test oracle)."""
+    n, m = len(a), len(b)
+    dp = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(n + 1):
+        dp[i][0] = i
+    for j in range(m + 1):
+        dp[0][j] = j
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            cost = 0 if a[i - 1] == b[j - 1] else 1
+            dp[i][j] = min(dp[i - 1][j] + 1, dp[i][j - 1] + 1, dp[i - 1][j - 1] + cost)
+    return dp[n][m]
+
+
+@pytest.mark.parametrize(
+    "a,b,d",
+    [
+        ("", "", 0),
+        ("A", "", 1),
+        ("", "ACD", 3),
+        ("KITTEN", "SITTING", 3),
+        ("FLAW", "LAWN", 2),
+        ("PEPTIDE", "PEPTIDE", 0),
+        ("AAAA", "AAA", 1),
+        ("ACDE", "ECDA", 2),
+    ],
+)
+def test_known_distances(a, b, d):
+    assert edit_distance(a, b) == d
+
+
+def test_bounded_exact_when_within():
+    assert bounded_edit_distance("KITTEN", "SITTING", 3) == 3
+    assert bounded_edit_distance("KITTEN", "SITTING", 10) == 3
+
+
+def test_bounded_sentinel_when_exceeded():
+    assert bounded_edit_distance("KITTEN", "SITTING", 2) == 3  # bound+1
+    assert bounded_edit_distance("AAAA", "CCCC", 1) == 2
+
+
+def test_bounded_negative_bound():
+    assert bounded_edit_distance("A", "C", -1) == 0  # bound+1 sentinel
+
+
+def test_bounded_zero_bound():
+    assert bounded_edit_distance("AAA", "AAA", 0) == 0
+    assert bounded_edit_distance("AAA", "AAC", 0) == 1  # sentinel
+
+
+def test_length_gap_shortcut():
+    # |len difference| > bound must return sentinel without DP.
+    assert bounded_edit_distance("A" * 30, "A", 5) == 6
+
+
+@given(WORDS, WORDS)
+def test_matches_reference(a, b):
+    assert edit_distance(a, b) == reference_levenshtein(a, b)
+
+
+@given(WORDS, WORDS, st.integers(min_value=0, max_value=30))
+def test_bounded_matches_reference(a, b, bound):
+    true = reference_levenshtein(a, b)
+    got = bounded_edit_distance(a, b, bound)
+    if true <= bound:
+        assert got == true
+    else:
+        assert got == bound + 1
+
+
+@given(WORDS, WORDS)
+def test_symmetry(a, b):
+    assert edit_distance(a, b) == edit_distance(b, a)
+
+
+@given(WORDS)
+def test_identity(a):
+    assert edit_distance(a, a) == 0
+
+
+@given(WORDS, WORDS)
+def test_length_difference_lower_bound(a, b):
+    assert edit_distance(a, b) >= abs(len(a) - len(b))
+
+
+@given(WORDS, WORDS)
+def test_max_length_upper_bound(a, b):
+    assert edit_distance(a, b) <= max(len(a), len(b))
+
+
+@settings(max_examples=40)
+@given(WORDS, WORDS, WORDS)
+def test_triangle_inequality(a, b, c):
+    assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+
+@given(WORDS, st.integers(min_value=0, max_value=10), st.data())
+def test_single_edit_within_distance_one(a, pos, data):
+    """Applying one random substitution yields distance <= 1."""
+    if not a:
+        return
+    pos = pos % len(a)
+    ch = data.draw(st.sampled_from("ACDEFGHIK"))
+    mutated = a[:pos] + ch + a[pos + 1 :]
+    assert edit_distance(a, mutated) <= 1

@@ -1,0 +1,143 @@
+"""Tests for Algorithm 1 (peptide sequence grouping)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.editdist import edit_distance
+from repro.core.grouping import Grouping, GroupingConfig, group_peptides, sorted_order
+from repro.errors import ConfigurationError, PartitionError
+
+SEQS = st.lists(
+    st.text(alphabet="ACDEFGHIK", min_size=1, max_size=15), min_size=0, max_size=60
+)
+
+
+def test_empty_input():
+    g = group_peptides([])
+    assert g.n_groups == 0
+    assert g.n_sequences == 0
+
+
+def test_single_sequence():
+    g = group_peptides(["PEPTIDE"])
+    assert g.n_groups == 1
+    assert list(g.group_sizes) == [1]
+
+
+def test_sorted_order_length_then_lex():
+    seqs = ["CCC", "AA", "AAAA", "AB".replace("B", "C"), "AAA"]
+    order = sorted_order(seqs)
+    ordered = [seqs[i] for i in order]
+    assert ordered == sorted(seqs, key=lambda s: (len(s), s))
+
+
+def test_similar_sequences_grouped():
+    # Near-identical sequences of the same length group together
+    # under criterion 2 (normalized distance well below 0.86).
+    seqs = ["AAAAAAAK", "AAAAAAAR", "AAAAAACK"]
+    g = group_peptides(seqs, GroupingConfig(criterion=2))
+    assert g.n_groups == 1
+
+
+def test_dissimilar_sequences_split_criterion1():
+    seqs = ["AAAAAAAA", "KKKKKKKK"]  # distance 8, cutoff max(2, 4) = 4
+    g = group_peptides(seqs, GroupingConfig(criterion=1))
+    assert g.n_groups == 2
+
+
+def test_gsize_cap():
+    seqs = ["AAAA"] * 45
+    g = group_peptides(seqs, GroupingConfig(gsize=20))
+    assert list(g.group_sizes) == [20, 20, 5]
+
+
+def test_gsize_one_means_singletons():
+    seqs = ["AAAA", "AAAC", "AAAD"]
+    g = group_peptides(seqs, GroupingConfig(gsize=1))
+    assert g.n_groups == 3
+
+
+def test_criterion1_cutoff_formula():
+    cfg = GroupingConfig(criterion=1, d=2)
+    assert cfg.cutoff_for("AAAA", "CCCCCC") == 3  # max(2, 6//2)
+    assert cfg.cutoff_for("AAAA", "CC") == 2  # max(2, 1)
+
+
+def test_criterion2_cutoff_formula():
+    cfg = GroupingConfig(criterion=2, d_prime=0.5)
+    assert cfg.cutoff_for("AAAA", "CCCCCC") == 3  # int(0.5 * 6)
+    assert cfg.cutoff_for("AAAAAAAA", "CC") == 4  # int(0.5 * 8)
+
+
+def test_group_bounds_and_group_of():
+    g = group_peptides(["AAAA", "AAAC", "KKKKKKKK", "WWWWWWWW"],
+                       GroupingConfig(criterion=1))
+    bounds = g.group_bounds()
+    assert bounds[0] == 0 and bounds[-1] == 4
+    gof = g.group_of()
+    assert gof.size == 4
+    assert np.all(np.diff(gof) >= 0)
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ConfigurationError):
+        GroupingConfig(criterion=3)
+    with pytest.raises(ConfigurationError):
+        GroupingConfig(d=-1)
+    with pytest.raises(ConfigurationError):
+        GroupingConfig(d_prime=1.5)
+    with pytest.raises(ConfigurationError):
+        GroupingConfig(gsize=0)
+
+
+def test_grouping_invariants_validated():
+    with pytest.raises(PartitionError):
+        Grouping(order=np.arange(3), group_sizes=np.array([2, 2]))
+    with pytest.raises(PartitionError):
+        Grouping(order=np.arange(2), group_sizes=np.array([2, 0]))
+
+
+@given(SEQS, st.integers(min_value=1, max_value=2), st.integers(min_value=1, max_value=25))
+@settings(max_examples=60)
+def test_grouping_is_partition_of_input(seqs, criterion, gsize):
+    g = group_peptides(seqs, GroupingConfig(criterion=criterion, gsize=gsize))
+    # order is a permutation of the input positions
+    assert sorted(g.order.tolist()) == list(range(len(seqs)))
+    # group sizes cover exactly the input and respect the cap
+    assert int(g.group_sizes.sum()) == len(seqs)
+    if len(seqs):
+        assert int(g.group_sizes.max()) <= gsize
+
+
+@given(SEQS)
+@settings(max_examples=40)
+def test_groups_are_contiguous_in_sorted_order(seqs):
+    """The grouped order equals the (length, lex) sorted order."""
+    g = group_peptides(seqs)
+    ordered = [seqs[i] for i in g.order]
+    assert ordered == sorted(seqs, key=lambda s: (len(s), s))
+
+
+@given(SEQS, st.integers(min_value=1, max_value=2))
+@settings(max_examples=40)
+def test_members_within_cutoff_of_seed(seqs, criterion):
+    """Every non-seed member is within the cutoff of its group seed."""
+    cfg = GroupingConfig(criterion=criterion)
+    g = group_peptides(seqs, cfg)
+    ordered = [seqs[i] for i in g.order]
+    pos = 0
+    for size in g.group_sizes:
+        seed = ordered[pos]
+        for k in range(pos + 1, pos + int(size)):
+            member = ordered[k]
+            assert edit_distance(seed, member) <= cfg.cutoff_for(seed, member)
+        pos += int(size)
+
+
+def test_deterministic():
+    seqs = ["AAK", "ACK", "GGK", "GGR", "WWWWK"] * 4
+    a = group_peptides(seqs)
+    b = group_peptides(seqs)
+    assert np.array_equal(a.order, b.order)
+    assert np.array_equal(a.group_sizes, b.group_sizes)

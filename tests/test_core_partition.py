@@ -1,0 +1,173 @@
+"""Tests for the Chunk / Cyclic / Random partition policies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.grouping import Grouping
+from repro.core.partition import (
+    POLICIES,
+    ChunkPolicy,
+    CyclicPolicy,
+    PartitionAssignment,
+    RandomPolicy,
+    make_policy,
+)
+from repro.errors import ConfigurationError, PartitionError
+
+
+def grouping_of(sizes):
+    sizes = np.asarray(sizes, dtype=np.int64)
+    return Grouping(order=np.arange(sizes.sum(), dtype=np.int64), group_sizes=sizes)
+
+
+GROUPINGS = st.lists(st.integers(min_value=1, max_value=25), min_size=0, max_size=30)
+RANKS = st.integers(min_value=1, max_value=16)
+
+
+def test_chunk_contiguous():
+    g = grouping_of([10])
+    a = ChunkPolicy().assign(g, 3)
+    assert a.rank_of.tolist() == [0, 0, 0, 0, 1, 1, 1, 2, 2, 2]
+
+
+def test_chunk_sizes_differ_by_at_most_one():
+    g = grouping_of([7, 6])
+    counts = ChunkPolicy().assign(g, 4).counts()
+    assert counts.max() - counts.min() <= 1
+
+
+def test_cyclic_round_robin():
+    g = grouping_of([6])
+    a = CyclicPolicy().assign(g, 3)
+    assert a.rank_of.tolist() == [0, 1, 2, 0, 1, 2]
+
+
+def test_cyclic_counts_near_equal():
+    g = grouping_of([5, 3, 9])
+    counts = CyclicPolicy().assign(g, 4).counts()
+    assert counts.max() - counts.min() <= 1
+
+
+def test_random_deterministic_under_seed():
+    g = grouping_of([8, 8, 8])
+    a = RandomPolicy(seed=3).assign(g, 4)
+    b = RandomPolicy(seed=3).assign(g, 4)
+    assert np.array_equal(a.rank_of, b.rank_of)
+
+
+def test_random_seed_changes_assignment():
+    g = grouping_of([8, 8, 8, 8])
+    a = RandomPolicy(seed=3).assign(g, 4)
+    b = RandomPolicy(seed=4).assign(g, 4)
+    assert not np.array_equal(a.rank_of, b.rank_of)
+
+
+def test_single_rank_all_zero():
+    g = grouping_of([4, 4])
+    for name in POLICIES:
+        a = make_policy(name).assign(g, 1)
+        assert np.all(a.rank_of == 0)
+
+
+def test_policy_names():
+    assert ChunkPolicy().assign(grouping_of([2]), 2).policy_name == "chunk"
+    assert CyclicPolicy().assign(grouping_of([2]), 2).policy_name == "cyclic"
+    assert RandomPolicy().assign(grouping_of([2]), 2).policy_name == "random"
+
+
+def test_make_policy_unknown_rejected():
+    with pytest.raises(ConfigurationError, match="unknown policy"):
+        make_policy("roundrobin")
+
+
+def test_members_and_counts_consistent():
+    g = grouping_of([9, 5])
+    a = CyclicPolicy().assign(g, 4)
+    total = 0
+    for r in range(4):
+        members = a.members(r)
+        assert np.all(a.rank_of[members] == r)
+        total += members.size
+    assert total == 14
+
+
+def test_members_bad_rank_rejected():
+    a = ChunkPolicy().assign(grouping_of([4]), 2)
+    with pytest.raises(ConfigurationError):
+        a.members(2)
+
+
+def test_assignment_validation():
+    with pytest.raises(PartitionError):
+        PartitionAssignment(
+            rank_of=np.array([0, 5], dtype=np.int32), n_ranks=2, policy_name="x"
+        )
+    with pytest.raises(ConfigurationError):
+        PartitionAssignment(
+            rank_of=np.array([0], dtype=np.int32), n_ranks=0, policy_name="x"
+        )
+
+
+def test_per_group_spread_chunk_vs_cyclic():
+    """Chunk keeps groups on few ranks; Cyclic spreads each group."""
+    g = grouping_of([16, 16, 16, 16])
+    p = 4
+    chunk_spread = ChunkPolicy().assign(g, p).per_group_spread(g)
+    cyclic_spread = CyclicPolicy().assign(g, p).per_group_spread(g)
+    assert cyclic_spread.mean() > chunk_spread.mean()
+    assert np.all(cyclic_spread == p)  # every group touches all ranks
+
+
+def test_count_imbalance_zero_for_cyclic_balanced():
+    g = grouping_of([8, 8])
+    a = CyclicPolicy().assign(g, 4)
+    assert a.count_imbalance() == 0.0
+
+
+@given(GROUPINGS, RANKS, st.sampled_from(sorted(POLICIES)))
+@settings(max_examples=80)
+def test_disjoint_cover_property(sizes, p, name):
+    """Every policy assigns each item exactly one rank in [0, p)."""
+    g = grouping_of(sizes)
+    a = make_policy(name, seed=11).assign(g, p)
+    assert a.rank_of.size == g.n_sequences
+    assert int(a.counts().sum()) == g.n_sequences
+    if a.rank_of.size:
+        assert a.rank_of.min() >= 0
+        assert a.rank_of.max() < p
+
+
+@given(GROUPINGS, RANKS)
+@settings(max_examples=60)
+def test_cyclic_global_balance_property(sizes, p):
+    """Cyclic per-rank counts differ by at most one."""
+    g = grouping_of(sizes)
+    counts = CyclicPolicy().assign(g, p).counts()
+    assert counts.max() - counts.min() <= 1
+
+
+@given(GROUPINGS, RANKS)
+@settings(max_examples=60)
+def test_random_within_group_balance_property(sizes, p):
+    """Random splits every group into near-equal rank shares."""
+    g = grouping_of(sizes)
+    a = RandomPolicy(seed=5).assign(g, p)
+    bounds = g.group_bounds()
+    for gi in range(g.n_groups):
+        ranks = a.rank_of[bounds[gi] : bounds[gi + 1]]
+        counts = np.bincount(ranks, minlength=p)
+        assert counts.max() - counts.min() <= 1
+
+
+@given(GROUPINGS, RANKS)
+@settings(max_examples=60)
+def test_cyclic_within_group_round_robin(sizes, p):
+    """Within any group, cyclic assigns consecutive distinct ranks."""
+    g = grouping_of(sizes)
+    a = CyclicPolicy().assign(g, p)
+    bounds = g.group_bounds()
+    for gi in range(g.n_groups):
+        ranks = a.rank_of[bounds[gi] : bounds[gi + 1]].astype(int)
+        for i in range(1, len(ranks)):
+            assert ranks[i] == (ranks[i - 1] + 1) % p

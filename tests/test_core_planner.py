@@ -1,0 +1,77 @@
+"""Tests for the LBE plan (group -> partition -> mapping)."""
+
+import numpy as np
+import pytest
+
+from repro.chem.peptide import Peptide
+from repro.core.grouping import GroupingConfig
+from repro.core.partition import make_policy
+from repro.core.planner import plan_distribution
+from repro.errors import ConfigurationError
+
+PEPTIDES = [
+    Peptide(s)
+    for s in [
+        "AAAAAAK", "AAAAAAR", "AAAAACK",  # one similarity family
+        "WWWWWWWWK", "WWWWWWWWR",         # another
+        "GGGGGGGGGGGGK",                  # loner
+        "MMMMMMK", "MMMMMCK",
+    ]
+]
+
+
+def test_plan_covers_all_peptides():
+    plan = plan_distribution(PEPTIDES, make_policy("cyclic"), 3)
+    sizes = plan.partition_sizes()
+    assert int(sizes.sum()) == len(PEPTIDES)
+    all_ids = sorted(
+        int(g) for r in range(3) for g in plan.rank_global_ids(r)
+    )
+    assert all_ids == list(range(len(PEPTIDES)))
+
+
+def test_rank_peptides_materialization():
+    plan = plan_distribution(PEPTIDES, make_policy("chunk"), 2)
+    peps = plan.rank_peptides(PEPTIDES, 0)
+    assert all(isinstance(p, Peptide) for p in peps)
+    assert len(peps) == plan.mapping.rank_size(0)
+
+
+def test_cyclic_spreads_similar_sequences():
+    """The three AAAAAA* peptides must land on distinct ranks."""
+    plan = plan_distribution(PEPTIDES, make_policy("cyclic"), 3)
+    family = {0, 1, 2}  # global ids of the AAAAAA* family
+    owners = set()
+    for r in range(3):
+        if family & set(int(g) for g in plan.rank_global_ids(r)):
+            owners.add(r)
+    assert len(owners) == 3
+
+
+def test_chunk_keeps_similar_sequences_together():
+    plan = plan_distribution(PEPTIDES, make_policy("chunk"), 4)
+    family = {0, 1, 2}
+    owners = set()
+    for r in range(4):
+        if family & set(int(g) for g in plan.rank_global_ids(r)):
+            owners.add(r)
+    assert len(owners) <= 2  # contiguous split: at most a boundary straddle
+
+
+def test_zero_ranks_rejected():
+    with pytest.raises(ConfigurationError):
+        plan_distribution(PEPTIDES, make_policy("chunk"), 0)
+
+
+def test_grouping_config_respected():
+    plan = plan_distribution(
+        PEPTIDES, make_policy("chunk"), 2, GroupingConfig(gsize=1)
+    )
+    assert plan.grouping.n_groups == len(PEPTIDES)
+
+
+def test_plan_deterministic():
+    a = plan_distribution(PEPTIDES, make_policy("random", seed=9), 3)
+    b = plan_distribution(PEPTIDES, make_policy("random", seed=9), 3)
+    for r in range(3):
+        assert np.array_equal(a.rank_global_ids(r), b.rank_global_ids(r))

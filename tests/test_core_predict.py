@@ -1,0 +1,172 @@
+"""Tests for the load-predicting (LPT) partitioner — paper §VIII."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.grouping import Grouping
+from repro.core.partition import make_policy
+from repro.core.predict import PredictivePolicy, WorkModel
+from repro.errors import ConfigurationError
+
+
+def grouping_of(n):
+    return Grouping(
+        order=np.arange(n, dtype=np.int64),
+        group_sizes=np.array([n], dtype=np.int64),
+    )
+
+
+# -- WorkModel ---------------------------------------------------------------
+
+
+def test_structural_prediction_monotone():
+    model = WorkModel()
+    counts = np.array([1, 2, 1])
+    lengths = np.array([10.0, 10.0, 20.0])
+    w = model.structural(counts, lengths)
+    assert w[1] > w[0]  # more entries -> more work
+    assert w[2] > w[0]  # longer peptide -> more work
+
+
+def test_structural_shape_mismatch():
+    with pytest.raises(ConfigurationError):
+        WorkModel().structural(np.array([1, 2]), np.array([1.0]))
+
+
+def test_negative_weights_rejected():
+    with pytest.raises(ConfigurationError):
+        WorkModel(entry_weight=-1.0)
+
+
+def test_sampled_blend_extremes():
+    model = WorkModel()
+    structural = np.array([1.0, 3.0])
+    sampled = np.array([9.0, 0.0])
+    w0 = model.sampled(structural, sampled, blend=0.0)
+    w1 = model.sampled(structural, sampled, blend=1.0)
+    # blend=0 preserves structural ordering; blend=1 the sampled one.
+    assert w0[1] > w0[0]
+    assert w1[0] > w1[1]
+
+
+def test_sampled_blend_validation():
+    with pytest.raises(ConfigurationError):
+        WorkModel().sampled(np.ones(2), np.ones(2), blend=1.5)
+    with pytest.raises(ConfigurationError):
+        WorkModel().sampled(np.ones(2), np.ones(3))
+
+
+# -- PredictivePolicy ---------------------------------------------------------
+
+
+def test_uniform_weights_balance_counts():
+    policy = PredictivePolicy()
+    counts = policy.assign(grouping_of(17), 4).counts()
+    assert counts.max() - counts.min() <= 1
+
+
+def test_heavy_item_isolated():
+    """One dominant item should get its own rank under LPT."""
+    weights = np.array([100.0] + [1.0] * 9)
+    policy = PredictivePolicy(weights=weights)
+    assignment = policy.assign(grouping_of(10), 2)
+    heavy_rank = assignment.rank_of[0]
+    others = assignment.rank_of[1:]
+    assert np.all(others != heavy_rank)
+
+
+def test_weighted_loads_balanced():
+    rng = np.random.default_rng(3)
+    weights = rng.uniform(1, 10, size=200)
+    policy = PredictivePolicy(weights=weights)
+    g = grouping_of(200)
+    assignment = policy.assign(g, 8)
+    loads = policy.predicted_loads(g, assignment)
+    assert (loads.max() - loads.min()) / loads.mean() < 0.1
+
+
+def test_speeds_shift_load():
+    """A 2x-faster rank should receive ~2x the predicted work."""
+    weights = np.ones(300)
+    policy = PredictivePolicy(weights=weights, speeds=[2.0, 1.0, 1.0])
+    g = grouping_of(300)
+    assignment = policy.assign(g, 3)
+    counts = assignment.counts().astype(float)
+    assert counts[0] == pytest.approx(150, abs=5)
+    assert counts[1] == pytest.approx(75, abs=5)
+    # predicted finishing times equalized
+    loads = policy.predicted_loads(g, assignment)
+    assert (loads.max() - loads.min()) / loads.mean() < 0.05
+
+
+def test_weights_respect_grouping_order():
+    """Weights are given in input-index space; the permutation must be
+    honoured."""
+    order = np.array([2, 0, 1], dtype=np.int64)
+    g = Grouping(order=order, group_sizes=np.array([3], dtype=np.int64))
+    weights = np.array([1.0, 1.0, 100.0])  # input index 2 is heavy
+    policy = PredictivePolicy(weights=weights)
+    assignment = policy.assign(g, 2)
+    # grouped position 0 holds input 2 (the heavy one) -> isolated
+    heavy_rank = assignment.rank_of[0]
+    assert np.all(assignment.rank_of[1:] != heavy_rank)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        PredictivePolicy(weights=[-1.0]).assign(grouping_of(1), 1)
+    with pytest.raises(ConfigurationError):
+        PredictivePolicy(speeds=[0.0]).assign(grouping_of(1), 1)
+    with pytest.raises(ConfigurationError):
+        PredictivePolicy(speeds=[1.0, 1.0]).assign(grouping_of(3), 3)
+    with pytest.raises(ConfigurationError):
+        PredictivePolicy(weights=[1.0, 2.0]).assign(grouping_of(3), 2)
+
+
+def test_registered_in_factory():
+    policy = make_policy("lpt", weights=[1.0, 2.0, 3.0])
+    assert isinstance(policy, PredictivePolicy)
+    a = policy.assign(grouping_of(3), 2)
+    assert a.policy_name == "lpt"
+
+
+def test_deterministic():
+    weights = np.arange(1.0, 50.0)
+    g = grouping_of(49)
+    a = PredictivePolicy(weights=weights).assign(g, 5)
+    b = PredictivePolicy(weights=weights).assign(g, 5)
+    assert np.array_equal(a.rank_of, b.rank_of)
+
+
+@given(
+    st.integers(min_value=1, max_value=80),
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=0, max_value=2**30),
+)
+@settings(max_examples=50)
+def test_disjoint_cover_property(n, p, seed):
+    rng = np.random.default_rng(seed)
+    weights = rng.uniform(0.1, 5.0, size=n)
+    a = PredictivePolicy(weights=weights).assign(grouping_of(n), p)
+    assert int(a.counts().sum()) == n
+    if n:
+        assert a.rank_of.min() >= 0 and a.rank_of.max() < p
+
+
+@given(
+    st.integers(min_value=16, max_value=120),
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=0, max_value=2**30),
+)
+@settings(max_examples=30)
+def test_lpt_greedy_makespan_bound(n, p, seed):
+    """Greedy list scheduling guarantees makespan <= total/p + max_w
+    (each item lands on the machine with the least load, which is at
+    most total/p at that moment)."""
+    rng = np.random.default_rng(seed)
+    weights = rng.uniform(0.1, 10.0, size=n)
+    g = grouping_of(n)
+    policy = PredictivePolicy(weights=weights)
+    lpt_loads = policy.predicted_loads(g, policy.assign(g, p))
+    assert lpt_loads.max() <= weights.sum() / p + weights.max() + 1e-9

@@ -1,0 +1,43 @@
+"""Tests for duplicate peptide removal."""
+
+from hypothesis import given, strategies as st
+
+from repro.chem.peptide import Peptide
+from repro.db.dedup import deduplicate_peptides
+
+
+def test_removes_duplicates_keeps_first():
+    peps = [
+        Peptide("AAAK", protein_id=0),
+        Peptide("CCCK", protein_id=1),
+        Peptide("AAAK", protein_id=2),
+    ]
+    out = deduplicate_peptides(peps)
+    assert [p.sequence for p in out] == ["AAAK", "CCCK"]
+    assert out[0].protein_id == 0  # first occurrence wins
+
+
+def test_empty_input():
+    assert deduplicate_peptides([]) == []
+
+
+def test_all_unique_preserved():
+    peps = [Peptide(s) for s in ("AK", "CK", "DK")]
+    assert deduplicate_peptides(peps) == peps
+
+
+def test_stable_order():
+    peps = [Peptide(s) for s in ("DK", "AK", "DK", "CK", "AK")]
+    assert [p.sequence for p in deduplicate_peptides(peps)] == ["DK", "AK", "CK"]
+
+
+@given(st.lists(st.sampled_from(["AK", "CK", "DK", "EK", "GK"]), max_size=50))
+def test_dedup_properties(seqs):
+    peps = [Peptide(s) for s in seqs]
+    out = deduplicate_peptides(peps)
+    sequences = [p.sequence for p in out]
+    # No duplicates, subset of input, order-preserving.
+    assert len(set(sequences)) == len(sequences)
+    assert set(sequences) == set(seqs)
+    positions = [seqs.index(s) for s in sequences]
+    assert positions == sorted(positions)

@@ -1,0 +1,166 @@
+"""Tests for tryptic in-silico digestion."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.chem.peptide import peptide_mass
+from repro.db.digest import DigestionConfig, cleavage_sites, digest_protein, digest_proteome
+from repro.db.fasta import FastaRecord
+from repro.errors import ConfigurationError
+
+PERMISSIVE = DigestionConfig(
+    missed_cleavages=0, min_length=1, max_length=1000, min_mass=0, max_mass=1e9
+)
+
+
+def fragments(sequence, config=PERMISSIVE):
+    return [p.sequence for p in digest_protein(FastaRecord("t", sequence), config)]
+
+
+def test_cleaves_after_k_and_r():
+    assert fragments("AAAKBBBRCCC".replace("B", "G")) == ["AAAK", "GGGR", "CCC"]
+
+
+def test_proline_suppression():
+    # K followed by P is not cleaved.
+    assert fragments("AAKPGGR") == ["AAKPGGR"]
+
+
+def test_proline_suppression_disabled():
+    config = DigestionConfig(
+        missed_cleavages=0, min_length=1, max_length=1000,
+        min_mass=0, max_mass=1e9, suppress_proline=False,
+    )
+    assert fragments("AAKPGGR", config) == ["AAK", "PGGR"]
+
+
+def test_terminal_k_not_split():
+    assert fragments("AAAK") == ["AAAK"]
+
+
+def test_missed_cleavages_enumeration():
+    config = DigestionConfig(
+        missed_cleavages=1, min_length=1, max_length=1000, min_mass=0, max_mass=1e9
+    )
+    out = fragments("AKGKC", config)
+    # Fully cleaved: AK, GK, C; one missed: AKGK, GKC.
+    assert sorted(out) == sorted(["AK", "GK", "C", "AKGK", "GKC"])
+
+
+def test_two_missed_cleavages():
+    config = DigestionConfig(
+        missed_cleavages=2, min_length=1, max_length=1000, min_mass=0, max_mass=1e9
+    )
+    out = fragments("AKGKC", config)
+    assert "AKGKC" in out
+
+
+def test_length_window():
+    config = DigestionConfig(
+        missed_cleavages=0, min_length=3, max_length=3, min_mass=0, max_mass=1e9
+    )
+    assert fragments("AAKGGKCCK", config) == ["AAK", "GGK", "CCK"]
+
+
+def test_mass_window():
+    low = peptide_mass("AAK") - 1
+    config = DigestionConfig(
+        missed_cleavages=0, min_length=1, max_length=100,
+        min_mass=low, max_mass=low + 2,
+    )
+    out = fragments("AAKGGGGGGGGGGK", config)
+    assert out == ["AAK"]
+
+
+def test_ambiguous_residues_split_protein():
+    # X splits the sequence; fragments containing it are dropped.
+    assert fragments("AAKXGGR") == ["AAK", "GGR"]
+
+
+def test_cleavage_sites_basic():
+    assert cleavage_sites("AKGR") == [0, 2, 4]
+    assert cleavage_sites("AKPG") == [0, 4]
+    assert cleavage_sites("AKPG", suppress_proline=False) == [0, 2, 4]
+
+
+def test_protein_ids_assigned():
+    records = [FastaRecord("a", "AAAKGGGR"), FastaRecord("b", "CCCKDDDR")]
+    peps = digest_proteome(records, PERMISSIVE)
+    ids = {p.sequence: p.protein_id for p in peps}
+    assert ids["AAAK"] == 0
+    assert ids["CCCK"] == 1
+
+
+def test_paper_default_config():
+    config = DigestionConfig()
+    assert config.missed_cleavages == 2
+    assert (config.min_length, config.max_length) == (6, 40)
+    assert (config.min_mass, config.max_mass) == (100.0, 5000.0)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"missed_cleavages": -1},
+        {"min_length": 0},
+        {"min_length": 10, "max_length": 5},
+        {"min_mass": -1.0},
+        {"min_mass": 10.0, "max_mass": 5.0},
+    ],
+)
+def test_invalid_config_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        DigestionConfig(**kwargs)
+
+
+@given(st.text(alphabet="ACDEFGHIKLMNPQRSTVWY", min_size=1, max_size=200))
+def test_fully_cleaved_fragments_tile_protein(seq):
+    """With 0 missed cleavages and no windows, fragments concatenate
+    back to the protein."""
+    assert "".join(fragments(seq)) == seq
+
+
+def _valid_occurrences(seq, frag):
+    """Start positions where ``frag`` sits between two tryptic cuts."""
+    out = []
+    start = seq.find(frag)
+    while start >= 0:
+        end = start + len(frag)
+        left_ok = start == 0 or (seq[start - 1] in "KR" and seq[start] != "P")
+        right_ok = end == len(seq) or (frag[-1] in "KR" and seq[end] != "P")
+        if left_ok and right_ok:
+            out.append(start)
+        start = seq.find(frag, start + 1)
+    return out
+
+
+@given(st.text(alphabet="ACDEFGHIKLMNPQRSTVWY", min_size=1, max_size=120))
+def test_fragments_are_fully_tryptic(seq):
+    """Every fragment occurs between two tryptic cut points, and
+    never contains an internal unsuppressed cleavage site."""
+    for frag in fragments(seq):
+        assert _valid_occurrences(seq, frag), frag
+        for i, aa in enumerate(frag[:-1]):
+            if aa in "KR" and frag[i + 1] != "P":
+                pytest.fail(f"internal cleavage site in {frag!r}")
+
+
+@given(
+    st.text(alphabet="ACDEFGHIKLMNPQRSTVWY", min_size=1, max_size=120),
+    st.integers(min_value=0, max_value=3),
+)
+def test_missed_cleavage_fragment_counts(seq, mc):
+    """Each fragment spans at most mc internal cleavage sites (at some
+    valid occurrence)."""
+    config = DigestionConfig(
+        missed_cleavages=mc, min_length=1, max_length=10_000,
+        min_mass=0, max_mass=1e9,
+    )
+    sites = set(cleavage_sites(seq)[1:-1])
+    for frag in fragments(seq, config):
+        occurrences = _valid_occurrences(seq, frag)
+        assert occurrences, frag
+        assert any(
+            len([s for s in sites if start < s < start + len(frag)]) <= mc
+            for start in occurrences
+        )

@@ -1,0 +1,140 @@
+"""Tests for FASTA io, including the grouped/clustered flavour."""
+
+import io
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.db.fasta import (
+    FastaRecord,
+    fasta_to_string,
+    read_fasta,
+    read_grouped_fasta,
+    write_fasta,
+    write_grouped_fasta,
+)
+from repro.errors import FormatError
+
+
+def roundtrip(records):
+    return list(read_fasta(io.StringIO(fasta_to_string(records))))
+
+
+def test_roundtrip_single():
+    recs = [FastaRecord("p1", "PEPTIDE")]
+    assert roundtrip(recs) == recs
+
+
+def test_roundtrip_many():
+    recs = [FastaRecord(f"p{i}", "ACDEFGHIK" * (i + 1)) for i in range(5)]
+    assert roundtrip(recs) == recs
+
+
+def test_long_sequence_wrapped():
+    text = fasta_to_string([FastaRecord("p", "A" * 150)])
+    body = [l for l in text.splitlines() if not l.startswith(">")]
+    assert all(len(l) <= 60 for l in body)
+    assert "".join(body) == "A" * 150
+
+
+def test_lowercase_sequences_uppercased():
+    recs = list(read_fasta(io.StringIO(">p\npeptide\n")))
+    assert recs[0].sequence == "PEPTIDE"
+
+
+def test_blank_lines_ignored():
+    recs = list(read_fasta(io.StringIO(">p\n\nPEP\n\nTIDE\n")))
+    assert recs[0].sequence == "PEPTIDE"
+
+
+def test_sequence_before_header_rejected():
+    with pytest.raises(FormatError, match="before the first"):
+        list(read_fasta(io.StringIO("PEPTIDE\n>p\nAAA\n")))
+
+
+def test_empty_record_rejected():
+    with pytest.raises(FormatError, match="empty sequence"):
+        list(read_fasta(io.StringIO(">p1\n>p2\nAAA\n")))
+
+
+def test_write_returns_count():
+    buf = io.StringIO()
+    assert write_fasta(buf, [FastaRecord("a", "AA"), FastaRecord("b", "CC")]) == 2
+
+
+def test_file_roundtrip(tmp_path):
+    path = tmp_path / "db.fasta"
+    recs = [FastaRecord("p1", "PEPTIDE"), FastaRecord("p2", "ACDEFGHIK")]
+    write_fasta(path, recs)
+    assert list(read_fasta(path)) == recs
+
+
+def test_grouped_roundtrip():
+    seqs = ["AAA", "AAC", "CCC", "GGG", "GGA"]
+    sizes = [2, 1, 2]
+    buf = io.StringIO()
+    assert write_grouped_fasta(buf, seqs, sizes) == 5
+    buf.seek(0)
+    out_seqs, out_sizes = read_grouped_fasta(buf)
+    assert out_seqs == seqs
+    assert out_sizes == sizes
+
+
+def test_grouped_size_mismatch_rejected():
+    with pytest.raises(FormatError, match="group sizes sum"):
+        write_grouped_fasta(io.StringIO(), ["A", "C"], [3])
+
+
+def test_grouped_empty_group_rejected():
+    with pytest.raises(FormatError, match="at least one sequence"):
+        write_grouped_fasta(io.StringIO(), ["AC"], [0, 1])
+
+
+def test_grouped_noncontiguous_ids_rejected():
+    text = ">grp0|pep0\nAAA\n>grp2|pep1\nCCC\n"
+    with pytest.raises(FormatError, match="contiguous"):
+        read_grouped_fasta(io.StringIO(text))
+
+
+def test_grouped_bad_prefix_rejected():
+    with pytest.raises(FormatError, match="grp"):
+        read_grouped_fasta(io.StringIO(">cluster0|x\nAAA\n"))
+
+
+def test_grouped_non_integer_id_rejected():
+    with pytest.raises(FormatError, match="non-integer"):
+        read_grouped_fasta(io.StringIO(">grpX|p\nAAA\n"))
+
+
+@given(
+    st.lists(
+        st.text(alphabet="ACDEFGHIKLMNPQRSTVWY", min_size=1, max_size=80),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_roundtrip_property(seqs):
+    recs = [FastaRecord(f"h{i}", s) for i, s in enumerate(seqs)]
+    assert roundtrip(recs) == recs
+
+
+@given(st.data())
+def test_grouped_roundtrip_property(data):
+    seqs = data.draw(
+        st.lists(
+            st.text(alphabet="ACDEFGHIK", min_size=1, max_size=20),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    # Random partition of len(seqs) into positive sizes.
+    sizes = []
+    remaining = len(seqs)
+    while remaining:
+        take = data.draw(st.integers(min_value=1, max_value=remaining))
+        sizes.append(take)
+        remaining -= take
+    buf = io.StringIO()
+    write_grouped_fasta(buf, seqs, sizes)
+    buf.seek(0)
+    assert read_grouped_fasta(buf) == (seqs, sizes)

@@ -1,0 +1,102 @@
+"""Tests for the synthetic proteome generator."""
+
+import pytest
+
+from repro.constants import ALPHABET_SET
+from repro.db.proteome import ProteomeConfig, generate_proteome
+from repro.errors import ConfigurationError
+
+
+def test_deterministic_under_seed():
+    a = generate_proteome(ProteomeConfig(n_families=5, seed=1))
+    b = generate_proteome(ProteomeConfig(n_families=5, seed=1))
+    assert [r.sequence for r in a.records] == [r.sequence for r in b.records]
+
+
+def test_different_seeds_differ():
+    a = generate_proteome(ProteomeConfig(n_families=5, seed=1))
+    b = generate_proteome(ProteomeConfig(n_families=5, seed=2))
+    assert [r.sequence for r in a.records] != [r.sequence for r in b.records]
+
+
+def test_family_extension_is_prefix_stable():
+    """Adding families must not reshuffle existing ones (sweep-friendly)."""
+    small = generate_proteome(ProteomeConfig(n_families=3, seed=9))
+    large = generate_proteome(ProteomeConfig(n_families=6, seed=9))
+    small_seqs = [r.sequence for r in small.records]
+    assert [r.sequence for r in large.records][: len(small_seqs)] == small_seqs
+
+
+def test_canonical_alphabet_only():
+    prot = generate_proteome(ProteomeConfig(n_families=4, seed=3))
+    for rec in prot.records:
+        assert set(rec.sequence) <= ALPHABET_SET
+
+
+def test_every_family_has_founder():
+    prot = generate_proteome(ProteomeConfig(n_families=10, seed=4))
+    founders = [r for r in prot.records if r.header.endswith("V0")]
+    assert len(founders) == 10
+
+
+def test_family_of_alignment():
+    prot = generate_proteome(ProteomeConfig(n_families=6, seed=5))
+    assert len(prot.family_of) == len(prot.records)
+    for rec, fam in zip(prot.records, prot.family_of):
+        assert rec.header.startswith(f"syn|F{fam}V")
+
+
+def test_variants_are_homologous():
+    """Variants should share most residues with their founder."""
+    prot = generate_proteome(
+        ProteomeConfig(n_families=8, seed=6, mutation_rate=0.02, indel_rate=0.0)
+    )
+    by_family = {}
+    for rec, fam in zip(prot.records, prot.family_of):
+        by_family.setdefault(fam, []).append(rec.sequence)
+    checked = 0
+    for seqs in by_family.values():
+        founder = seqs[0]
+        for variant in seqs[1:]:
+            assert len(variant) == len(founder)  # no indels configured
+            same = sum(a == b for a, b in zip(founder, variant))
+            assert same / len(founder) > 0.9
+            checked += 1
+    assert checked > 0
+
+
+def test_lengths_plausible():
+    prot = generate_proteome(ProteomeConfig(n_families=20, seed=7))
+    lengths = [len(r.sequence) for r in prot.records]
+    assert min(lengths) >= 50
+    assert max(lengths) <= 5000
+    mean = sum(lengths) / len(lengths)
+    assert 150 < mean < 900
+
+
+def test_total_residues():
+    prot = generate_proteome(ProteomeConfig(n_families=3, seed=8))
+    assert prot.total_residues() == sum(len(r.sequence) for r in prot.records)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"n_families": 0},
+        {"family_size_mean": 0.5},
+        {"mutation_rate": 1.5},
+        {"indel_rate": -0.1},
+        {"protein_length_mean": 5},
+    ],
+)
+def test_invalid_config_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        ProteomeConfig(**kwargs)
+
+
+def test_mismatched_metadata_rejected():
+    prot = generate_proteome(ProteomeConfig(n_families=2, seed=1))
+    from repro.db.proteome import SyntheticProteome
+
+    with pytest.raises(ConfigurationError):
+        SyntheticProteome(prot.records, prot.family_of[:-1], prot.config)

@@ -1,0 +1,91 @@
+"""Tests for the shared-memory chunked index (paper Fig. 1 scheme)."""
+
+import numpy as np
+import pytest
+
+from repro.chem.fragments import fragment_mzs
+from repro.chem.peptide import Peptide
+from repro.errors import ConfigurationError
+from repro.index.chunks import ChunkedIndex, ChunkingConfig
+from repro.index.slm import SLMIndex, SLMIndexSettings
+from repro.spectra.model import Spectrum
+from repro.constants import PROTON
+
+PEPTIDES = [
+    Peptide("GGGGK"),        # light
+    Peptide("AAAGGGK"),
+    Peptide("CCDDEEK"),
+    Peptide("MMNNQQRK"),
+    Peptide("WWYYFFKK"),     # heavy
+    Peptide("WWWWYYYYK"),
+]
+
+SETTINGS = SLMIndexSettings(shared_peak_threshold=2)
+
+
+def spectrum_of(peptide, charge=2):
+    mzs = fragment_mzs(peptide)
+    return Spectrum(
+        scan_id=1,
+        precursor_mz=(peptide.mass + charge * PROTON) / charge,
+        charge=charge,
+        mzs=mzs,
+        intensities=np.ones_like(mzs),
+    )
+
+
+def test_chunk_count():
+    ci = ChunkedIndex(PEPTIDES, SETTINGS, ChunkingConfig(max_peptides_per_chunk=2))
+    assert ci.n_chunks == 3
+    assert len(ci) == 6
+
+
+def test_chunks_sorted_by_mass():
+    ci = ChunkedIndex(PEPTIDES, SETTINGS, ChunkingConfig(max_peptides_per_chunk=2))
+    ranges = ci.chunk_mass_ranges
+    for (lo1, hi1), (lo2, hi2) in zip(ranges, ranges[1:]):
+        assert hi1 <= lo2 + 1e-9
+        assert lo1 <= hi1
+
+
+def test_filter_ids_in_input_space():
+    """Chunked filtration must agree with one flat index, id-for-id."""
+    ci = ChunkedIndex(PEPTIDES, SETTINGS, ChunkingConfig(max_peptides_per_chunk=2))
+    flat = SLMIndex(PEPTIDES, SETTINGS)
+    for target in range(len(PEPTIDES)):
+        q = spectrum_of(PEPTIDES[target])
+        a = ci.filter(q)
+        b = flat.filter(q)
+        assert np.array_equal(np.sort(a.candidates), np.sort(b.candidates))
+        da = dict(zip(a.candidates.tolist(), a.shared_peaks.tolist()))
+        db = dict(zip(b.candidates.tolist(), b.shared_peaks.tolist()))
+        assert da == db
+
+
+def test_open_search_visits_all_chunks():
+    ci = ChunkedIndex(PEPTIDES, SETTINGS, ChunkingConfig(max_peptides_per_chunk=2))
+    assert ci.chunks_for(spectrum_of(PEPTIDES[0])) == [0, 1, 2]
+
+
+def test_windowed_search_prunes_chunks():
+    windowed = SLMIndexSettings(shared_peak_threshold=2, precursor_tolerance=1.0)
+    ci = ChunkedIndex(PEPTIDES, windowed, ChunkingConfig(max_peptides_per_chunk=2))
+    # The lightest peptide's window should not touch the heaviest chunk.
+    visited = ci.chunks_for(spectrum_of(PEPTIDES[0]))
+    assert 0 in visited
+    assert len(visited) < ci.n_chunks
+
+
+def test_windowed_counters_smaller_than_open():
+    windowed = SLMIndexSettings(shared_peak_threshold=2, precursor_tolerance=1.0)
+    open_s = SLMIndexSettings(shared_peak_threshold=2)
+    q = spectrum_of(PEPTIDES[0])
+    cfg = ChunkingConfig(max_peptides_per_chunk=2)
+    ions_windowed = ChunkedIndex(PEPTIDES, windowed, cfg).filter(q).ions_scanned
+    ions_open = ChunkedIndex(PEPTIDES, open_s, cfg).filter(q).ions_scanned
+    assert ions_windowed <= ions_open
+
+
+def test_invalid_chunking_rejected():
+    with pytest.raises(ConfigurationError):
+        ChunkingConfig(max_peptides_per_chunk=0)

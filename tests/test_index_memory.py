@@ -1,0 +1,104 @@
+"""Tests for the index memory model (Fig. 5 substrate)."""
+
+import pytest
+
+from repro.chem.peptide import Peptide
+from repro.errors import ConfigurationError
+from repro.index.memory import IndexMemoryModel, MemoryBreakdown
+from repro.index.slm import SLMIndex, SLMIndexSettings
+
+
+def test_shared_scales_linearly_in_entries():
+    m = IndexMemoryModel()
+    a = m.shared(1_000_000)
+    b = m.shared(2_000_000)
+    # Ion + peptide terms double; offsets constant.
+    assert b.ion_bytes == 2 * a.ion_bytes
+    assert b.peptide_bytes == 2 * a.peptide_bytes
+    assert b.offsets_bytes == a.offsets_bytes
+
+
+def test_distributed_offsets_replicated_per_rank():
+    m = IndexMemoryModel()
+    d4 = m.distributed(1_000_000, 4)
+    d8 = m.distributed(1_000_000, 8)
+    assert d8.offsets_bytes == 2 * d4.offsets_bytes
+
+
+def test_distributed_overhead_shrinks_with_partition_size():
+    """Paper: 'extra memory overhead varies inversely with the size of
+    data partition per MPI CPU'."""
+    m = IndexMemoryModel()
+    p = 16
+
+    def rel_overhead(n):
+        s, d = m.shared(n), m.distributed(n, p)
+        return (d.steady_bytes - s.steady_bytes) / s.steady_bytes
+
+    assert rel_overhead(50_000_000) < rel_overhead(10_000_000)
+
+
+def test_paper_scale_overhead_single_digit_percent():
+    """At the paper's scale the distributed overhead is ~6 %."""
+    m = IndexMemoryModel()
+    n = 30_000_000
+    s, d = m.shared(n), m.distributed(n, 16)
+    overhead = (d.steady_bytes - s.steady_bytes) / s.steady_bytes
+    assert 0.0 < overhead < 0.15
+
+
+def test_gb_per_million_near_paper_values():
+    """Paper: 0.346 GB/M shared, 0.366 GB/M distributed."""
+    m = IndexMemoryModel()
+    shared = m.gb_per_million(30_000_000)
+    dist = m.gb_per_million(30_000_000, 16)
+    assert shared == pytest.approx(0.346, abs=0.1)
+    assert dist == pytest.approx(0.366, abs=0.1)
+    assert dist > shared
+
+
+def test_transient_doubles_ion_bytes():
+    m = IndexMemoryModel()
+    bd = m.shared(1_000_000)
+    assert bd.transient_bytes == bd.ion_bytes
+    assert bd.peak_bytes == bd.steady_bytes + bd.ion_bytes
+
+
+def test_internal_chunking_removes_transient():
+    m = IndexMemoryModel()
+    bd = m.shared(1_000_000, internal_chunking=True)
+    assert bd.transient_bytes == 0
+    bd_d = m.distributed(1_000_000, 4, internal_chunking=True)
+    assert bd_d.transient_bytes == 0
+
+
+def test_breakdown_properties():
+    bd = MemoryBreakdown(
+        ion_bytes=100, offsets_bytes=10, peptide_bytes=20,
+        mapping_bytes=5, transient_bytes=100,
+    )
+    assert bd.steady_bytes == 135
+    assert bd.peak_bytes == 235
+    assert bd.steady_gb == pytest.approx(135 / 1024**3)
+
+
+def test_invalid_model_rejected():
+    with pytest.raises(ConfigurationError):
+        IndexMemoryModel(ions_per_entry=0)
+    with pytest.raises(ConfigurationError):
+        IndexMemoryModel(resolution=0)
+
+
+def test_invalid_ranks_rejected():
+    with pytest.raises(ConfigurationError):
+        IndexMemoryModel().distributed(100, 0)
+
+
+def test_measure_actual_tracks_model_proportionally():
+    """The live numpy index's ion bytes must scale like the model."""
+    peptides = [Peptide("ACDEFGHIK"), Peptide("LMNPQRSTVWYK"), Peptide("GGGGGGK")]
+    idx = SLMIndex(peptides, SLMIndexSettings())
+    m = IndexMemoryModel()
+    actual = m.measure_actual(idx)
+    assert actual.ion_bytes == 4 * idx.n_ions  # int32 parents
+    assert actual.offsets_bytes == 8 * (idx.n_buckets + 1)

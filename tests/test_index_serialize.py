@@ -1,0 +1,90 @@
+"""Tests for SLM index persistence."""
+
+import numpy as np
+import pytest
+
+from repro.chem.fragments import FragmentationSettings
+from repro.chem.peptide import Peptide
+from repro.errors import FormatError
+from repro.index.serialize import load_index, save_index
+from repro.index.slm import SLMIndex, SLMIndexSettings
+
+PEPTIDES = [
+    Peptide("AAAGGGK", protein_id=3),
+    Peptide("MMNNQQR", ((0, 15.995),), protein_id=4),
+    Peptide("CCDDEEK"),
+]
+
+
+@pytest.fixture()
+def index():
+    return SLMIndex(PEPTIDES, SLMIndexSettings(shared_peak_threshold=2))
+
+
+def test_roundtrip_structures(tmp_path, index):
+    path = save_index(tmp_path / "idx.npz", index)
+    loaded = load_index(path)
+    assert np.array_equal(loaded.ion_parents, index.ion_parents)
+    assert np.array_equal(loaded.bucket_offsets, index.bucket_offsets)
+    assert np.array_equal(loaded.masses, index.masses)
+    assert loaded.n_buckets == index.n_buckets
+
+
+def test_roundtrip_peptides(tmp_path, index):
+    loaded = load_index(save_index(tmp_path / "idx.npz", index))
+    assert loaded.peptides == index.peptides
+    assert loaded.peptides[1].mods == ((0, 15.995),)
+    assert loaded.peptides[0].protein_id == 3
+
+
+def test_roundtrip_settings_path(tmp_path):
+    settings = SLMIndexSettings(
+        resolution=0.02,
+        fragment_tolerance=0.1,
+        shared_peak_threshold=3,
+        precursor_tolerance=5.0,
+        fragmentation=FragmentationSettings(charges=(1, 2), include_b=False),
+    )
+    idx = SLMIndex(PEPTIDES, settings)
+    loaded = load_index(save_index(tmp_path / "s.npz", idx))
+    assert loaded.settings == settings
+
+
+def test_loaded_filters_identically(tmp_path, index):
+    from repro.chem.fragments import fragment_mzs
+    from repro.spectra.model import Spectrum
+
+    loaded = load_index(save_index(tmp_path / "idx.npz", index))
+    mzs = fragment_mzs(PEPTIDES[0])
+    q = Spectrum(1, 500.0, 2, mzs, np.ones_like(mzs))
+    a, b = index.filter(q), loaded.filter(q)
+    assert np.array_equal(a.candidates, b.candidates)
+    assert np.array_equal(a.shared_peaks, b.shared_peaks)
+    assert a.ions_scanned == b.ions_scanned
+
+
+def test_empty_index_roundtrip(tmp_path):
+    idx = SLMIndex([], SLMIndexSettings())
+    loaded = load_index(save_index(tmp_path / "e.npz", idx))
+    assert len(loaded) == 0
+    assert loaded.n_ions == 0
+
+
+def test_missing_field_rejected(tmp_path):
+    np.savez(tmp_path / "bad.npz", settings=np.array("{}"))
+    with pytest.raises((FormatError, Exception)):
+        load_index(tmp_path / "bad.npz")
+
+
+def test_bad_version_rejected(tmp_path, index):
+    import json
+
+    path = save_index(tmp_path / "idx.npz", index)
+    with np.load(path) as data:
+        fields = {k: data[k] for k in data.files}
+    payload = json.loads(str(fields["settings"]))
+    payload["version"] = 99
+    fields["settings"] = np.array(json.dumps(payload))
+    np.savez(tmp_path / "v99.npz", **fields)
+    with pytest.raises(FormatError, match="version"):
+        load_index(tmp_path / "v99.npz")

@@ -1,0 +1,172 @@
+"""Tests for the simulated communicator's p2p and collective semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommunicatorError
+from repro.mpi.comm import Communicator, Fabric
+from repro.mpi.launcher import run_spmd
+from repro.mpi.simtime import CommCostModel
+
+FAST = CommCostModel(latency=1e-6, seconds_per_byte=1e-9)
+
+
+def test_rank_and_size():
+    def prog(comm):
+        assert comm.Get_rank() == comm.rank
+        assert comm.Get_size() == comm.size == 3
+        return comm.rank
+
+    res = run_spmd(prog, 3, cost_model=FAST)
+    assert res.results == [0, 1, 2]
+
+
+def test_is_master():
+    def prog(comm):
+        return comm.is_master
+
+    assert run_spmd(prog, 3, cost_model=FAST).results == [True, False, False]
+
+
+def test_send_recv_roundtrip():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send({"x": 41}, dest=1, tag=7)
+            return comm.recv(source=1, tag=8)
+        data = comm.recv(source=0, tag=7)
+        comm.send(data["x"] + 1, dest=0, tag=8)
+        return None
+
+    res = run_spmd(prog, 2, cost_model=FAST)
+    assert res.results[0] == 42
+
+
+def test_channel_fifo_order():
+    def prog(comm):
+        if comm.rank == 0:
+            for i in range(5):
+                comm.send(i, dest=1)
+            return None
+        return [comm.recv(source=0) for _ in range(5)]
+
+    assert run_spmd(prog, 2, cost_model=FAST).results[1] == [0, 1, 2, 3, 4]
+
+
+def test_bcast():
+    def prog(comm):
+        return comm.bcast("payload" if comm.is_master else None)
+
+    assert run_spmd(prog, 4, cost_model=FAST).results == ["payload"] * 4
+
+
+def test_scatter_gather_identity():
+    def prog(comm):
+        data = comm.scatter(
+            [i * i for i in range(comm.size)] if comm.is_master else None
+        )
+        return comm.gather(data)
+
+    res = run_spmd(prog, 4, cost_model=FAST)
+    assert res.results[0] == [0, 1, 4, 9]
+    assert res.results[1:] == [None] * 3
+
+
+def test_scatter_wrong_length_rejected():
+    def prog(comm):
+        return comm.scatter([1] if comm.is_master else None)
+
+    with pytest.raises(CommunicatorError, match="exactly"):
+        run_spmd(prog, 2, cost_model=FAST)
+
+
+def test_allgather():
+    def prog(comm):
+        return comm.allgather(comm.rank * 10)
+
+    res = run_spmd(prog, 3, cost_model=FAST)
+    assert res.results == [[0, 10, 20]] * 3
+
+
+def test_allreduce_sum():
+    def prog(comm):
+        return comm.allreduce(comm.rank + 1)
+
+    assert run_spmd(prog, 4, cost_model=FAST).results == [10, 10, 10, 10]
+
+
+def test_reduce_custom_op():
+    def prog(comm):
+        return comm.reduce(comm.rank + 1, op=lambda a, b: a * b)
+
+    res = run_spmd(prog, 4, cost_model=FAST)
+    assert res.results[0] == 24
+    assert res.results[1:] == [None] * 3
+
+
+def test_barrier_synchronizes_clocks():
+    def prog(comm):
+        comm.charge_compute(float(comm.rank))  # rank r works r seconds
+        comm.barrier()
+        return comm.clock.now
+
+    res = run_spmd(prog, 4, cost_model=CommCostModel(latency=0.0, seconds_per_byte=0.0))
+    assert all(t == pytest.approx(3.0) for t in res.results)
+
+
+def test_recv_syncs_clock_to_arrival():
+    model = CommCostModel(latency=1.0, seconds_per_byte=0.0)
+
+    def prog(comm):
+        if comm.rank == 0:
+            comm.charge_compute(10.0)
+            comm.send("x", dest=1)
+            return comm.clock.now
+        comm.recv(source=0)
+        return comm.clock.now
+
+    res = run_spmd(prog, 2, cost_model=model)
+    assert res.results[0] == pytest.approx(11.0)  # 10 compute + 1 send
+    assert res.results[1] == pytest.approx(11.0)  # synced to arrival
+
+
+def test_numpy_payloads():
+    def prog(comm):
+        arr = comm.bcast(np.arange(50) if comm.is_master else None)
+        total = comm.allreduce(int(arr.sum()))
+        return total
+
+    assert run_spmd(prog, 3, cost_model=FAST).results == [3 * 1225] * 3
+
+
+def test_peer_out_of_range_rejected():
+    def prog(comm):
+        comm.send("x", dest=5)
+
+    with pytest.raises(CommunicatorError, match="peer rank"):
+        run_spmd(prog, 2, cost_model=FAST)
+
+
+def test_recv_timeout_raises():
+    fabric = Fabric(2, FAST, timeout=0.05)
+    comm = Communicator(fabric, 0)
+    with pytest.raises(CommunicatorError, match="timed out"):
+        comm.recv(source=1)
+
+
+def test_bad_fabric_rank_rejected():
+    fabric = Fabric(2, FAST)
+    with pytest.raises(CommunicatorError):
+        Communicator(fabric, 2)
+
+
+def test_tags_isolate_channels():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send("a", dest=1, tag=1)
+            comm.send("b", dest=1, tag=2)
+            return None
+        second = comm.recv(source=0, tag=2)
+        first = comm.recv(source=0, tag=1)
+        return (first, second)
+
+    assert run_spmd(prog, 2, cost_model=FAST).results[1] == ("a", "b")

@@ -1,0 +1,61 @@
+"""Tests for the SPMD launcher."""
+
+import pytest
+
+from repro.errors import CommunicatorError
+from repro.mpi.launcher import run_spmd
+from repro.mpi.simtime import CommCostModel
+
+FAST = CommCostModel(latency=0.0, seconds_per_byte=0.0)
+
+
+def test_results_in_rank_order():
+    res = run_spmd(lambda comm: comm.rank * 2, 5, cost_model=FAST)
+    assert res.results == [0, 2, 4, 6, 8]
+    assert res.n_ranks == 5
+
+
+def test_single_rank_runs_inline():
+    res = run_spmd(lambda comm: comm.rank, 1, cost_model=FAST)
+    assert res.results == [0]
+
+
+def test_clock_times_collected():
+    def prog(comm):
+        comm.charge_compute(comm.rank + 1.0)
+
+    res = run_spmd(prog, 3, cost_model=FAST)
+    assert res.clock_times == pytest.approx([1.0, 2.0, 3.0])
+    assert res.makespan == pytest.approx(3.0)
+    assert res.total_cpu_time == pytest.approx(6.0)
+
+
+def test_exception_propagates():
+    def prog(comm):
+        if comm.rank == 1:
+            raise ValueError("boom on rank 1")
+
+    with pytest.raises(ValueError, match="boom on rank 1"):
+        run_spmd(prog, 3, cost_model=FAST)
+
+
+def test_root_cause_preferred_over_timeouts():
+    """A crash on one rank must surface, not its peers' timeouts."""
+
+    def prog(comm):
+        if comm.rank == 0:
+            raise RuntimeError("root cause")
+        comm.barrier()  # would block forever without the abort
+
+    with pytest.raises(RuntimeError, match="root cause"):
+        run_spmd(prog, 3, cost_model=FAST, timeout=5.0)
+
+
+def test_exception_in_single_rank_mode():
+    with pytest.raises(ZeroDivisionError):
+        run_spmd(lambda comm: 1 // 0, 1, cost_model=FAST)
+
+
+def test_empty_makespan():
+    res = run_spmd(lambda comm: None, 2, cost_model=FAST)
+    assert res.makespan == 0.0

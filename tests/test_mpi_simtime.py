@@ -1,0 +1,75 @@
+"""Tests for virtual clocks and the communication cost model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mpi.simtime import CommCostModel, VirtualClock, payload_nbytes
+
+
+def test_clock_starts_at_zero():
+    assert VirtualClock().now == 0.0
+
+
+def test_clock_advance():
+    c = VirtualClock()
+    assert c.advance(1.5) == 1.5
+    assert c.advance(0.5) == 2.0
+    assert c.now == 2.0
+
+
+def test_clock_negative_advance_rejected():
+    with pytest.raises(ConfigurationError):
+        VirtualClock().advance(-1.0)
+
+
+def test_clock_negative_start_rejected():
+    with pytest.raises(ConfigurationError):
+        VirtualClock(-1.0)
+
+
+def test_sync_only_moves_forward():
+    c = VirtualClock(5.0)
+    c.sync_to(3.0)
+    assert c.now == 5.0
+    c.sync_to(7.0)
+    assert c.now == 7.0
+
+
+def test_payload_numpy_counts_buffer():
+    arr = np.zeros(1000, dtype=np.float64)
+    assert payload_nbytes(arr) == 8000 + 96
+
+
+def test_payload_bytes():
+    assert payload_nbytes(b"12345") == 5
+
+
+def test_payload_list_of_arrays():
+    arrs = [np.zeros(10, dtype=np.int64), np.zeros(5, dtype=np.int64)]
+    assert payload_nbytes(arrs) == (80 + 96) + (40 + 96)
+
+
+def test_payload_generic_object_uses_pickle():
+    n = payload_nbytes({"a": 1, "b": [1, 2, 3]})
+    assert n > 10  # pickled size, deterministic
+    assert n == payload_nbytes({"a": 1, "b": [1, 2, 3]})
+
+
+def test_p2p_cost():
+    m = CommCostModel(latency=1e-3, seconds_per_byte=1e-6)
+    assert m.p2p(1000) == pytest.approx(1e-3 + 1e-3)
+
+
+def test_collective_cost_log_rounds():
+    m = CommCostModel(latency=1.0, seconds_per_byte=0.0)
+    assert m.collective(0, 1) == 0.0
+    assert m.collective(0, 2) == 1.0
+    assert m.collective(0, 4) == 2.0
+    assert m.collective(0, 8) == 3.0
+    assert m.collective(0, 5) == 3.0  # ceil(log2 5)
+
+
+def test_negative_costs_rejected():
+    with pytest.raises(ConfigurationError):
+        CommCostModel(latency=-1.0)

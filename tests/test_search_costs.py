@@ -1,0 +1,79 @@
+"""Tests for the virtual cost models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.index.slm import FilterResult
+from repro.search.costs import QueryCostModel, SerialCostModel
+from repro.search.scoring import ScoringOutcome
+
+
+def fres(buckets=10, ions=100):
+    return FilterResult(
+        candidates=np.empty(0, dtype=np.int32),
+        shared_peaks=np.empty(0, dtype=np.int32),
+        buckets_scanned=buckets,
+        ions_scanned=ions,
+    )
+
+
+def outcome(cands=5, residues=60):
+    return ScoringOutcome(
+        scores=np.zeros(cands),
+        n_matched=np.zeros(cands, dtype=np.int32),
+        candidates_scored=cands,
+        residues_scored=residues,
+    )
+
+
+def test_filter_cost_linear_in_counters():
+    m = QueryCostModel(per_bucket=1.0, per_ion=10.0)
+    assert m.filter_cost(fres(3, 7)) == pytest.approx(3 + 70)
+
+
+def test_scoring_cost_linear():
+    m = QueryCostModel(per_candidate=1.0, per_residue=0.5)
+    assert m.scoring_cost(outcome(4, 10)) == pytest.approx(4 + 5)
+
+
+def test_build_cost():
+    m = QueryCostModel(per_index_entry=2.0, per_index_ion=0.5)
+    assert m.build_cost(10, 100) == pytest.approx(20 + 50)
+
+
+def test_preprocess_cost():
+    m = QueryCostModel(per_spectrum_preprocess=0.25)
+    assert m.preprocess_cost(8) == 2.0
+
+
+def test_prep_cost_components():
+    m = SerialCostModel(
+        per_entry_read=1.0, per_base_group=2.0, per_entry_map=3.0,
+        per_psm_merge=0.0, fixed_startup=10.0,
+    )
+    assert m.prep_cost(5, 2) == pytest.approx(10 + 5 + 4 + 15)
+
+
+def test_merge_cost():
+    m = SerialCostModel(per_psm_merge=0.5)
+    assert m.merge_cost(10) == 5.0
+
+
+def test_grouping_excluded_by_default():
+    """The paper's grouping runs offline; default charge is zero."""
+    assert SerialCostModel().per_base_group == 0.0
+
+
+def test_negative_costs_rejected():
+    with pytest.raises(ConfigurationError):
+        QueryCostModel(per_ion=-1.0)
+    with pytest.raises(ConfigurationError):
+        SerialCostModel(fixed_startup=-1.0)
+
+
+def test_defaults_positive():
+    q = QueryCostModel()
+    assert q.per_ion > 0 and q.per_candidate > 0 and q.per_index_ion > 0
+    s = SerialCostModel()
+    assert s.fixed_startup > 0 and s.per_entry_read > 0

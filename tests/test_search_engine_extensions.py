@@ -1,0 +1,92 @@
+"""Tests for the §VIII extensions wired into the engine: the
+predictive (lpt) policy under heterogeneity and hybrid multicore
+ranks."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.search.engine import DistributedSearchEngine, EngineConfig
+from repro.search.metrics import load_imbalance
+from repro.search.serial import SerialSearchEngine
+
+
+@pytest.fixture(scope="module")
+def serial_reference(small_db, small_spectra):
+    return SerialSearchEngine(small_db).run(small_spectra)
+
+
+def test_lpt_matches_serial(small_db, small_spectra, serial_reference):
+    res = DistributedSearchEngine(
+        small_db, EngineConfig(n_ranks=5, policy="lpt")
+    ).run(small_spectra)
+    for a, b in zip(serial_reference.spectra, res.spectra):
+        assert a.n_candidates == b.n_candidates
+        assert [(p.entry_id, p.score) for p in a.psms] == [
+            (p.entry_id, p.score) for p in b.psms
+        ]
+
+
+def test_lpt_beats_cyclic_under_heterogeneity(small_db, small_spectra):
+    """With strongly unequal machines, the speed-aware predictive
+    policy balances finishing times where Cyclic cannot."""
+    li = {}
+    for policy in ("cyclic", "lpt"):
+        res = DistributedSearchEngine(
+            small_db,
+            EngineConfig(
+                n_ranks=8, policy=policy, machine_jitter=0.3, machine_seed=42
+            ),
+        ).run(small_spectra)
+        li[policy] = load_imbalance(res.query_times)
+    assert li["lpt"] < li["cyclic"]
+
+
+def test_lpt_entry_counts_track_speeds(small_db):
+    cfg = EngineConfig(n_ranks=4, policy="lpt", machine_jitter=0.3,
+                       machine_seed=11)
+    engine = DistributedSearchEngine(small_db, cfg)
+    sizes = engine.plan.partition_sizes().astype(float)
+    speeds = [1.0 / cfg.machine_speed(r) for r in range(4)]
+    # Faster ranks get more entries: rank order by speed == order by size.
+    order_speed = sorted(range(4), key=lambda r: speeds[r])
+    order_size = sorted(range(4), key=lambda r: sizes[r])
+    assert order_speed == order_size
+
+
+def test_hybrid_cores_speed_up_query(small_db, small_spectra):
+    times = {}
+    for cores in (1, 4):
+        res = DistributedSearchEngine(
+            small_db,
+            EngineConfig(n_ranks=2, policy="cyclic", cores_per_rank=cores),
+        ).run(small_spectra)
+        times[cores] = res.query_time
+    assert times[4] < times[1]
+    # Amdahl-bounded: 4 cores with 5% serial gives <= 3.48x
+    assert times[1] / times[4] <= 3.6
+
+
+def test_hybrid_cores_do_not_change_results(small_db, small_spectra,
+                                            serial_reference):
+    res = DistributedSearchEngine(
+        small_db,
+        EngineConfig(n_ranks=3, policy="cyclic", cores_per_rank=8),
+    ).run(small_spectra)
+    for a, b in zip(serial_reference.spectra, res.spectra):
+        assert a.n_candidates == b.n_candidates
+
+
+def test_intra_rank_speedup_formula():
+    cfg = EngineConfig(cores_per_rank=4, intra_serial_fraction=0.0)
+    assert cfg.intra_rank_speedup == pytest.approx(4.0)
+    cfg = EngineConfig(cores_per_rank=1, intra_serial_fraction=0.5)
+    assert cfg.intra_rank_speedup == pytest.approx(1.0)
+    cfg = EngineConfig(cores_per_rank=10**6, intra_serial_fraction=0.1)
+    assert cfg.intra_rank_speedup == pytest.approx(10.0, rel=1e-3)
+
+
+def test_hybrid_validation():
+    with pytest.raises(ConfigurationError):
+        EngineConfig(cores_per_rank=0)
+    with pytest.raises(ConfigurationError):
+        EngineConfig(intra_serial_fraction=1.5)

@@ -1,0 +1,149 @@
+"""Tests for target-decoy FDR estimation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.chem.peptide import Peptide
+from repro.errors import ConfigurationError
+from repro.search.fdr import (
+    combined_target_decoy,
+    estimate_fdr,
+    make_decoy_peptides,
+    qvalues,
+)
+
+TARGETS = [Peptide("ACDEFK", protein_id=0), Peptide("GHILMR", protein_id=1)]
+
+
+def test_decoy_is_pseudo_reverse():
+    decoys = make_decoy_peptides(TARGETS)
+    assert decoys[0].sequence == "FEDCAK"  # prefix reversed, K kept
+    assert decoys[1].sequence == "MLIHGR"
+
+
+def test_decoy_preserves_mass_and_length():
+    for t, d in zip(TARGETS, make_decoy_peptides(TARGETS)):
+        assert d.length == t.length
+        assert np.isclose(d.mass, t.mass)
+
+
+def test_decoy_protein_id_negated():
+    decoys = make_decoy_peptides(TARGETS)
+    assert decoys[0].protein_id == -1
+    assert decoys[1].protein_id == -2
+
+
+def test_single_residue_decoy():
+    assert make_decoy_peptides([Peptide("K")])[0].sequence == "K"
+
+
+def test_combined_database_interleaves():
+    db, is_decoy = combined_target_decoy(TARGETS, max_variants_per_peptide=0)
+    assert db.n_bases == 4
+    assert db.base_peptides[0].sequence == "ACDEFK"
+    assert db.base_peptides[1].sequence == "FEDCAK"
+    assert is_decoy.tolist() == [False, True, False, True]
+
+
+def test_combined_database_flags_variants():
+    db, is_decoy = combined_target_decoy(
+        [Peptide("MMKA")], max_variants_per_peptide=2
+    )
+    # target MMKA (+variants) then decoy KMMA (+variants); flags align
+    # with the decoy's entry range.
+    offsets = db.entry_offsets
+    assert not is_decoy[offsets[0] : offsets[1]].any()
+    assert is_decoy[offsets[1] : offsets[2]].all()
+
+
+def test_combined_empty_rejected():
+    with pytest.raises(ConfigurationError):
+        combined_target_decoy([])
+
+
+def test_estimate_fdr_basic():
+    scores = np.array([10.0, 9.0, 8.0, 7.0])
+    is_decoy = np.array([False, False, True, False])
+    assert estimate_fdr(scores, is_decoy, threshold=9.5) == 0.0
+    assert estimate_fdr(scores, is_decoy, threshold=7.5) == pytest.approx(1 / 2)
+    assert estimate_fdr(scores, is_decoy, threshold=0.0) == pytest.approx(1 / 3)
+
+
+def test_estimate_fdr_all_decoys():
+    assert estimate_fdr(np.array([5.0]), np.array([True]), 0.0) == 1.0
+
+
+def test_estimate_fdr_shape_mismatch():
+    with pytest.raises(ConfigurationError):
+        estimate_fdr(np.ones(2), np.array([True]), 0.0)
+
+
+def test_qvalues_monotone_in_rank():
+    scores = np.array([10.0, 9.0, 8.0, 7.0, 6.0])
+    is_decoy = np.array([False, True, False, False, True])
+    q = qvalues(scores, is_decoy)
+    order = np.argsort(-scores)
+    assert np.all(np.diff(q[order]) >= 0)
+
+
+def test_qvalues_perfect_separation():
+    scores = np.array([10.0, 9.0, 1.0, 0.5])
+    is_decoy = np.array([False, False, True, True])
+    q = qvalues(scores, is_decoy)
+    assert q[0] == 0.0 and q[1] == 0.0
+
+
+def test_qvalues_empty():
+    assert qvalues(np.array([]), np.array([], dtype=bool)).size == 0
+
+
+def test_qvalue_is_min_fdr_over_thresholds():
+    rng = np.random.default_rng(5)
+    scores = rng.uniform(0, 10, size=40)
+    is_decoy = rng.random(40) < 0.5
+    q = qvalues(scores, is_decoy)
+    for i in range(40):
+        fdrs = [
+            estimate_fdr(scores, is_decoy, threshold=t)
+            for t in sorted(set(scores[scores <= scores[i]]))
+        ]
+        assert q[i] <= min(fdrs) + 1e-12
+
+
+@given(st.lists(st.tuples(st.floats(0, 100), st.booleans()), min_size=1, max_size=60))
+def test_qvalues_bounded_property(pairs):
+    scores = np.array([p[0] for p in pairs])
+    is_decoy = np.array([p[1] for p in pairs])
+    q = qvalues(scores, is_decoy)
+    assert np.all(q >= 0)
+    assert np.all(q <= len(pairs))  # ratio bounded by n_decoys/1
+
+
+def test_end_to_end_search_fdr(tiny_spectra):
+    """Search a target+decoy database: true targets dominate the top
+    and decoy-based q-values separate them."""
+    from repro.db.proteome import ProteomeConfig, generate_proteome
+    from repro.db.digest import digest_proteome
+    from repro.db.dedup import deduplicate_peptides
+    from repro.search.serial import SerialSearchEngine
+    from repro.spectra.synthetic import SyntheticRunConfig, generate_run
+
+    proteome = generate_proteome(ProteomeConfig(n_families=2, seed=77))
+    targets = deduplicate_peptides(digest_proteome(proteome.records))
+    db, is_decoy = combined_target_decoy(targets, max_variants_per_peptide=2)
+    # Queries generated only from target entries.
+    target_ids = np.flatnonzero(~is_decoy)
+    spectra = generate_run(
+        [db.entries[i] for i in target_ids],
+        SyntheticRunConfig(n_spectra=15, seed=9, dropout=0.05),
+    )
+    results = SerialSearchEngine(db).run(spectra)
+    best = [sr.psms[0] for sr in results.spectra if sr.psms]
+    scores = np.array([p.score for p in best])
+    decoy_flags = np.array([bool(is_decoy[p.entry_id]) for p in best])
+    # Top hits are overwhelmingly targets.
+    assert decoy_flags.mean() < 0.2
+    q = qvalues(scores, decoy_flags)
+    # The best-scoring hits achieve low q-values.
+    assert q[np.argmax(scores)] <= 0.1

@@ -1,0 +1,133 @@
+"""Tests for the performance metrics (Eq. 1 and derived quantities)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.search.metrics import (
+    amdahl_speedup,
+    estimate_serial_fraction,
+    load_imbalance,
+    policy_cpu_speedup,
+    speedup_series,
+    wasted_cpu_time,
+)
+
+
+def test_li_balanced_is_zero():
+    assert load_imbalance([5.0, 5.0, 5.0]) == 0.0
+
+
+def test_li_paper_example():
+    """Section VI example: ΔTmax = 80s over Tavg = 100s -> LI = 0.8."""
+    times = [100.0] * 15 + [180.0]
+    avg = float(np.mean(times))
+    assert load_imbalance(times) == pytest.approx((180 - avg) / avg)
+
+
+def test_li_simple():
+    # times 1,1,2: avg=4/3, max dev = 2/3 -> LI = 0.5
+    assert load_imbalance([1.0, 1.0, 2.0]) == pytest.approx(0.5)
+
+
+def test_li_all_zero():
+    assert load_imbalance([0.0, 0.0]) == 0.0
+
+
+def test_li_validation():
+    with pytest.raises(ConfigurationError):
+        load_imbalance([])
+    with pytest.raises(ConfigurationError):
+        load_imbalance([-1.0])
+
+
+def test_twst_formula():
+    """Twst = N * ΔTmax (paper Section VI)."""
+    times = [1.0, 1.0, 2.0]
+    delta = 2.0 - np.mean(times)
+    assert wasted_cpu_time(times) == pytest.approx(3 * delta)
+
+
+def test_twst_balanced_zero():
+    assert wasted_cpu_time([2.0, 2.0]) == 0.0
+
+
+def test_policy_speedup_against_self_is_one():
+    times = [1.0, 2.0]
+    assert policy_cpu_speedup(times, times) == 1.0
+
+
+def test_policy_speedup_ratio():
+    chunk = [1.0, 3.0]  # Twst = 2*(3-2) = 2
+    cyclic = [1.9, 2.1]  # Twst = 2*(2.1-2) = 0.2
+    assert policy_cpu_speedup(cyclic, chunk) == pytest.approx(10.0)
+
+
+def test_policy_speedup_perfect_policy_inf():
+    assert policy_cpu_speedup([1.0, 1.0], [1.0, 3.0]) == float("inf")
+    assert policy_cpu_speedup([1.0, 1.0], [2.0, 2.0]) == 1.0
+
+
+def test_speedup_series_anchored_at_min():
+    series = speedup_series({2: 10.0, 4: 5.0, 8: 2.5})
+    assert series[2] == pytest.approx(2.0)
+    assert series[4] == pytest.approx(4.0)
+    assert series[8] == pytest.approx(8.0)
+
+
+def test_speedup_series_sublinear():
+    series = speedup_series({2: 10.0, 4: 6.0})
+    assert series[4] == pytest.approx(2 * 10 / 6)
+
+
+def test_speedup_series_validation():
+    with pytest.raises(ConfigurationError):
+        speedup_series({})
+    with pytest.raises(ConfigurationError):
+        speedup_series({0: 1.0})
+    with pytest.raises(ConfigurationError):
+        speedup_series({2: -1.0})
+
+
+def test_amdahl_limits():
+    assert amdahl_speedup(1, 0.5) == 1.0
+    assert amdahl_speedup(1000, 0.0) == pytest.approx(1000.0)
+    assert amdahl_speedup(1000, 1.0) == pytest.approx(1.0)
+    # s=0.1: asymptote 10x
+    assert amdahl_speedup(10**6, 0.1) == pytest.approx(10.0, rel=1e-3)
+
+
+def test_amdahl_validation():
+    with pytest.raises(ConfigurationError):
+        amdahl_speedup(0, 0.5)
+    with pytest.raises(ConfigurationError):
+        amdahl_speedup(4, 1.5)
+
+
+def test_estimate_serial_fraction_exact_model():
+    """T(p) = a + b/p recovered exactly from noiseless data."""
+    a, b = 2.0, 8.0
+    times = {p: a + b / p for p in (1, 2, 4, 8)}
+    s = estimate_serial_fraction(times)
+    assert s == pytest.approx(a / (a + b), abs=1e-9)
+
+
+def test_estimate_serial_fraction_pure_parallel():
+    times = {p: 8.0 / p for p in (1, 2, 4)}
+    assert estimate_serial_fraction(times) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_estimate_serial_fraction_needs_two_points():
+    with pytest.raises(ConfigurationError):
+        estimate_serial_fraction({2: 1.0})
+
+
+def test_speedup_consistent_with_amdahl():
+    """speedup_series of an Amdahl-shaped curve matches amdahl_speedup
+    scaled to the anchor."""
+    s = 0.2
+    t1 = 10.0
+    times = {p: t1 * (s + (1 - s) / p) for p in (1, 2, 4, 8, 16)}
+    series = speedup_series(times)
+    for p in (2, 4, 8, 16):
+        assert series[p] == pytest.approx(amdahl_speedup(p, s), rel=1e-9)

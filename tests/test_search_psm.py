@@ -1,0 +1,68 @@
+"""Tests for PSM result containers."""
+
+from repro.search.psm import PSM, RankStats, SearchResults, SpectrumResult
+
+
+def psm(scan=1, entry=0, score=1.0):
+    return PSM(scan_id=scan, entry_id=entry, score=score, shared_peaks=4)
+
+
+def test_spectrum_result_best():
+    sr = SpectrumResult(scan_id=1, n_candidates=3,
+                        psms=[psm(score=5.0), psm(entry=1, score=2.0)])
+    assert sr.best.score == 5.0
+    assert SpectrumResult(scan_id=2, n_candidates=0).best is None
+
+
+def test_rank_stats_total_time():
+    rs = RankStats(rank=0, build_time=1.0, query_time=2.0, comm_time=0.5)
+    assert rs.total_time == 3.5
+
+
+def make_results():
+    spectra = [
+        SpectrumResult(scan_id=1, n_candidates=10, psms=[psm()]),
+        SpectrumResult(scan_id=2, n_candidates=30, psms=[]),
+    ]
+    stats = [
+        RankStats(rank=0, query_time=1.0),
+        RankStats(rank=1, query_time=3.0),
+    ]
+    return SearchResults(
+        spectra=spectra,
+        rank_stats=stats,
+        phase_times={"total": 7.5, "query": 3.0},
+        policy_name="cyclic",
+        n_ranks=2,
+    )
+
+
+def test_cpsm_accounting():
+    res = make_results()
+    assert res.total_cpsms == 40
+    assert res.cpsms_per_query == 20.0
+
+
+def test_query_times_and_makespan():
+    res = make_results()
+    assert res.query_times == [1.0, 3.0]
+    assert res.query_time == 3.0
+
+
+def test_execution_time_from_phases():
+    assert make_results().execution_time == 7.5
+
+
+def test_best_by_scan_skips_empty():
+    best = make_results().best_by_scan()
+    assert set(best) == {1}
+    assert best[1].entry_id == 0
+
+
+def test_empty_results():
+    res = SearchResults(spectra=[], rank_stats=[], phase_times={},
+                        policy_name="shared", n_ranks=1)
+    assert res.total_cpsms == 0
+    assert res.cpsms_per_query == 0.0
+    assert res.query_time == 0.0
+    assert res.execution_time == 0.0

@@ -1,0 +1,98 @@
+"""Tests for the TSV PSM report."""
+
+import io
+
+import pytest
+
+from repro.chem.peptide import Peptide
+from repro.errors import FormatError
+from repro.search.psm import PSM, RankStats, SearchResults, SpectrumResult
+from repro.search.report import read_psm_report, write_psm_report
+
+PEPTIDES = [Peptide("AAAGGGK"), Peptide("MMK", ((0, 15.995),))]
+
+
+def results_fixture():
+    spectra = [
+        SpectrumResult(
+            scan_id=1,
+            n_candidates=12,
+            psms=[
+                PSM(scan_id=1, entry_id=0, score=9.5, shared_peaks=6),
+                PSM(scan_id=1, entry_id=1, score=3.25, shared_peaks=4),
+            ],
+        ),
+        SpectrumResult(scan_id=2, n_candidates=0, psms=[]),
+    ]
+    return SearchResults(
+        spectra=spectra,
+        rank_stats=[RankStats(rank=0)],
+        phase_times={},
+        policy_name="cyclic",
+        n_ranks=1,
+    )
+
+
+def test_write_counts_rows():
+    buf = io.StringIO()
+    assert write_psm_report(buf, results_fixture(), PEPTIDES) == 2
+
+
+def test_roundtrip():
+    buf = io.StringIO()
+    write_psm_report(buf, results_fixture(), PEPTIDES)
+    buf.seek(0)
+    psms = read_psm_report(buf)
+    assert len(psms) == 2
+    assert psms[0] == PSM(scan_id=1, entry_id=0, score=9.5, shared_peaks=6)
+    assert psms[1].entry_id == 1
+
+
+def test_peptide_annotation_in_file():
+    buf = io.StringIO()
+    write_psm_report(buf, results_fixture(), PEPTIDES)
+    text = buf.getvalue()
+    assert "AAAGGGK" in text
+    assert "M[+15.995]MK" in text
+
+
+def test_rank_column():
+    buf = io.StringIO()
+    write_psm_report(buf, results_fixture(), PEPTIDES)
+    lines = buf.getvalue().splitlines()
+    assert lines[1].split("\t")[1] == "1"
+    assert lines[2].split("\t")[1] == "2"
+
+
+def test_file_roundtrip(tmp_path):
+    path = tmp_path / "psms.tsv"
+    write_psm_report(path, results_fixture(), PEPTIDES)
+    assert len(read_psm_report(path)) == 2
+
+
+def test_bad_header_rejected():
+    with pytest.raises(FormatError, match="header"):
+        read_psm_report(io.StringIO("wrong\theader\n"))
+
+
+def test_bad_field_count_rejected():
+    buf = io.StringIO()
+    write_psm_report(buf, results_fixture(), PEPTIDES)
+    text = buf.getvalue() + "1\t2\t3\n"
+    with pytest.raises(FormatError, match="fields"):
+        read_psm_report(io.StringIO(text))
+
+
+def test_malformed_number_rejected():
+    buf = io.StringIO()
+    write_psm_report(buf, results_fixture(), PEPTIDES)
+    text = buf.getvalue().replace("9.5", "not-a-number")
+    with pytest.raises(FormatError, match="malformed"):
+        read_psm_report(io.StringIO(text))
+
+
+def test_blank_lines_skipped():
+    buf = io.StringIO()
+    write_psm_report(buf, results_fixture(), PEPTIDES)
+    text = buf.getvalue() + "\n\n"
+    assert len(read_psm_report(io.StringIO(text))) == 2

@@ -1,0 +1,100 @@
+"""Tests for the shared-memory reference engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.index.slm import SLMIndexSettings
+from repro.search.serial import SerialSearchEngine, top_k_psms
+
+
+def test_top_k_psms_ordering():
+    ids = np.array([5, 3, 9, 1])
+    scores = np.array([2.0, 7.0, 7.0, 1.0])
+    shared = np.array([4, 5, 6, 4])
+    psms = top_k_psms(1, ids, scores, shared, k=3)
+    # Score desc; tie at 7.0 broken by ascending entry id (3 before 9).
+    assert [p.entry_id for p in psms] == [3, 9, 5]
+    assert psms[0].shared_peaks == 5
+
+
+def test_top_k_psms_empty():
+    assert top_k_psms(1, np.array([]), np.array([]), np.array([]), 5) == []
+
+
+def test_top_k_truncates():
+    ids = np.arange(10)
+    scores = np.arange(10, dtype=float)
+    shared = np.ones(10, dtype=int)
+    assert len(top_k_psms(1, ids, scores, shared, 4)) == 4
+
+
+def test_invalid_top_k_rejected(small_db):
+    with pytest.raises(ConfigurationError):
+        SerialSearchEngine(small_db, top_k=0)
+
+
+def test_serial_run_basic(small_db, small_spectra):
+    engine = SerialSearchEngine(small_db)
+    res = engine.run(small_spectra)
+    assert len(res.spectra) == len(small_spectra)
+    assert res.policy_name == "shared"
+    assert res.n_ranks == 1
+    assert res.total_cpsms > 0
+    assert res.execution_time > 0
+
+
+def test_serial_identifies_true_peptides(small_db, small_spectra):
+    """Most spectra should rank their generating peptide #1 (the
+    synthetic run uses mild noise), and candidate sets should nearly
+    always contain it."""
+    engine = SerialSearchEngine(small_db)
+    res = engine.run(small_spectra)
+    hits = 0
+    for spec, sr in zip(small_spectra, res.spectra):
+        if sr.psms and sr.psms[0].entry_id == spec.true_peptide:
+            hits += 1
+    assert hits >= 0.6 * len(small_spectra)
+
+
+def test_phase_ledger_sums_to_total(small_db, small_spectra):
+    res = SerialSearchEngine(small_db).run(small_spectra)
+    parts = (
+        res.phase_times["serial_prep"]
+        + res.phase_times["build"]
+        + res.phase_times["query"]
+        + res.phase_times["merge"]
+    )
+    assert res.phase_times["total"] == pytest.approx(parts)
+
+
+def test_work_counters_populated(small_db, small_spectra):
+    res = SerialSearchEngine(small_db).run(small_spectra)
+    stats = res.rank_stats[0]
+    assert stats.n_entries == small_db.n_entries
+    assert stats.n_ions > 0
+    assert stats.ions_scanned > 0
+    assert stats.candidates_scored == res.total_cpsms
+
+
+def test_index_cached(small_db):
+    engine = SerialSearchEngine(small_db)
+    assert engine.index is engine.index
+
+
+def test_deterministic(small_db, small_spectra):
+    a = SerialSearchEngine(small_db).run(small_spectra)
+    b = SerialSearchEngine(small_db).run(small_spectra)
+    for x, y in zip(a.spectra, b.spectra):
+        assert x.n_candidates == y.n_candidates
+        assert [(p.entry_id, p.score) for p in x.psms] == [
+            (p.entry_id, p.score) for p in y.psms
+        ]
+
+
+def test_precursor_window_reduces_candidates(small_db, small_spectra):
+    open_res = SerialSearchEngine(small_db).run(small_spectra)
+    windowed = SerialSearchEngine(
+        small_db, SLMIndexSettings(precursor_tolerance=2.0)
+    ).run(small_spectra)
+    assert windowed.total_cpsms < open_res.total_cpsms

@@ -1,0 +1,116 @@
+"""Tests for MS2 format io."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.spectra.model import Spectrum
+from repro.spectra.ms2 import read_ms2, write_ms2
+
+
+def spectrum(scan=1, true_peptide=None):
+    return Spectrum(
+        scan_id=scan,
+        precursor_mz=523.77,
+        charge=2,
+        mzs=np.array([147.11, 204.13, 761.38]),
+        intensities=np.array([0.4, 1.0, 0.7]),
+        true_peptide=true_peptide,
+    )
+
+
+def roundtrip(spectra):
+    buf = io.StringIO()
+    write_ms2(buf, spectra)
+    buf.seek(0)
+    return list(read_ms2(buf))
+
+
+def test_roundtrip_single():
+    out = roundtrip([spectrum()])
+    assert len(out) == 1
+    s = out[0]
+    assert s.scan_id == 1
+    assert s.charge == 2
+    assert np.isclose(s.precursor_mz, 523.77, atol=1e-4)
+    assert np.allclose(s.mzs, [147.11, 204.13, 761.38], atol=1e-4)
+    assert np.allclose(s.intensities, [0.4, 1.0, 0.7], atol=1e-2)
+
+
+def test_roundtrip_many():
+    out = roundtrip([spectrum(scan=i) for i in range(1, 6)])
+    assert [s.scan_id for s in out] == [1, 2, 3, 4, 5]
+
+
+def test_true_peptide_roundtrip():
+    out = roundtrip([spectrum(true_peptide=42)])
+    assert out[0].true_peptide == 42
+
+
+def test_true_peptide_absent_is_none():
+    out = roundtrip([spectrum()])
+    assert out[0].true_peptide is None
+
+
+def test_write_returns_count():
+    buf = io.StringIO()
+    assert write_ms2(buf, [spectrum(1), spectrum(2)]) == 2
+
+
+def test_file_roundtrip(tmp_path):
+    path = tmp_path / "run.ms2"
+    write_ms2(path, [spectrum()])
+    out = list(read_ms2(path))
+    assert len(out) == 1
+
+
+def test_header_lines_ignored():
+    text = "H\tComment\tanything goes\nS\t1\t1\t500.0\nZ\t2\t999.0\n100.0 1.0\n"
+    out = list(read_ms2(io.StringIO(text)))
+    assert out[0].n_peaks == 1
+
+
+def test_missing_z_line_rejected():
+    text = "S\t1\t1\t500.0\n100.0 1.0\n"
+    with pytest.raises(FormatError, match="lacks a 'Z'"):
+        list(read_ms2(io.StringIO(text)))
+
+
+def test_peaks_before_s_rejected():
+    with pytest.raises(FormatError, match="before the first"):
+        list(read_ms2(io.StringIO("100.0 1.0\n")))
+
+
+def test_malformed_s_line_rejected():
+    with pytest.raises(FormatError, match="malformed S line"):
+        list(read_ms2(io.StringIO("S\t1\n")))
+
+
+def test_malformed_peak_line_rejected():
+    text = "S\t1\t1\t500.0\nZ\t2\t999.0\n100.0 1.0 3.0\n"
+    with pytest.raises(FormatError, match="malformed peak"):
+        list(read_ms2(io.StringIO(text)))
+
+
+def test_non_numeric_peak_rejected():
+    text = "S\t1\t1\t500.0\nZ\t2\t999.0\nabc def\n"
+    with pytest.raises(FormatError, match="non-numeric"):
+        list(read_ms2(io.StringIO(text)))
+
+
+def test_empty_file_yields_nothing():
+    assert list(read_ms2(io.StringIO(""))) == []
+
+
+def test_ms2_z_line_mass_is_mh():
+    """The Z line records the singly-protonated (M+H)+ mass."""
+    buf = io.StringIO()
+    s = spectrum()
+    write_ms2(buf, [s])
+    z_line = [l for l in buf.getvalue().splitlines() if l.startswith("Z")][0]
+    mh = float(z_line.split("\t")[2])
+    from repro.constants import PROTON
+
+    assert np.isclose(mh, s.neutral_mass + PROTON, atol=1e-4)

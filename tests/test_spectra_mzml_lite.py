@@ -1,0 +1,125 @@
+"""Tests for the mzML-lite XML spectra format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.spectra.model import Spectrum
+from repro.spectra.mzml_lite import read_mzml_lite, write_mzml_lite
+
+
+def spectrum(scan=1, true_peptide=None):
+    return Spectrum(
+        scan_id=scan,
+        precursor_mz=523.7712345,
+        charge=2,
+        mzs=np.array([147.11302, 204.13455, 761.38001]),
+        intensities=np.array([0.4, 1.0, 0.7]),
+        true_peptide=true_peptide,
+    )
+
+
+def test_roundtrip_binary_exact(tmp_path):
+    path = tmp_path / "run.mzml"
+    original = [spectrum(scan=i, true_peptide=i * 3) for i in range(1, 6)]
+    assert write_mzml_lite(path, original) == 5
+    loaded = read_mzml_lite(path)
+    assert len(loaded) == 5
+    for a, b in zip(original, loaded):
+        assert a.scan_id == b.scan_id
+        assert a.charge == b.charge
+        assert a.true_peptide == b.true_peptide
+        # base64 float64 encoding is bit-exact, unlike text formats
+        assert np.array_equal(a.mzs, b.mzs)
+        assert np.array_equal(a.intensities, b.intensities)
+
+
+def test_precursor_precision(tmp_path):
+    path = tmp_path / "p.mzml"
+    write_mzml_lite(path, [spectrum()])
+    loaded = read_mzml_lite(path)
+    assert loaded[0].precursor_mz == pytest.approx(523.7712345, abs=1e-7)
+
+
+def test_true_peptide_optional(tmp_path):
+    path = tmp_path / "t.mzml"
+    write_mzml_lite(path, [spectrum()])
+    assert read_mzml_lite(path)[0].true_peptide is None
+
+
+def test_empty_run(tmp_path):
+    path = tmp_path / "empty.mzml"
+    write_mzml_lite(path, [])
+    assert read_mzml_lite(path) == []
+
+
+def test_empty_spectrum(tmp_path):
+    path = tmp_path / "es.mzml"
+    s = Spectrum(1, 500.0, 2, np.array([]), np.array([]))
+    write_mzml_lite(path, [s])
+    loaded = read_mzml_lite(path)
+    assert loaded[0].n_peaks == 0
+
+
+def test_not_xml_rejected(tmp_path):
+    path = tmp_path / "bad.mzml"
+    path.write_text("this is not xml <")
+    with pytest.raises(FormatError, match="well-formed"):
+        read_mzml_lite(path)
+
+
+def test_wrong_root_rejected(tmp_path):
+    path = tmp_path / "wrong.mzml"
+    path.write_text("<notMzML/>")
+    with pytest.raises(FormatError, match="root element"):
+        read_mzml_lite(path)
+
+
+def test_missing_attrs_rejected(tmp_path):
+    path = tmp_path / "attrs.mzml"
+    path.write_text('<mzMLLite><run><spectrum scan="1"/></run></mzMLLite>')
+    with pytest.raises(FormatError, match="attributes"):
+        read_mzml_lite(path)
+
+
+def test_bad_base64_rejected(tmp_path):
+    path = tmp_path / "b64.mzml"
+    path.write_text(
+        '<mzMLLite><run><spectrum scan="1" precursorMz="500" charge="2">'
+        "<mzArray>!!notb64!!</mzArray><intensityArray></intensityArray>"
+        "</spectrum></run></mzMLLite>"
+    )
+    with pytest.raises(FormatError, match="base64"):
+        read_mzml_lite(path)
+
+
+def test_length_mismatch_rejected(tmp_path):
+    import base64
+
+    one = base64.b64encode(np.array([1.0]).tobytes()).decode()
+    two = base64.b64encode(np.array([1.0, 2.0]).tobytes()).decode()
+    path = tmp_path / "mm.mzml"
+    path.write_text(
+        f'<mzMLLite><run><spectrum scan="1" precursorMz="500" charge="2">'
+        f"<mzArray>{one}</mzArray><intensityArray>{two}</intensityArray>"
+        f"</spectrum></run></mzMLLite>"
+    )
+    with pytest.raises(FormatError, match="mismatch"):
+        read_mzml_lite(path)
+
+
+def test_interoperates_with_search(tmp_path, tiny_db, tiny_spectra):
+    """Spectra loaded from mzML-lite search identically to in-memory."""
+    from repro.search.serial import SerialSearchEngine
+
+    path = tmp_path / "run.mzml"
+    write_mzml_lite(path, tiny_spectra)
+    loaded = read_mzml_lite(path)
+    engine = SerialSearchEngine(tiny_db)
+    a = engine.run(tiny_spectra)
+    b = engine.run(loaded)
+    for x, y in zip(a.spectra, b.spectra):
+        assert x.n_candidates == y.n_candidates
+        assert [(p.entry_id, p.score) for p in x.psms] == [
+            (p.entry_id, p.score) for p in y.psms
+        ]

@@ -1,0 +1,117 @@
+"""Tests for query-spectrum preprocessing (top-N peak picking)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.spectra.model import Spectrum
+from repro.spectra.preprocess import PreprocessConfig, preprocess_batch, preprocess_spectrum
+
+
+def make(mzs, intens):
+    return Spectrum(
+        scan_id=1, precursor_mz=500.0, charge=2,
+        mzs=np.asarray(mzs, float), intensities=np.asarray(intens, float),
+    )
+
+
+def test_keeps_top_n_by_intensity():
+    s = make([100, 200, 300, 400], [0.1, 0.9, 0.5, 0.7])
+    out = preprocess_spectrum(s, PreprocessConfig(top_peaks=2, normalize=False))
+    assert np.array_equal(out.mzs, [200.0, 400.0])
+    assert np.array_equal(out.intensities, [0.9, 0.7])
+
+
+def test_output_sorted_by_mz():
+    s = make([100, 200, 300, 400, 500], [0.5, 0.9, 0.1, 0.8, 0.7])
+    out = preprocess_spectrum(s, PreprocessConfig(top_peaks=3))
+    assert np.all(np.diff(out.mzs) >= 0)
+
+
+def test_fewer_peaks_than_n_kept():
+    s = make([100, 200], [1.0, 0.5])
+    out = preprocess_spectrum(s, PreprocessConfig(top_peaks=100))
+    assert out.n_peaks == 2
+
+
+def test_normalization():
+    s = make([100, 200], [2.0, 4.0])
+    out = preprocess_spectrum(s, PreprocessConfig(top_peaks=10, normalize=True))
+    assert out.intensities.max() == 1.0
+    assert np.allclose(out.intensities, [0.5, 1.0])
+
+
+def test_no_normalization():
+    s = make([100, 200], [2.0, 4.0])
+    out = preprocess_spectrum(s, PreprocessConfig(top_peaks=10, normalize=False))
+    assert np.allclose(out.intensities, [2.0, 4.0])
+
+
+def test_min_mz_filter():
+    s = make([50, 150, 250], [1.0, 1.0, 1.0])
+    out = preprocess_spectrum(s, PreprocessConfig(min_mz=100.0))
+    assert np.array_equal(out.mzs, [150.0, 250.0])
+
+
+def test_intensity_tie_broken_by_mz():
+    s = make([300, 100, 200], [0.5, 0.5, 0.5])
+    out = preprocess_spectrum(s, PreprocessConfig(top_peaks=2, normalize=False))
+    assert np.array_equal(out.mzs, [100.0, 200.0])  # lower m/z wins ties
+
+
+def test_metadata_preserved():
+    s = Spectrum(7, 444.4, 3, np.array([100.0]), np.array([1.0]), true_peptide=5)
+    out = preprocess_spectrum(s)
+    assert (out.scan_id, out.precursor_mz, out.charge, out.true_peptide) == (
+        7, 444.4, 3, 5,
+    )
+
+
+def test_original_not_mutated():
+    s = make([100, 200, 300], [0.3, 0.2, 0.1])
+    preprocess_spectrum(s, PreprocessConfig(top_peaks=1))
+    assert s.n_peaks == 3
+
+
+def test_empty_spectrum_passthrough():
+    s = make([], [])
+    out = preprocess_spectrum(s)
+    assert out.n_peaks == 0
+
+
+def test_batch():
+    spectra = [make([100, 200], [1.0, 0.5]) for _ in range(3)]
+    out = preprocess_batch(spectra, PreprocessConfig(top_peaks=1))
+    assert all(s.n_peaks == 1 for s in out)
+
+
+@pytest.mark.parametrize("kwargs", [{"top_peaks": 0}, {"min_mz": -1.0}])
+def test_invalid_config_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        PreprocessConfig(**kwargs)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=50.0, max_value=2000.0),
+            st.floats(min_value=0.0, max_value=10.0),
+        ),
+        min_size=1,
+        max_size=60,
+        unique_by=lambda t: t[0],
+    ),
+    st.integers(min_value=1, max_value=20),
+)
+def test_topn_property(peaks, n):
+    mzs = [p[0] for p in peaks]
+    intens = [p[1] for p in peaks]
+    s = make(mzs, intens)
+    out = preprocess_spectrum(s, PreprocessConfig(top_peaks=n, normalize=False))
+    assert out.n_peaks == min(n, len(peaks))
+    # Retained peaks are exactly the n most intense ones.
+    kept = sorted(out.intensities.tolist(), reverse=True)
+    expected = sorted(intens, reverse=True)[: out.n_peaks]
+    assert np.allclose(sorted(kept), sorted(expected))
+    assert np.all(np.diff(out.mzs) >= 0)

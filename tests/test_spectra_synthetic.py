@@ -1,0 +1,136 @@
+"""Tests for the synthetic LC-MS/MS run generator."""
+
+import numpy as np
+import pytest
+
+from repro.chem.peptide import Peptide
+from repro.errors import ConfigurationError
+from repro.spectra.synthetic import SyntheticRunConfig, generate_run
+
+PEPTIDES = [
+    Peptide("AAAGGGKR", protein_id=0),
+    Peptide("CCDDEEKK", protein_id=0),
+    Peptide("MMNNQQRR", protein_id=1),
+    Peptide("WWYYFFKK", protein_id=2),
+    Peptide("LLIIVVPP", protein_id=2),
+]
+
+
+def test_deterministic():
+    a = generate_run(PEPTIDES, SyntheticRunConfig(n_spectra=20, seed=1))
+    b = generate_run(PEPTIDES, SyntheticRunConfig(n_spectra=20, seed=1))
+    for x, y in zip(a, b):
+        assert np.array_equal(x.mzs, y.mzs)
+        assert x.true_peptide == y.true_peptide
+
+
+def test_seed_changes_output():
+    a = generate_run(PEPTIDES, SyntheticRunConfig(n_spectra=20, seed=1))
+    b = generate_run(PEPTIDES, SyntheticRunConfig(n_spectra=20, seed=2))
+    assert any(x.true_peptide != y.true_peptide or not np.array_equal(x.mzs, y.mzs)
+               for x, y in zip(a, b))
+
+
+def test_scan_ids_ascending_from_one():
+    run = generate_run(PEPTIDES, SyntheticRunConfig(n_spectra=10, seed=3))
+    assert [s.scan_id for s in run] == list(range(1, 11))
+
+
+def test_true_peptide_in_range():
+    run = generate_run(PEPTIDES, SyntheticRunConfig(n_spectra=50, seed=4))
+    assert all(0 <= s.true_peptide < len(PEPTIDES) for s in run)
+
+
+def test_noise_peaks_added():
+    cfg = SyntheticRunConfig(n_spectra=5, seed=5, noise_peaks=30, dropout=0.0)
+    run = generate_run(PEPTIDES, cfg)
+    for s in run:
+        src = PEPTIDES[s.true_peptide]
+        assert s.n_peaks == 2 * (src.length - 1) + 30
+
+
+def test_zero_noise_zero_dropout_counts():
+    cfg = SyntheticRunConfig(n_spectra=5, seed=6, noise_peaks=0, dropout=0.0)
+    run = generate_run(PEPTIDES, cfg)
+    for s in run:
+        src = PEPTIDES[s.true_peptide]
+        assert s.n_peaks == 2 * (src.length - 1)
+
+
+def test_dropout_reduces_peaks():
+    dense = generate_run(
+        PEPTIDES, SyntheticRunConfig(n_spectra=30, seed=7, dropout=0.0, noise_peaks=0)
+    )
+    sparse = generate_run(
+        PEPTIDES, SyntheticRunConfig(n_spectra=30, seed=7, dropout=0.6, noise_peaks=0)
+    )
+    assert sum(s.n_peaks for s in sparse) < sum(s.n_peaks for s in dense)
+
+
+def test_at_least_one_real_fragment_survives():
+    cfg = SyntheticRunConfig(n_spectra=30, seed=8, dropout=0.95, noise_peaks=0)
+    run = generate_run(PEPTIDES, cfg)
+    assert all(s.n_peaks >= 1 for s in run)
+
+
+def test_dark_matter_shifts_precursor():
+    no_dark = SyntheticRunConfig(
+        n_spectra=40, seed=9, dark_matter_fraction=0.0, mz_sigma=0.0
+    )
+    run = generate_run(PEPTIDES, no_dark)
+    for s in run:
+        assert np.isclose(s.neutral_mass, PEPTIDES[s.true_peptide].mass, atol=1e-6)
+
+    all_dark = SyntheticRunConfig(
+        n_spectra=40, seed=9, dark_matter_fraction=1.0, mz_sigma=0.0
+    )
+    run = generate_run(PEPTIDES, all_dark)
+    shifted = sum(
+        not np.isclose(s.neutral_mass, PEPTIDES[s.true_peptide].mass, atol=1e-3)
+        for s in run
+    )
+    assert shifted > 30  # nearly all (tiny shifts possible but rare)
+
+
+def test_charges_follow_distribution():
+    cfg = SyntheticRunConfig(n_spectra=300, seed=10, charge_probs=(0.0, 1.0))
+    run = generate_run(PEPTIDES, cfg)
+    assert all(s.charge == 2 for s in run)
+
+
+def test_abundance_skew():
+    """High Zipf exponent concentrates sampling on few proteins."""
+    flat = generate_run(
+        PEPTIDES, SyntheticRunConfig(n_spectra=400, seed=11, abundance_zipf=0.0)
+    )
+    skew = generate_run(
+        PEPTIDES, SyntheticRunConfig(n_spectra=400, seed=11, abundance_zipf=3.0)
+    )
+
+    def top_fraction(run):
+        counts = np.bincount([s.true_peptide for s in run], minlength=len(PEPTIDES))
+        return counts.max() / counts.sum()
+
+    assert top_fraction(skew) > top_fraction(flat)
+
+
+def test_empty_peptides_rejected():
+    with pytest.raises(ConfigurationError):
+        generate_run([], SyntheticRunConfig(n_spectra=5))
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"n_spectra": 0},
+        {"dropout": 1.0},
+        {"noise_peaks": -1},
+        {"mz_sigma": -0.1},
+        {"dark_matter_fraction": 1.2},
+        {"charge_probs": (0.5, 0.4)},
+        {"abundance_zipf": -1.0},
+    ],
+)
+def test_invalid_config_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        SyntheticRunConfig(**kwargs)

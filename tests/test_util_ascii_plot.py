@@ -1,0 +1,74 @@
+"""Tests for the ASCII plotting helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.ascii_plot import bar_chart, line_plot
+
+
+def test_line_plot_contains_markers_and_legend():
+    out = line_plot(
+        {"ideal": [(2, 2.0), (4, 4.0)], "measured": [(2, 2.0), (4, 3.5)]},
+        title="speedup",
+    )
+    assert "speedup" in out
+    assert "o ideal" in out
+    assert "x measured" in out
+    assert "o" in out.splitlines()[1]
+
+
+def test_line_plot_extremes_on_grid():
+    out = line_plot({"s": [(0, 0.0), (10, 100.0)]}, width=20, height=6)
+    lines = out.splitlines()
+    assert "100" in lines[0]  # y max label on top row
+    # bottom data row carries the y-min label
+    assert any("0" in l.split("|")[0] for l in lines[1:7])
+
+
+def test_line_plot_single_point():
+    out = line_plot({"p": [(1.0, 5.0)]})
+    assert "o" in out
+
+
+def test_line_plot_axis_labels():
+    out = line_plot(
+        {"a": [(1, 1.0), (2, 2.0)]}, x_label="ranks", y_label="speedup"
+    )
+    assert "ranks" in out
+    assert "speedup" in out
+
+
+def test_line_plot_validation():
+    with pytest.raises(ConfigurationError):
+        line_plot({})
+    with pytest.raises(ConfigurationError):
+        line_plot({"a": []})
+    with pytest.raises(ConfigurationError):
+        line_plot({"a": [(1, 1.0)]}, width=5)
+
+
+def test_bar_chart_scaling():
+    out = bar_chart({"chunk": 100.0, "cyclic": 10.0}, width=40)
+    lines = out.splitlines()
+    chunk_bar = lines[0].split("|")[1]
+    cyclic_bar = lines[1].split("|")[1]
+    assert chunk_bar.count("#") == 40
+    assert 3 <= cyclic_bar.count("#") <= 5
+
+
+def test_bar_chart_zero_value():
+    out = bar_chart({"a": 0.0, "b": 1.0})
+    assert out.splitlines()[0].split("|")[1].count("#") == 0
+
+
+def test_bar_chart_unit_and_title():
+    out = bar_chart({"a": 1.0}, title="LI", unit="%")
+    assert out.startswith("LI")
+    assert "1%" in out
+
+
+def test_bar_chart_validation():
+    with pytest.raises(ConfigurationError):
+        bar_chart({})
+    with pytest.raises(ConfigurationError):
+        bar_chart({"a": -1.0})

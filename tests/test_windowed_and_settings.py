@@ -1,0 +1,78 @@
+"""Distributed == serial under non-default index settings.
+
+The main equivalence tests run the paper's open-search defaults; these
+cover the other corners of the settings space: precursor-windowed
+("closed") search, multi-charge fragmentation, b-only indexes, and
+coarser resolutions — partitioning must stay semantics-free in all of
+them.
+"""
+
+import pytest
+
+from repro.chem.fragments import FragmentationSettings
+from repro.index.slm import SLMIndexSettings
+from repro.search.engine import DistributedSearchEngine, EngineConfig
+from repro.search.serial import SerialSearchEngine
+
+SETTINGS_MATRIX = {
+    "windowed": SLMIndexSettings(precursor_tolerance=3.0),
+    "charges12": SLMIndexSettings(
+        fragmentation=FragmentationSettings(charges=(1, 2))
+    ),
+    "b_only": SLMIndexSettings(
+        fragmentation=FragmentationSettings(include_y=False),
+        shared_peak_threshold=2,
+    ),
+    "coarse": SLMIndexSettings(resolution=0.1, fragment_tolerance=0.2),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SETTINGS_MATRIX))
+def test_distributed_equals_serial_under_settings(tiny_db, tiny_spectra, name):
+    settings = SETTINGS_MATRIX[name]
+    serial = SerialSearchEngine(tiny_db, settings).run(tiny_spectra)
+    dist = DistributedSearchEngine(
+        tiny_db, EngineConfig(n_ranks=3, policy="cyclic", index=settings)
+    ).run(tiny_spectra)
+    for a, b in zip(serial.spectra, dist.spectra):
+        assert a.n_candidates == b.n_candidates, name
+        assert [(p.entry_id, p.score, p.shared_peaks) for p in a.psms] == [
+            (p.entry_id, p.score, p.shared_peaks) for p in b.psms
+        ], name
+
+
+def test_windowed_distributed_fewer_candidates(tiny_db, tiny_spectra):
+    open_res = DistributedSearchEngine(
+        tiny_db, EngineConfig(n_ranks=3)
+    ).run(tiny_spectra)
+    win_res = DistributedSearchEngine(
+        tiny_db,
+        EngineConfig(n_ranks=3, index=SLMIndexSettings(precursor_tolerance=3.0)),
+    ).run(tiny_spectra)
+    assert win_res.total_cpsms < open_res.total_cpsms
+
+
+def test_charge2_index_has_more_ions(tiny_db):
+    from repro.index.slm import SLMIndex
+
+    s1 = SLMIndex(tiny_db.entries[:50], SLMIndexSettings())
+    s2 = SLMIndex(
+        tiny_db.entries[:50],
+        SLMIndexSettings(fragmentation=FragmentationSettings(charges=(1, 2))),
+    )
+    assert s2.n_ions == 2 * s1.n_ions
+
+
+def test_top_k_one(tiny_db, tiny_spectra):
+    """top_k=1 keeps only the best PSM and it matches the default
+    run's best PSM."""
+    default = DistributedSearchEngine(
+        tiny_db, EngineConfig(n_ranks=2, top_k=5)
+    ).run(tiny_spectra)
+    top1 = DistributedSearchEngine(
+        tiny_db, EngineConfig(n_ranks=2, top_k=1)
+    ).run(tiny_spectra)
+    for a, b in zip(default.spectra, top1.spectra):
+        assert len(b.psms) <= 1
+        if a.psms:
+            assert b.psms[0].entry_id == a.psms[0].entry_id
