@@ -4,6 +4,9 @@ Reimplementation of the SLM-Transform fragment-ion index (Haseeb et
 al., 2019 — reference [6] of the LBE paper), the host data structure
 LBE partitions:
 
+* :mod:`~repro.index.arena` — the flat CSR fragment arena feeding the
+  hot-path kernels: one float64 m/z array + int64 offsets (+ cached
+  per-resolution bucket quantizations) per fragmentation setting.
 * :mod:`~repro.index.slm` — the index proper: fragment ions quantized
   at resolution ``r`` into a CSR bucket layout with parent-peptide
   back-references; shared-peak filtration queries.
@@ -13,12 +16,16 @@ LBE partitions:
   reproduce Fig. 5 at paper scale.
 """
 
+from repro.index.arena import FragmentArena, Workspace, concat_ranges
 from repro.index.slm import SLMIndex, SLMIndexSettings, FilterResult
 from repro.index.chunks import ChunkedIndex, ChunkingConfig
 from repro.index.memory import IndexMemoryModel, MemoryBreakdown
 from repro.index.serialize import load_index, save_index
 
 __all__ = [
+    "FragmentArena",
+    "Workspace",
+    "concat_ranges",
     "SLMIndex",
     "SLMIndexSettings",
     "FilterResult",

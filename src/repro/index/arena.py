@@ -1,0 +1,366 @@
+"""Flat CSR fragment arena: the hot-path data layout.
+
+The filtration/scoring kernels used to walk Python lists of small
+per-peptide numpy arrays; at millions of entries the interpreter loop
+and the per-array allocations dominate wall-clock time.  Following the
+HiCOPS design (flat, cache-friendly arrays instead of per-peptide
+objects), the arena stores one fragmentation setting's worth of
+theoretical fragments for an entire entry set as a single immutable
+CSR structure:
+
+* ``mzs`` — one flat ``float64`` array holding every entry's fragment
+  m/z values, entry-major, each entry's slice sorted ascending (the
+  order :func:`~repro.chem.fragments.fragment_mzs` emits),
+* ``offsets`` — ``int64``, length ``n_entries + 1``; entry ``i`` owns
+  ``mzs[offsets[i] : offsets[i + 1]]``,
+* per-resolution **bucket caches** — parallel ``int64`` arrays holding
+  ``floor(mz / r)``, quantized once per resolution and shared by every
+  index built over the arena,
+* optional parallel per-entry metadata: ``lengths`` (residue counts,
+  the scoring cost basis) and ``masses`` (float32 neutral masses, the
+  precursor-filter input).
+
+Consumers:
+
+* :class:`~repro.index.slm.SLMIndex` builds its bucket-major CSR with
+  one ``argsort`` over an arena bucket slice — no per-peptide loop,
+  no transient list-of-arrays,
+* :func:`~repro.search.scoring.score_candidates` gathers all candidate
+  fragments with one vectorized range concatenation,
+* :class:`~repro.search.engine.DistributedSearchEngine` carves
+  per-rank sub-arenas with :meth:`FragmentArena.take` instead of
+  rebuilding Python lists entry-by-entry.
+
+Every path is bit-identical to the per-peptide-array layout it
+replaced: the arena is exactly the concatenation of the old arrays,
+so downstream float arithmetic sees the same operand sequences.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.chem.fragments import FragmentationSettings, fragment_mzs
+from repro.chem.peptide import Peptide
+from repro.errors import ConfigurationError
+
+__all__ = ["FragmentArena", "Workspace", "concat_ranges", "thread_workspace"]
+
+
+class Workspace:
+    """Growable named scratch buffers for per-query kernels.
+
+    The filtration/scoring hot loops need a handful of temporary
+    arrays per spectrum (gather indices, credit vectors, prefix sums).
+    Allocating them per call is measurable at volume; a workspace hands
+    out views into persistent buffers that grow geometrically and are
+    reused across calls.
+
+    A view returned by :meth:`take` is valid only until the next
+    :meth:`take` with the same name — callers must consume it before
+    re-entering the kernel.  Workspaces are not thread-safe; use
+    :func:`thread_workspace` for one per thread.
+    """
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self) -> None:
+        self._buffers: Dict[Tuple[str, str], np.ndarray] = {}
+
+    def take(self, name: str, size: int, dtype) -> np.ndarray:
+        """Return an uninitialized length-``size`` view named ``name``."""
+        dt = np.dtype(dtype)
+        key = (name, dt.str)
+        buf = self._buffers.get(key)
+        if buf is None or buf.size < size:
+            grown = buf.size * 2 if buf is not None else 0
+            buf = np.empty(max(size, grown, 1024), dtype=dt)
+            self._buffers[key] = buf
+        return buf[:size]
+
+
+_tls = threading.local()
+
+
+def thread_workspace() -> Workspace:
+    """The calling thread's shared :class:`Workspace` (created lazily).
+
+    Simulated MPI ranks run as threads, so kernel scratch must be
+    thread-local; within a thread all indexes/scorers share one
+    workspace (buffers grow to the largest request and stay warm).
+    """
+    ws = getattr(_tls, "workspace", None)
+    if ws is None:
+        ws = _tls.workspace = Workspace()
+    return ws
+
+
+def concat_ranges(
+    starts: np.ndarray,
+    stops: np.ndarray,
+    *,
+    workspace: Workspace | None = None,
+    name: str = "concat_ranges",
+) -> np.ndarray:
+    """Concatenate integer ranges ``[starts[i], stops[i])`` — vectorized.
+
+    Equivalent to ``np.concatenate([np.arange(a, b) for a, b in
+    zip(starts, stops)])`` without the Python loop: unit steps with
+    jump corrections at segment boundaries, then one cumulative sum.
+    Empty ranges (``stops[i] <= starts[i]``) contribute nothing.
+
+    With ``workspace`` the result is a scratch view (valid until the
+    next workspace use under the same ``name``); otherwise a fresh
+    ``int64`` array.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    stops = np.asarray(stops, dtype=np.int64)
+    spans = stops - starts
+    nonempty = spans > 0
+    if not nonempty.all():
+        starts, spans = starts[nonempty], spans[nonempty]
+    total = int(spans.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    if workspace is not None:
+        steps = workspace.take(name + ".steps", total, np.int64)
+        out = workspace.take(name + ".out", total, np.int64)
+    else:
+        steps = np.empty(total, dtype=np.int64)
+        out = np.empty(total, dtype=np.int64)
+    steps.fill(1)
+    steps[0] = starts[0]
+    if starts.size > 1:
+        seg_heads = np.cumsum(spans)[:-1]
+        steps[seg_heads] = starts[1:] - (starts[:-1] + spans[:-1] - 1)
+    np.cumsum(steps, out=out)
+    return out
+
+
+class FragmentArena:
+    """Immutable CSR layout of an entry set's theoretical fragments.
+
+    Parameters
+    ----------
+    mzs:
+        Flat float64 fragment m/z array, entry-major.
+    offsets:
+        int64 CSR offsets, length ``n_entries + 1``.
+    lengths:
+        Optional int64 residue count per entry.
+    masses:
+        Optional float32 neutral mass per entry.
+    """
+
+    __slots__ = (
+        "mzs",
+        "offsets",
+        "lengths",
+        "masses",
+        "_counts",
+        "_views",
+        "_bucket_cache",
+        "_order_cache",
+    )
+
+    def __init__(
+        self,
+        mzs: np.ndarray,
+        offsets: np.ndarray,
+        *,
+        lengths: np.ndarray | None = None,
+        masses: np.ndarray | None = None,
+    ) -> None:
+        mzs = np.asarray(mzs, dtype=np.float64)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if offsets.ndim != 1 or offsets.size < 1 or int(offsets[0]) != 0:
+            raise ConfigurationError("arena offsets must be 1-D and start at 0")
+        if int(offsets[-1]) != mzs.size:
+            raise ConfigurationError(
+                f"arena offsets end at {int(offsets[-1])} but mzs holds {mzs.size}"
+            )
+        n = offsets.size - 1
+        if lengths is not None and len(lengths) != n:
+            raise ConfigurationError(f"{len(lengths)} lengths for {n} entries")
+        if masses is not None and len(masses) != n:
+            raise ConfigurationError(f"{len(masses)} masses for {n} entries")
+        self.mzs = mzs
+        self.offsets = offsets
+        self.lengths = None if lengths is None else np.asarray(lengths, dtype=np.int64)
+        self.masses = None if masses is None else np.asarray(masses, dtype=np.float32)
+        self._counts: np.ndarray | None = None
+        self._views: List[np.ndarray] | None = None
+        self._bucket_cache: Dict[float, np.ndarray] = {}
+        self._order_cache: Dict[float, np.ndarray] = {}
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_peptides(
+        cls,
+        peptides: Sequence[Peptide],
+        fragmentation: FragmentationSettings = FragmentationSettings(),
+    ) -> "FragmentArena":
+        """Generate and flatten fragments for ``peptides`` (one pass)."""
+        arrays = [fragment_mzs(p, fragmentation) for p in peptides]
+        return cls.from_arrays(
+            arrays,
+            lengths=np.fromiter(
+                (p.length for p in peptides), dtype=np.int64, count=len(peptides)
+            ),
+            masses=np.array([p.mass for p in peptides], dtype=np.float32),
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        arrays: Sequence[np.ndarray],
+        *,
+        lengths: np.ndarray | None = None,
+        masses: np.ndarray | None = None,
+    ) -> "FragmentArena":
+        """Flatten precomputed per-entry fragment arrays into an arena."""
+        n = len(arrays)
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        if n:
+            np.cumsum([a.size for a in arrays], out=offsets[1:])
+            mzs = np.concatenate(arrays) if offsets[-1] else np.empty(0, dtype=np.float64)
+        else:
+            mzs = np.empty(0, dtype=np.float64)
+        return cls(mzs, offsets, lengths=lengths, masses=masses)
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def n_entries(self) -> int:
+        """Number of entries the arena covers."""
+        return self.offsets.size - 1
+
+    @property
+    def n_ions(self) -> int:
+        """Total fragments stored."""
+        return self.mzs.size
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Fragments per entry (int64, length ``n_entries``); cached."""
+        if self._counts is None:
+            self._counts = np.diff(self.offsets)
+        return self._counts
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes: flat arrays, metadata, and bucket caches."""
+        total = self.mzs.nbytes + self.offsets.nbytes
+        if self.lengths is not None:
+            total += self.lengths.nbytes
+        if self.masses is not None:
+            total += self.masses.nbytes
+        for cached in self._bucket_cache.values():
+            total += cached.nbytes
+        for cached in self._order_cache.values():
+            total += cached.nbytes
+        return total
+
+    def fragments_of(self, entry_id: int) -> np.ndarray:
+        """Zero-copy view of entry ``entry_id``'s fragment m/z values."""
+        return self.mzs[self.offsets[entry_id] : self.offsets[entry_id + 1]]
+
+    def views(self) -> List[np.ndarray]:
+        """Per-entry zero-copy views (the legacy list-of-arrays shape).
+
+        Cached so repeated callers share one list object; the views
+        alias :attr:`mzs`, so no fragment data is duplicated.
+        """
+        if self._views is None:
+            self._views = [self.fragments_of(i) for i in range(self.n_entries)]
+        return self._views
+
+    # -- quantization ---------------------------------------------------
+
+    def buckets_for(self, resolution: float) -> np.ndarray:
+        """Flat ``floor(mz / resolution)`` array, quantized once per resolution.
+
+        Uses the same ``mz * (1 / r)`` arithmetic as the original
+        per-peptide quantization, so bucket ids are bit-identical.
+        """
+        cached = self._bucket_cache.get(resolution)
+        if cached is None:
+            inv_r = 1.0 / resolution
+            cached = np.floor(self.mzs * inv_r).astype(np.int64)
+            self._bucket_cache[resolution] = cached
+        return cached
+
+    def drop_quantization_caches(self) -> None:
+        """Free the per-resolution bucket/sort-order caches.
+
+        Call once no more indexes will be built over this arena (e.g.
+        a rank's sub-arena after its partial-index build): the flat
+        m/z data — all scoring needs — stays, but the 16 B/ion of
+        cached int64 quantization state is released.
+        """
+        self._bucket_cache.clear()
+        self._order_cache.clear()
+
+    def sort_order_for(self, resolution: float) -> np.ndarray:
+        """Stable bucket-major sort order of the arena's ions, cached.
+
+        This is the argsort every :class:`~repro.index.slm.SLMIndex`
+        over this arena needs at ``resolution``; it depends only on the
+        immutable fragment data, so repeated index builds (the serial
+        engine across a policy sweep, benchmark repetitions) pay for
+        the sort once.
+        """
+        cached = self._order_cache.get(resolution)
+        if cached is None:
+            cached = np.argsort(self.buckets_for(resolution), kind="stable")
+            self._order_cache[resolution] = cached
+        return cached
+
+    # -- selection ------------------------------------------------------
+
+    def take(self, entry_ids: np.ndarray) -> "FragmentArena":
+        """Sub-arena of ``entry_ids`` (in the given order), one gather.
+
+        Per-entry metadata travels along, and any already-quantized
+        bucket caches are gathered too, so ranks never re-quantize.
+        """
+        ids = np.asarray(entry_ids, dtype=np.int64)
+        starts = self.offsets[ids]
+        stops = self.offsets[ids + 1]
+        new_offsets = np.zeros(ids.size + 1, dtype=np.int64)
+        np.cumsum(stops - starts, out=new_offsets[1:])
+        idx = concat_ranges(starts, stops)
+        sub = FragmentArena(
+            self.mzs[idx],
+            new_offsets,
+            lengths=None if self.lengths is None else self.lengths[ids],
+            masses=None if self.masses is None else self.masses[ids],
+        )
+        for resolution, buckets in self._bucket_cache.items():
+            sub._bucket_cache[resolution] = buckets[idx]
+        return sub
+
+    def gather_flat(
+        self, entry_ids: np.ndarray, *, workspace: Workspace | None = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(flat_mzs, sizes)`` over ``entry_ids`` — the scoring gather.
+
+        ``flat_mzs`` is the concatenation of each id's fragment slice
+        (duplicate ids allowed); ``sizes`` the per-id fragment counts.
+        With ``workspace`` the flat array is a scratch view.
+        """
+        ids = np.asarray(entry_ids, dtype=np.int64)
+        starts = self.offsets[ids]
+        stops = self.offsets[ids + 1]
+        sizes = stops - starts
+        idx = concat_ranges(starts, stops, workspace=workspace, name="arena.gather")
+        if workspace is not None:
+            flat = workspace.take("arena.gather.mzs", idx.size, np.float64)
+            np.take(self.mzs, idx, out=flat)
+        else:
+            flat = self.mzs[idx]
+        return flat, sizes

@@ -17,9 +17,21 @@ the C++ original's layout, cross-validated (in tests) against the
   entry,
 * master mapping table: one int32 per entry (distributed only),
 * transient build overhead: the bucket-major sort holds the unsorted
-  ion arrays alongside the final ones → 2× ion bytes during build
-  (eliminated when internal chunking is enabled, because chunks are
-  built one at a time).
+  flat bucket/parent arrays alongside the final ones → 2× ion bytes
+  during build (eliminated when internal chunking is enabled, because
+  chunks are built one at a time).
+
+Separately from the C++-layout terms above (which drop fragment m/z
+values after quantization), our reproduction retains a host-side
+**fragment arena** (:mod:`repro.index.arena`): one flat float64 m/z
+array plus int64 CSR offsets and one pre-quantized int64 bucket array
+per resolution, shared by every engine over a database.  It replaces
+the old per-peptide list-of-arrays fragment cache — same payload
+bytes, but without the ~56-byte-per-entry numpy object headers and the
+list slots.  :meth:`IndexMemoryModel.arena_bytes` models it and
+:meth:`IndexMemoryModel.measure_arena` checks the model against a live
+arena; it is *not* part of the Fig. 5 comparison, which models the
+original's layout.
 """
 
 from __future__ import annotations
@@ -155,6 +167,38 @@ class IndexMemoryModel:
             mapping_bytes=mapping,
             transient_bytes=transient,
         )
+
+    def arena_bytes(self, n_entries: int, *, n_resolutions: int = 1) -> int:
+        """Host-side fragment-arena bytes over ``n_entries``.
+
+        Flat float64 m/z (8 B/ion) + int64 CSR offsets (8 B/entry + 8)
+        + two int64 arrays per cached resolution (the pre-quantized
+        buckets and the shared bucket-major sort order, 16 B/ion
+        together).  This models **one** arena.  A distributed run
+        holds the master arena *and* per-rank sub-arena copies of the
+        same ion population (rank sub-arenas drop their quantization
+        caches after the partial build but keep their m/z slices), so
+        its system-wide arena total is roughly this figure plus
+        ``8 B × n_ions`` of rank-held m/z.
+        """
+        if n_resolutions < 0:
+            raise ConfigurationError(
+                f"n_resolutions must be >= 0, got {n_resolutions}"
+            )
+        n_ions = n_entries * self.ions_per_entry
+        mz = 8.0 * n_ions
+        offsets = 8 * (n_entries + 1)
+        per_resolution = 16.0 * n_ions * n_resolutions
+        return int(mz + offsets + per_resolution)
+
+    def measure_arena(self, arena) -> int:  # noqa: ANN001
+        """Resident bytes of a live :class:`~repro.index.arena.FragmentArena`.
+
+        Used by tests to confirm :meth:`arena_bytes` tracks reality for
+        the flat-array terms (per-entry metadata adds a few bytes the
+        structural model ignores).
+        """
+        return int(arena.nbytes)
 
     def gb_per_million(self, n_entries: int, n_ranks: int | None = None) -> float:
         """GB per million entries (the paper's summary metric)."""

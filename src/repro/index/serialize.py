@@ -132,6 +132,8 @@ def load_index(path: Union[str, Path]) -> SLMIndex:
     index.settings = settings
     index.peptides = peptides
     index.masses = masses
+    index.arena = None  # archives predate/omit the arena; queries don't need it
+    index._ion_counts = None  # recovered lazily from ion_parents on demand
     index.ion_parents = ion_parents
     index.bucket_offsets = bucket_offsets
     index.n_buckets = int(bucket_offsets.size - 1)

@@ -39,6 +39,7 @@ from repro.constants import (
     DEFAULT_SHARED_PEAK_THRESHOLD,
 )
 from repro.errors import ConfigurationError
+from repro.index.arena import FragmentArena, concat_ranges, thread_workspace
 from repro.spectra.model import Spectrum
 
 __all__ = ["SLMIndexSettings", "FilterResult", "SLMIndex"]
@@ -128,13 +129,21 @@ class SLMIndex:
         ``peptides`` (see
         :meth:`repro.search.database.IndexedDatabase.fragments_for`);
         skips per-peptide fragment generation during construction.
+    arena:
+        Optional :class:`~repro.index.arena.FragmentArena` aligned with
+        ``peptides``; the fastest construction path (one argsort over a
+        pre-quantized flat bucket slice, no per-peptide loop).  Takes
+        precedence over ``fragments``.  A caller-provided arena is kept
+        on ``self.arena`` (shared storage); arenas built internally
+        from ``fragments``/``peptides`` are transient and freed after
+        construction (``self.arena`` is ``None``).
 
     Notes
     -----
-    Construction transiently materializes per-peptide fragment arrays
-    before the bucket-major sort — the source of the paper's "2×
-    temporary memory" remark (Section V-B); the memory model accounts
-    for it.
+    Construction materializes flat bucket/parent arrays alongside
+    their sorted copies before the transients are freed — the source of
+    the paper's "2× temporary memory" remark (Section V-B); the memory
+    model accounts for it.
     """
 
     def __init__(
@@ -143,49 +152,62 @@ class SLMIndex:
         settings: SLMIndexSettings = SLMIndexSettings(),
         *,
         fragments: Sequence[np.ndarray] | None = None,
+        arena: FragmentArena | None = None,
     ) -> None:
         self.settings = settings
         self.peptides: List[Peptide] = list(peptides)
-        if fragments is not None and len(fragments) != len(self.peptides):
-            raise ConfigurationError(
-                f"{len(fragments)} fragment arrays for {len(self.peptides)} peptides"
-            )
-        self.masses = np.array([p.mass for p in self.peptides], dtype=np.float32)
+        n = len(self.peptides)
+        owns_arena = arena is None
+        if arena is not None:
+            if arena.n_entries != n:
+                raise ConfigurationError(
+                    f"arena covers {arena.n_entries} entries for {n} peptides"
+                )
+        elif fragments is not None:
+            if len(fragments) != n:
+                raise ConfigurationError(
+                    f"{len(fragments)} fragment arrays for {n} peptides"
+                )
+            arena = FragmentArena.from_arrays(fragments)
+        else:
+            arena = FragmentArena.from_peptides(self.peptides, settings.fragmentation)
+        if arena.masses is not None:
+            self.masses = arena.masses
+        else:
+            self.masses = np.array([p.mass for p in self.peptides], dtype=np.float32)
+        self.arena = arena
+        self._ion_counts: np.ndarray | None = arena.counts
 
         # --- transient construction state (freed on return) ---------
-        ion_buckets: List[np.ndarray] = []
-        ion_parents: List[np.ndarray] = []
-        inv_r = 1.0 / settings.resolution
-        for local_id, pep in enumerate(self.peptides):
-            mzs = (
-                fragments[local_id]
-                if fragments is not None
-                else fragment_mzs(pep, settings.fragmentation)
-            )
-            if mzs.size == 0:
-                continue
-            buckets = np.floor(mzs * inv_r).astype(np.int64)
-            ion_buckets.append(buckets)
-            ion_parents.append(np.full(buckets.size, local_id, dtype=np.int32))
-        if ion_buckets:
-            all_buckets = np.concatenate(ion_buckets)
-            all_parents = np.concatenate(ion_parents)
-        else:
-            all_buckets = np.empty(0, dtype=np.int64)
-            all_parents = np.empty(0, dtype=np.int32)
-        del ion_buckets, ion_parents
+        # The flat bucket array is entry-major, exactly the
+        # concatenation of the per-peptide quantized arrays the old
+        # loop produced (zero-fragment entries contribute nothing), so
+        # the (arena-cached) stable sort order yields bit-identical
+        # CSR structures; bucket counts come straight from the
+        # unsorted array (bincount is order-independent).
+        all_buckets = arena.buckets_for(settings.resolution)
+        all_parents = np.repeat(
+            np.arange(n, dtype=np.int32), arena.counts
+        ) if n else np.empty(0, dtype=np.int32)
 
-        order = np.argsort(all_buckets, kind="stable")
-        all_buckets = all_buckets[order]
+        order = arena.sort_order_for(settings.resolution)
         self.ion_parents: np.ndarray = all_parents[order]
 
-        self.n_buckets = int(all_buckets[-1]) + 1 if all_buckets.size else 0
+        self.n_buckets = int(all_buckets.max()) + 1 if all_buckets.size else 0
         counts = np.bincount(
             all_buckets, minlength=self.n_buckets
         ) if all_buckets.size else np.zeros(0, dtype=np.int64)
         self.bucket_offsets = np.zeros(self.n_buckets + 1, dtype=np.int64)
         if self.n_buckets:
             np.cumsum(counts, out=self.bucket_offsets[1:])
+        if owns_arena:
+            # Nobody shares an internally-built arena: keeping it (or
+            # its quantization/sort caches) would retain fragment data
+            # the pre-arena construction freed on return — a resident
+            # regression for e.g. ChunkedIndex, whose whole point is
+            # bounding memory.  Per-peptide ion counts were already
+            # captured above.
+            self.arena = None
 
     # -- introspection -------------------------------------------------
 
@@ -197,9 +219,24 @@ class SLMIndex:
         """Total indexed ion entries."""
         return int(self.ion_parents.size)
 
+    @property
+    def ion_counts(self) -> np.ndarray:
+        """Indexed ions per peptide (int64, length ``len(self)``).
+
+        Taken from the arena offsets at construction; recovered from
+        ``ion_parents`` for indexes deserialized without an arena.
+        """
+        if self._ion_counts is None:
+            self._ion_counts = np.bincount(
+                self.ion_parents, minlength=len(self.peptides)
+            ).astype(np.int64)
+        return self._ion_counts
+
     def ions_of(self, local_id: int) -> int:
-        """Number of indexed ions of peptide ``local_id`` (O(n_ions))."""
-        return int(np.count_nonzero(self.ion_parents == local_id))
+        """Number of indexed ions of peptide ``local_id`` (O(1))."""
+        if not 0 <= local_id < len(self.peptides):
+            return 0
+        return int(self.ion_counts[local_id])
 
     # -- querying ------------------------------------------------------
 
@@ -240,25 +277,18 @@ class SLMIndex:
         offsets = self.bucket_offsets
         starts = offsets[lo]
         stops = offsets[hi]
-        spans = stops - starts
-        nonempty = spans > 0
-        starts, spans = starts[nonempty], spans[nonempty]
-        total = int(spans.sum())
+        # Concatenate the ranges [starts_i, stops_i) without a Python
+        # loop, into thread-local scratch (reused across queries).
+        ws = thread_workspace()
+        gather = concat_ranges(starts, stops, workspace=ws, name="slm.filter")
+        total = gather.size
         ions_scanned = total
         if total:
-            # Concatenate the ranges [starts_i, starts_i + spans_i)
-            # without a Python loop: unit steps with jump corrections
-            # at segment boundaries, then a cumulative sum.
-            steps = np.ones(total, dtype=np.int64)
-            steps[0] = starts[0]
-            seg_heads = np.cumsum(spans)[:-1]
-            steps[seg_heads] = starts[1:] - (starts[:-1] + spans[:-1] - 1)
-            gather = np.cumsum(steps)
-            counts = np.bincount(self.ion_parents[gather], minlength=n).astype(
-                np.int32
-            )
+            parents_hit = ws.take("slm.filter.parents", total, np.int32)
+            np.take(self.ion_parents, gather, out=parents_hit)
+            counts = np.bincount(parents_hit, minlength=n)
         else:
-            counts = np.zeros(n, dtype=np.int32)
+            counts = np.zeros(n, dtype=np.int64)
 
         if not self.settings.is_open_search:
             tol = float(self.settings.precursor_tolerance)  # type: ignore[arg-type]
@@ -270,10 +300,19 @@ class SLMIndex:
         )
         return FilterResult(
             candidates=cands,
-            shared_peaks=counts[cands],
+            shared_peaks=counts[cands].astype(np.int32),
             buckets_scanned=buckets_scanned,
             ions_scanned=ions_scanned,
         )
+
+    def filter_many(self, spectra: Sequence[Spectrum]) -> List[FilterResult]:
+        """Batched filtration: one :class:`FilterResult` per spectrum.
+
+        Results are identical to per-spectrum :meth:`filter` calls; the
+        batched entry point exists so engines express the hot loop in
+        one call while scratch buffers stay warm across spectra.
+        """
+        return [self.filter(s) for s in spectra]
 
     def filter_bruteforce(self, spectrum: Spectrum) -> FilterResult:
         """Reference implementation: per-peptide peak matching.

@@ -21,7 +21,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.chem.fragments import FragmentationSettings, fragment_mzs
+from repro.chem.fragments import FragmentationSettings
 from repro.chem.modifications import ModificationSet, VariantEnumerator, paper_modifications
 from repro.chem.peptide import Peptide
 from repro.core.grouping import Grouping, GroupingConfig, group_peptides
@@ -30,6 +30,7 @@ from repro.db.digest import DigestionConfig, digest_proteome
 from repro.db.fasta import FastaRecord
 from repro.db.proteome import ProteomeConfig, generate_proteome
 from repro.errors import ConfigurationError, PartitionError
+from repro.index.arena import FragmentArena, concat_ranges
 
 __all__ = ["DatabaseConfig", "IndexedDatabase"]
 
@@ -82,8 +83,9 @@ class IndexedDatabase:
         self.base_peptides = base_peptides
         self.entries = entries
         self.entry_offsets = entry_offsets
-        self._fragment_cache: dict[FragmentationSettings, List[np.ndarray]] = {}
+        self._arena_cache: dict[FragmentationSettings, FragmentArena] = {}
         self._grouping_cache: dict[GroupingConfig, Grouping] = {}
+        self._entries_arr: np.ndarray | None = None
 
     # -- construction ----------------------------------------------------
 
@@ -155,23 +157,49 @@ class IndexedDatabase:
         """Base peptide sequences (Algorithm 1's input)."""
         return [p.sequence for p in self.base_peptides]
 
-    # -- fragment cache ----------------------------------------------------
+    def entries_at(self, entry_ids: np.ndarray) -> List[Peptide]:
+        """Entries at ``entry_ids``, gathered in C (no per-id Python loop).
+
+        The object-array gather is what lets each rank assemble its
+        peptide partition without iterating the manifest in Python.
+        """
+        if self._entries_arr is None:
+            arr = np.empty(len(self.entries), dtype=object)
+            arr[:] = self.entries
+            self._entries_arr = arr
+        return list(self._entries_arr[np.asarray(entry_ids, dtype=np.int64)])
+
+    # -- fragment arena ----------------------------------------------------
+
+    def arena_for(
+        self, fragmentation: FragmentationSettings = FragmentationSettings()
+    ) -> FragmentArena:
+        """The flat fragment arena of every entry, built once and cached.
+
+        Fragment generation dominates repeated index builds (every
+        policy × rank-count combination rebuilds partial indexes over
+        the same entries), so the arena is keyed by the — hashable —
+        fragmentation settings and shared across engines.  The arena
+        also carries per-entry residue counts and float32 masses, so
+        consumers never loop over :class:`Peptide` objects on the hot
+        path.
+        """
+        cached = self._arena_cache.get(fragmentation)
+        if cached is None:
+            cached = FragmentArena.from_peptides(self.entries, fragmentation)
+            self._arena_cache[fragmentation] = cached
+        return cached
 
     def fragments_for(
         self, fragmentation: FragmentationSettings = FragmentationSettings()
     ) -> List[np.ndarray]:
-        """Fragment m/z arrays of every entry, computed once and cached.
+        """Fragment m/z arrays of every entry (zero-copy arena views).
 
-        Fragment generation dominates repeated index builds (every
-        policy × rank-count combination rebuilds partial indexes over
-        the same entries), so the cache is keyed by the — hashable —
-        fragmentation settings and shared across engines.
+        Legacy list-of-arrays shape over :meth:`arena_for`'s storage;
+        the list object is cached inside the arena, so repeated calls
+        return the identical object.
         """
-        cached = self._fragment_cache.get(fragmentation)
-        if cached is None:
-            cached = [fragment_mzs(pep, fragmentation) for pep in self.entries]
-            self._fragment_cache[fragmentation] = cached
-        return cached
+        return self.arena_for(fragmentation).views()
 
     # -- grouping expansion ------------------------------------------------
 
@@ -203,20 +231,11 @@ class IndexedDatabase:
             )
         counts = self.entry_counts()
         offsets = self.entry_offsets
-        order_parts = [
-            np.arange(offsets[b], offsets[b + 1], dtype=np.int64)
-            for b in base_grouping.order
-        ]
-        expanded_order = (
-            np.concatenate(order_parts) if order_parts else np.empty(0, dtype=np.int64)
-        )
-        counts_in_grouped = counts[base_grouping.order]
-        bounds = base_grouping.group_bounds()
-        group_sizes = np.array(
-            [
-                int(counts_in_grouped[bounds[g] : bounds[g + 1]].sum())
-                for g in range(base_grouping.n_groups)
-            ],
-            dtype=np.int64,
-        )
+        order = np.asarray(base_grouping.order, dtype=np.int64)
+        expanded_order = concat_ranges(offsets[order], offsets[order + 1])
+        counts_in_grouped = counts[order]
+        bounds = np.asarray(base_grouping.group_bounds(), dtype=np.int64)
+        counts_cum = np.zeros(order.size + 1, dtype=np.int64)
+        np.cumsum(counts_in_grouped, out=counts_cum[1:])
+        group_sizes = counts_cum[bounds[1:]] - counts_cum[bounds[:-1]]
         return Grouping(order=expanded_order, group_sizes=group_sizes)

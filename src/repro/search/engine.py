@@ -35,6 +35,7 @@ from repro.core.partition import PartitionAssignment, make_policy
 from repro.core.predict import WorkModel
 from repro.core.planner import LBEPlan
 from repro.errors import ConfigurationError
+from repro.index.arena import concat_ranges
 from repro.index.slm import SLMIndex, SLMIndexSettings
 from repro.mpi.comm import Communicator
 from repro.mpi.launcher import run_spmd
@@ -42,7 +43,7 @@ from repro.mpi.simtime import CommCostModel
 from repro.search.costs import QueryCostModel, SerialCostModel
 from repro.search.database import IndexedDatabase
 from repro.search.psm import RankStats, SearchResults, SpectrumResult
-from repro.search.scoring import score_candidates
+from repro.search.scoring import score_many
 from repro.search.serial import top_k_psms
 from repro.spectra.model import Spectrum
 from repro.spectra.preprocess import PreprocessConfig, preprocess_spectrum
@@ -212,12 +213,8 @@ class DistributedSearchEngine:
         per_rank_entries = []
         for rank in range(cfg.n_ranks):
             base_ids = base_grouping.order[assignment.members(rank)]
-            ranges = [
-                np.arange(offsets[b], offsets[b + 1], dtype=np.int64)
-                for b in base_ids
-            ]
             per_rank_entries.append(
-                np.concatenate(ranges) if ranges else np.empty(0, dtype=np.int64)
+                concat_ranges(offsets[base_ids], offsets[base_ids + 1])
             )
         mapping = MappingTable(per_rank_entries)
         return LBEPlan(
@@ -235,7 +232,10 @@ class DistributedSearchEngine:
         cfg = self.config
         plan = self.plan
         spectra = list(spectra)
-        all_fragments = db.fragments_for(cfg.index.fragmentation)
+        arena = db.arena_for(cfg.index.fragmentation)
+        # Quantize once on the master arena; rank sub-arenas inherit
+        # the bucket slice instead of re-running floor() per rank.
+        arena.buckets_for(cfg.index.resolution)
         # Every rank preprocesses every query (charged to its clock);
         # the computation is deterministic and rank-independent, so the
         # real work is hoisted out of the rank program and shared.
@@ -269,35 +269,40 @@ class DistributedSearchEngine:
             # Phase 2: manifest scatter.
             my_entry_ids = comm.scatter(manifests, root=0)
 
-            # Phase 3: partial index build.
+            # Phase 3: partial index build — a sub-arena gathered in C
+            # from the shared arena (fragments, masses, bucket caches
+            # all travel with the manifest; no per-entry Python loop).
             t0 = comm.clock.now
-            my_entries = [db.entries[int(g)] for g in my_entry_ids]
-            my_fragments = [all_fragments[int(g)] for g in my_entry_ids]
-            index = SLMIndex(my_entries, cfg.index, fragments=my_fragments)
+            my_entries = db.entries_at(my_entry_ids)
+            my_arena = arena.take(my_entry_ids)
+            index = SLMIndex(my_entries, cfg.index, arena=my_arena)
+            # The rank builds exactly one index; scoring only needs the
+            # sub-arena's m/z data, so release its quantization state.
+            my_arena.drop_quantization_caches()
             charge(cfg.query_costs.build_cost(len(index), index.n_ions))
             stats.n_entries = len(index)
             stats.n_ions = index.n_ions
             comm.barrier()
             stats.build_time = comm.clock.now - t0
 
-            # Phase 4: distributed querying (every rank, every spectrum).
+            # Phase 4: distributed querying (every rank, every
+            # spectrum) through the batched kernels.
             t0 = comm.clock.now
             counts = np.zeros(len(spectra), dtype=np.int64)
             local_psms: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
-            for si, processed in enumerate(processed_spectra):
+            filtered = index.filter_many(processed_spectra)
+            outcomes = score_many(
+                processed_spectra,
+                [f.candidates for f in filtered],
+                fragment_tolerance=cfg.index.fragment_tolerance,
+                fragmentation=cfg.index.fragmentation,
+                arena=my_arena,
+            )
+            for si, (fres, outcome) in enumerate(zip(filtered, outcomes)):
                 charge(cfg.query_costs.per_spectrum_preprocess)
-                fres = index.filter(processed)
                 charge(cfg.query_costs.filter_cost(fres))
                 stats.buckets_scanned += fres.buckets_scanned
                 stats.ions_scanned += fres.ions_scanned
-                outcome = score_candidates(
-                    processed,
-                    my_entries,
-                    fres.candidates,
-                    fragment_tolerance=cfg.index.fragment_tolerance,
-                    fragmentation=cfg.index.fragmentation,
-                    fragments=my_fragments,
-                )
                 charge(cfg.query_costs.scoring_cost(outcome))
                 stats.candidates_scored += outcome.candidates_scored
                 stats.residues_scored += outcome.residues_scored
@@ -344,18 +349,15 @@ class DistributedSearchEngine:
         prep = self.config.serial_costs.prep_cost(db.n_entries, db.n_bases)
         build = max(s.build_time for s in all_stats)
         query = max(s.query_time for s in all_stats)
+        total_psms = sum(len(sr.psms) for sr in merged)
         phase_times = {
             "serial_prep": prep,
             "build": build,
             "query": query,
             "gather": max(s.comm_time for s in all_stats),
-            "merge": master_clock
-            - spmd.results[0][2].get("master_end", master_clock),
+            "merge": self.config.serial_costs.merge_cost(total_psms),
             "total": master_clock,
         }
-        # merge time: recompute explicitly (master_end includes merge).
-        total_psms = sum(len(sr.psms) for sr in merged)
-        phase_times["merge"] = self.config.serial_costs.merge_cost(total_psms)
 
         return SearchResults(
             spectra=merged,

@@ -13,21 +13,34 @@ counters (candidates, residues) that the engine converts into virtual
 time — scoring cost scales with peptide length, one of the two
 mechanisms that make contiguous (length-sorted) Chunk partitions
 imbalanced.
+
+Two candidate-assembly paths exist, bit-identical by construction:
+
+* **arena** (hot path): all candidate fragments are gathered from a
+  flat :class:`~repro.index.arena.FragmentArena` with one vectorized
+  range concatenation — no per-candidate Python loop — and residue
+  counters come from the arena's ``lengths`` array,
+* **legacy**: per-candidate arrays from ``fragments`` (or regenerated
+  with :func:`~repro.chem.fragments.fragment_mzs`) are concatenated in
+  candidate order.  Kept as the reference the equivalence tests pin
+  the arena path against.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from math import lgamma
-from typing import Sequence
+from typing import List, Sequence
 
 import numpy as np
 
 from repro.chem.fragments import FragmentationSettings, fragment_mzs
 from repro.chem.peptide import Peptide
+from repro.errors import ConfigurationError
+from repro.index.arena import FragmentArena, thread_workspace
 from repro.spectra.model import Spectrum
 
-__all__ = ["ScoringOutcome", "score_candidates"]
+__all__ = ["ScoringOutcome", "score_candidates", "score_many"]
 
 
 @dataclass(slots=True)
@@ -73,12 +86,13 @@ def _matched_mask(
 
 def score_candidates(
     spectrum: Spectrum,
-    peptides: Sequence[Peptide],
+    peptides: Sequence[Peptide] | None,
     candidate_ids: np.ndarray,
     *,
     fragment_tolerance: float,
     fragmentation: FragmentationSettings = FragmentationSettings(),
     fragments: Sequence[np.ndarray] | None = None,
+    arena: FragmentArena | None = None,
 ) -> ScoringOutcome:
     """Score each candidate peptide against ``spectrum``.
 
@@ -87,7 +101,8 @@ def score_candidates(
     spectrum:
         The (preprocessed) query spectrum.
     peptides:
-        The peptide universe ``candidate_ids`` indexes into.
+        The peptide universe ``candidate_ids`` indexes into.  May be
+        ``None`` when ``arena`` carries per-entry ``lengths``.
     candidate_ids:
         Ids of filtration survivors.
     fragment_tolerance:
@@ -98,6 +113,10 @@ def score_candidates(
     fragments:
         Optional precomputed fragment arrays aligned with ``peptides``;
         skips per-candidate fragment regeneration.
+    arena:
+        Optional flat fragment arena aligned with the id space; the
+        hot path (vectorized gather, no per-candidate loop).  Takes
+        precedence over ``fragments``.
     """
     n = int(candidate_ids.size)
     if n == 0:
@@ -107,59 +126,110 @@ def score_candidates(
             candidates_scored=0,
             residues_scored=0,
         )
+    ws = thread_workspace()
+    if arena is not None:
+        cids = np.asarray(candidate_ids, dtype=np.int64)
+        theo_all, sizes = arena.gather_flat(cids, workspace=ws)
+        if arena.lengths is not None:
+            residues = int(arena.lengths[cids].sum())
+        elif peptides is not None:
+            residues = sum(peptides[int(c)].length for c in cids)
+        else:
+            raise ConfigurationError(
+                "score_candidates needs peptides when the arena has no lengths"
+            )
+    else:
+        if peptides is None:
+            raise ConfigurationError(
+                "score_candidates needs peptides when no arena is given"
+            )
+        residues = 0
+        theo_parts: list[np.ndarray] = []
+        sizes = np.zeros(n, dtype=np.int64)
+        for i, cid in enumerate(candidate_ids):
+            pep = peptides[int(cid)]
+            residues += pep.length
+            theo = (
+                fragments[int(cid)]
+                if fragments is not None
+                else fragment_mzs(pep, fragmentation)
+            )
+            theo_parts.append(theo)
+            sizes[i] = theo.size
+        theo_all = (
+            np.concatenate(theo_parts) if theo_parts else np.empty(0, dtype=np.float64)
+        )
+
     q_mzs = spectrum.mzs
     q_int = spectrum.intensities
-    residues = 0
-    theo_parts: list[np.ndarray] = []
-    sizes = np.zeros(n, dtype=np.int64)
-    for i, cid in enumerate(candidate_ids):
-        pep = peptides[int(cid)]
-        residues += pep.length
-        theo = (
-            fragments[int(cid)]
-            if fragments is not None
-            else fragment_mzs(pep, fragmentation)
-        )
-        theo_parts.append(theo)
-        sizes[i] = theo.size
-
     # Batch all candidates' fragments: one mask/nearest computation,
     # then per-candidate segment sums via cumulative-sum differences
     # (robust to zero-length segments, unlike reduceat).
-    theo_all = (
-        np.concatenate(theo_parts) if theo_parts else np.empty(0, dtype=np.float64)
-    )
     bounds = np.zeros(n + 1, dtype=np.int64)
     np.cumsum(sizes, out=bounds[1:])
-    mask = _matched_mask(theo_all, q_mzs, fragment_tolerance)
 
-    mask_cum = np.zeros(theo_all.size + 1, dtype=np.int64)
-    np.cumsum(mask, out=mask_cum[1:])
-    matched = (mask_cum[bounds[1:]] - mask_cum[bounds[:-1]]).astype(np.int32)
-
-    # Intensity credit: for each matched theoretical fragment, the
-    # intensity of its nearest query peak.
-    credit = np.zeros(theo_all.size, dtype=np.float64)
-    if q_mzs.size and theo_all.size:
-        pos = np.searchsorted(q_mzs, theo_all)
-        left = np.clip(pos - 1, 0, q_mzs.size - 1)
-        right = np.clip(pos, 0, q_mzs.size - 1)
-        use_left = np.abs(theo_all - q_mzs[left]) <= np.abs(theo_all - q_mzs[right])
-        nearest = np.where(use_left, left, right)
-        credit = np.where(mask, q_int[nearest], 0.0)
-    # Per-candidate sums must not depend on neighbouring candidates
-    # (bit-identical scores regardless of which rank scores which
-    # subset), so use reduceat — each segment is folded independently.
+    m = theo_all.size
     intensity_sums = np.zeros(n, dtype=np.float64)
-    if theo_all.size:
-        starts = np.minimum(bounds[:-1], theo_all.size - 1)
-        seg = np.add.reduceat(credit, starts)
+    if q_mzs.size and m:
+        # One fused pass computes the match mask over every gathered
+        # fragment — the same formulas the separate mask/credit passes
+        # evaluated (bit-identical), but without the duplicate
+        # searchsorted/|Δ| work, and folded into scratch buffers so
+        # the per-spectrum loop allocates almost nothing.
+        qn = q_mzs.size
+        pos = np.searchsorted(q_mzs, theo_all)
+        left = ws.take("score.left", m, np.int64)
+        np.subtract(pos, 1, out=left)
+        np.maximum(left, 0, out=left)
+        right = pos
+        np.minimum(right, qn - 1, out=right)
+        d_left = ws.take("score.d_left", m, np.float64)
+        np.take(q_mzs, left, out=d_left)
+        np.subtract(theo_all, d_left, out=d_left)
+        np.abs(d_left, out=d_left)
+        d_right = ws.take("score.d_right", m, np.float64)
+        np.take(q_mzs, right, out=d_right)
+        np.subtract(theo_all, d_right, out=d_right)
+        np.abs(d_right, out=d_right)
+        use_left = ws.take("score.use_left", m, np.bool_)
+        np.less_equal(d_left, d_right, out=use_left)
+        mask = ws.take("score.mask", m, np.bool_)
+        np.minimum(d_left, d_right, out=d_left)
+        np.less_equal(d_left, fragment_tolerance, out=mask)
+
+        mask_cum = ws.take("score.mask_cum", m + 1, np.int64)
+        mask_cum[0] = 0
+        np.cumsum(mask, out=mask_cum[1:])
+        matched = (mask_cum[bounds[1:]] - mask_cum[bounds[:-1]]).astype(np.int32)
+
+        # Intensity credit: for each matched theoretical fragment, the
+        # intensity of its nearest query peak.  The credit vector must
+        # keep its zeros for unmatched positions: the segment fold
+        # below uses pairwise summation, so the reduction tree — and
+        # with it the last-ulp rounding — depends on element *count*,
+        # not just the nonzero values.
+        nearest = right
+        np.copyto(nearest, left, where=use_left)
+        credit = ws.take("score.credit", m, np.float64)
+        np.take(q_int, nearest, out=credit)
+        unmatched = use_left
+        np.logical_not(mask, out=unmatched)
+        credit[unmatched] = 0.0
+
+        # Per-candidate sums must not depend on neighbouring
+        # candidates (bit-identical scores regardless of which rank
+        # scores which subset), so use reduceat — each segment is
+        # folded independently.
+        seg_starts = np.minimum(bounds[:-1], m - 1)
+        seg = np.add.reduceat(credit, seg_starts)
         nonempty = sizes > 0
         intensity_sums[nonempty] = seg[nonempty]
+    else:
+        matched = np.zeros(n, dtype=np.int32)
 
     scores = np.where(
         matched > 0,
-        _lgamma_vec(matched + 1.0) + np.log1p(intensity_sums),
+        _lgamma_counts(matched) + np.log1p(intensity_sums),
         0.0,
     )
     return ScoringOutcome(
@@ -170,5 +240,62 @@ def score_candidates(
     )
 
 
+def score_many(
+    spectra: Sequence[Spectrum],
+    candidate_lists: Sequence[np.ndarray],
+    *,
+    fragment_tolerance: float,
+    fragmentation: FragmentationSettings = FragmentationSettings(),
+    arena: FragmentArena | None = None,
+    peptides: Sequence[Peptide] | None = None,
+    fragments: Sequence[np.ndarray] | None = None,
+) -> List[ScoringOutcome]:
+    """Score many spectra's candidate sets in one batched call.
+
+    ``candidate_lists[i]`` holds the candidate ids of ``spectra[i]``;
+    outcomes align with the inputs and are identical to per-spectrum
+    :func:`score_candidates` calls.  The batched entry point keeps the
+    engines' per-spectrum loops allocation-light: the gather/credit
+    scratch stays warm across the whole run.
+    """
+    if len(spectra) != len(candidate_lists):
+        raise ConfigurationError(
+            f"{len(spectra)} spectra for {len(candidate_lists)} candidate lists"
+        )
+    return [
+        score_candidates(
+            s,
+            peptides,
+            cands,
+            fragment_tolerance=fragment_tolerance,
+            fragmentation=fragmentation,
+            fragments=fragments,
+            arena=arena,
+        )
+        for s, cands in zip(spectra, candidate_lists)
+    ]
+
+
 #: Vectorized ln(Γ(x)); scipy-free (math.lgamma broadcast by numpy).
 _lgamma_vec = np.vectorize(lgamma, otypes=[np.float64])
+
+#: Growable table of ``lgamma(k + 1)`` for k = 0, 1, … — matched
+#: counts are small integers, so a lookup replaces the per-element
+#: ``np.vectorize`` Python overhead.  Entries are produced by the same
+#: ``_lgamma_vec`` the direct evaluation used, so scores stay
+#: bit-identical.  Replaced atomically on growth (thread-safe: stale
+#: readers just use the old, equally-correct table).
+_LGAMMA_TABLE = _lgamma_vec(np.arange(64, dtype=np.float64) + 1.0)
+
+
+def _lgamma_counts(counts: np.ndarray) -> np.ndarray:
+    """``lgamma(counts + 1.0)`` for a non-negative int array, via table."""
+    global _LGAMMA_TABLE
+    table = _LGAMMA_TABLE
+    top = int(counts.max(initial=0))
+    if top >= table.size:
+        table = _lgamma_vec(
+            np.arange(max(top + 1, 2 * table.size), dtype=np.float64) + 1.0
+        )
+        _LGAMMA_TABLE = table
+    return table[counts]

@@ -18,7 +18,7 @@ from repro.index.slm import SLMIndex, SLMIndexSettings
 from repro.search.costs import QueryCostModel, SerialCostModel
 from repro.search.database import IndexedDatabase
 from repro.search.psm import PSM, RankStats, SearchResults, SpectrumResult
-from repro.search.scoring import score_candidates
+from repro.search.scoring import score_many
 from repro.spectra.model import Spectrum
 from repro.spectra.preprocess import PreprocessConfig, preprocess_spectrum
 from repro.errors import ConfigurationError
@@ -89,7 +89,7 @@ class SerialSearchEngine:
             self._index = SLMIndex(
                 self.database.entries,
                 self.settings,
-                fragments=self.database.fragments_for(self.settings.fragmentation),
+                arena=self.database.arena_for(self.settings.fragmentation),
             )
         return self._index
 
@@ -101,29 +101,33 @@ class SerialSearchEngine:
         """Search every spectrum; return results with virtual timing."""
         db = self.database
         prep_time = self.serial_costs.prep_cost(db.n_entries, db.n_bases)
+        # Hoisted out of the per-spectrum loop: one arena lookup for
+        # the whole run instead of a settings-hash + dict probe per
+        # spectrum.
+        arena = db.arena_for(self.settings.fragmentation)
 
         index = self.index
         stats = RankStats(rank=0, n_entries=len(index), n_ions=index.n_ions)
         build_time = self.query_costs.build_cost(len(index), index.n_ions)
         stats.build_time = build_time
 
+        processed = [preprocess_spectrum(s, preprocess) for s in spectra]
+        filtered = index.filter_many(processed)
+        outcomes = score_many(
+            processed,
+            [f.candidates for f in filtered],
+            fragment_tolerance=self.settings.fragment_tolerance,
+            fragmentation=self.settings.fragmentation,
+            arena=arena,
+        )
+
         results: List[SpectrumResult] = []
         query_time = 0.0
-        for spectrum in spectra:
-            processed = preprocess_spectrum(spectrum, preprocess)
+        for spectrum, fres, outcome in zip(spectra, filtered, outcomes):
             query_time += self.query_costs.per_spectrum_preprocess
-            fres = index.filter(processed)
             query_time += self.query_costs.filter_cost(fres)
             stats.buckets_scanned += fres.buckets_scanned
             stats.ions_scanned += fres.ions_scanned
-            outcome = score_candidates(
-                processed,
-                db.entries,
-                fres.candidates,
-                fragment_tolerance=self.settings.fragment_tolerance,
-                fragmentation=self.settings.fragmentation,
-                fragments=db.fragments_for(self.settings.fragmentation),
-            )
             query_time += self.query_costs.scoring_cost(outcome)
             stats.candidates_scored += outcome.candidates_scored
             stats.residues_scored += outcome.residues_scored

@@ -1,0 +1,368 @@
+"""Tests for the flat CSR fragment arena and its bit-identity guarantees.
+
+The arena refactor must be invisible in results: every score, matched
+count, work counter, and top-k ordering must equal what the pre-arena
+per-peptide-array path produces.  The legacy assembly path is still in
+``score_candidates`` (no ``arena``), and ``filter_bruteforce`` is the
+pre-CSR filtration reference, so these tests pin the hot path against
+both — across policies, rank counts, and the awkward edge cases
+(zero candidates, zero-fragment peptides, empty spectra).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings as hsettings, strategies as st
+
+from repro.chem.fragments import FragmentationSettings, fragment_mzs
+from repro.chem.peptide import Peptide
+from repro.errors import ConfigurationError
+from repro.index.arena import FragmentArena, Workspace, concat_ranges
+from repro.index.slm import SLMIndex, SLMIndexSettings
+from repro.search.database import IndexedDatabase
+from repro.search.engine import DistributedSearchEngine, EngineConfig
+from repro.search.scoring import score_candidates, score_many
+from repro.search.serial import SerialSearchEngine
+from repro.spectra.model import Spectrum
+from repro.spectra.synthetic import SyntheticRunConfig, generate_run
+
+PEPTIDES = [
+    Peptide("AAAGGGK"),
+    Peptide("A"),  # single residue: zero fragments
+    Peptide("CCDDEEK"),
+    Peptide("MMNNQQR"),
+    Peptide("WWYYFFK"),
+]
+
+
+def spectrum_of(peptide, scan=1, charge=2):
+    from repro.constants import PROTON
+
+    mzs = fragment_mzs(peptide)
+    return Spectrum(
+        scan_id=scan,
+        precursor_mz=(peptide.mass + charge * PROTON) / charge,
+        charge=charge,
+        mzs=mzs,
+        intensities=np.ones_like(mzs),
+    )
+
+
+# -- concat_ranges -----------------------------------------------------
+
+
+@hsettings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 50), st.integers(0, 20)), min_size=0, max_size=12
+    )
+)
+def test_concat_ranges_matches_naive(pairs):
+    starts = np.array([a for a, _ in pairs], dtype=np.int64)
+    stops = starts + np.array([w for _, w in pairs], dtype=np.int64)
+    expected = (
+        np.concatenate(
+            [np.arange(a, b, dtype=np.int64) for a, b in zip(starts, stops)]
+        )
+        if pairs
+        else np.empty(0, dtype=np.int64)
+    )
+    got = concat_ranges(starts, stops)
+    assert np.array_equal(got, expected)
+    # Workspace variant returns the same values as a scratch view.
+    ws = Workspace()
+    got_ws = concat_ranges(starts, stops, workspace=ws)
+    assert np.array_equal(got_ws, expected)
+
+
+def test_concat_ranges_skips_empty_and_reversed():
+    got = concat_ranges(np.array([5, 9, 2]), np.array([5, 12, 1]))
+    assert got.tolist() == [9, 10, 11]
+
+
+def test_workspace_reuses_and_grows():
+    ws = Workspace()
+    a = ws.take("x", 10, np.int64)
+    b = ws.take("x", 8, np.int64)
+    assert a.base is b.base  # same backing buffer
+    big = ws.take("x", 100_000, np.int64)
+    assert big.size == 100_000
+    f = ws.take("x", 8, np.float64)  # same name, new dtype → distinct buffer
+    assert f.dtype == np.float64
+
+
+# -- arena structure ---------------------------------------------------
+
+
+def test_arena_matches_per_peptide_arrays():
+    arena = FragmentArena.from_peptides(PEPTIDES)
+    assert arena.n_entries == len(PEPTIDES)
+    expected = [fragment_mzs(p) for p in PEPTIDES]
+    assert arena.n_ions == sum(a.size for a in expected)
+    for i, exp in enumerate(expected):
+        assert np.array_equal(arena.fragments_of(i), exp)
+        assert np.array_equal(arena.views()[i], exp)
+    assert arena.counts.tolist() == [a.size for a in expected]
+    assert arena.counts[1] == 0  # zero-fragment peptide
+    assert arena.lengths.tolist() == [p.length for p in PEPTIDES]
+    assert np.array_equal(
+        arena.masses, np.array([p.mass for p in PEPTIDES], dtype=np.float32)
+    )
+
+
+def test_arena_views_are_zero_copy_and_cached():
+    arena = FragmentArena.from_peptides(PEPTIDES)
+    views = arena.views()
+    assert views is arena.views()
+    assert views[0].base is arena.mzs
+
+
+def test_arena_buckets_cached_per_resolution():
+    arena = FragmentArena.from_peptides(PEPTIDES)
+    b1 = arena.buckets_for(0.01)
+    assert arena.buckets_for(0.01) is b1
+    expected = np.floor(arena.mzs * (1.0 / 0.01)).astype(np.int64)
+    assert np.array_equal(b1, expected)
+    assert not np.array_equal(arena.buckets_for(0.5), b1)
+
+
+def test_arena_take_gathers_everything():
+    arena = FragmentArena.from_peptides(PEPTIDES)
+    arena.buckets_for(0.01)
+    ids = np.array([4, 1, 2], dtype=np.int64)
+    sub = arena.take(ids)
+    assert sub.n_entries == 3
+    for j, i in enumerate(ids):
+        assert np.array_equal(sub.fragments_of(j), arena.fragments_of(int(i)))
+    assert sub.lengths.tolist() == [PEPTIDES[int(i)].length for i in ids]
+    assert np.array_equal(sub.masses, arena.masses[ids])
+    # bucket cache travels with the selection
+    assert np.array_equal(sub.buckets_for(0.01), arena.buckets_for(0.01)[
+        concat_ranges(arena.offsets[ids], arena.offsets[ids + 1])
+    ])
+
+
+def test_arena_gather_flat_with_duplicates():
+    arena = FragmentArena.from_peptides(PEPTIDES)
+    ids = np.array([2, 2, 1, 0], dtype=np.int64)
+    flat, sizes = arena.gather_flat(ids)
+    expected = np.concatenate([fragment_mzs(PEPTIDES[int(i)]) for i in ids])
+    assert np.array_equal(flat, expected)
+    assert sizes.tolist() == [arena.counts[int(i)] for i in ids]
+
+
+def test_arena_validation():
+    with pytest.raises(ConfigurationError):
+        FragmentArena(np.zeros(3), np.array([0, 2]))  # offsets end short
+    with pytest.raises(ConfigurationError):
+        FragmentArena(np.zeros(2), np.array([1, 2]))  # offsets not 0-based
+    with pytest.raises(ConfigurationError):
+        FragmentArena(np.zeros(2), np.array([0, 2]), lengths=np.array([1, 2]))
+    with pytest.raises(ConfigurationError, match="arena covers"):
+        SLMIndex(PEPTIDES, arena=FragmentArena.from_peptides(PEPTIDES[:2]))
+
+
+def test_empty_arena():
+    arena = FragmentArena.from_peptides([])
+    assert arena.n_entries == 0
+    assert arena.n_ions == 0
+    sub = arena.take(np.empty(0, dtype=np.int64))
+    assert sub.n_entries == 0
+    idx = SLMIndex([], arena=arena)
+    assert idx.n_ions == 0
+
+
+# -- index construction equivalence ------------------------------------
+
+
+def test_index_from_arena_identical_to_legacy_paths():
+    settings = SLMIndexSettings(shared_peak_threshold=2)
+    arena = FragmentArena.from_peptides(PEPTIDES)
+    plain = SLMIndex(PEPTIDES, settings)
+    frags = SLMIndex(PEPTIDES, settings, fragments=[fragment_mzs(p) for p in PEPTIDES])
+    via_arena = SLMIndex(PEPTIDES, settings, arena=arena)
+    for other in (frags, via_arena):
+        assert np.array_equal(plain.ion_parents, other.ion_parents)
+        assert np.array_equal(plain.bucket_offsets, other.bucket_offsets)
+        assert np.array_equal(plain.masses, other.masses)
+
+
+def test_ions_of_constant_time_values():
+    idx = SLMIndex(PEPTIDES, SLMIndexSettings(shared_peak_threshold=2))
+    for i, p in enumerate(PEPTIDES):
+        expected = 0 if p.length < 2 else 2 * (p.length - 1)
+        assert idx.ions_of(i) == expected
+        # O(1) path must agree with counting the CSR parents.
+        assert idx.ions_of(i) == int(np.count_nonzero(idx.ion_parents == i))
+    assert idx.ions_of(-1) == 0
+    assert idx.ions_of(len(PEPTIDES)) == 0
+
+
+def test_filter_many_matches_filter():
+    idx = SLMIndex(PEPTIDES, SLMIndexSettings(shared_peak_threshold=1))
+    spectra = [spectrum_of(p, scan=i) for i, p in enumerate(PEPTIDES) if p.length > 1]
+    spectra.append(Spectrum(99, 500.0, 2, np.array([]), np.array([])))
+    batched = idx.filter_many(spectra)
+    for s, got in zip(spectra, batched):
+        one = idx.filter(s)
+        assert np.array_equal(got.candidates, one.candidates)
+        assert np.array_equal(got.shared_peaks, one.shared_peaks)
+        assert got.buckets_scanned == one.buckets_scanned
+        assert got.ions_scanned == one.ions_scanned
+
+
+# -- scoring equivalence -----------------------------------------------
+
+
+def test_score_arena_bit_identical_to_legacy():
+    arena = FragmentArena.from_peptides(PEPTIDES)
+    q = spectrum_of(PEPTIDES[0])
+    cands = np.arange(len(PEPTIDES), dtype=np.int64)
+    legacy = score_candidates(q, PEPTIDES, cands, fragment_tolerance=0.05)
+    hot = score_candidates(q, None, cands, fragment_tolerance=0.05, arena=arena)
+    assert np.array_equal(legacy.scores, hot.scores)
+    assert np.array_equal(legacy.n_matched, hot.n_matched)
+    assert legacy.candidates_scored == hot.candidates_scored
+    assert legacy.residues_scored == hot.residues_scored
+
+
+def test_score_arena_edge_cases():
+    arena = FragmentArena.from_peptides(PEPTIDES)
+    empty_q = Spectrum(1, 500.0, 2, np.array([]), np.array([]))
+    # zero candidates
+    out = score_candidates(
+        empty_q, None, np.empty(0, dtype=np.int64), fragment_tolerance=0.05,
+        arena=arena,
+    )
+    assert out.candidates_scored == 0 and out.residues_scored == 0
+    # zero-fragment candidate + empty spectrum
+    out = score_candidates(
+        empty_q, None, np.array([1, 0]), fragment_tolerance=0.05, arena=arena
+    )
+    legacy = score_candidates(
+        empty_q, PEPTIDES, np.array([1, 0]), fragment_tolerance=0.05
+    )
+    assert np.array_equal(out.scores, legacy.scores)
+    assert out.residues_scored == legacy.residues_scored == PEPTIDES[1].length + PEPTIDES[0].length
+
+
+def test_score_requires_some_fragment_source():
+    with pytest.raises(ConfigurationError):
+        score_candidates(
+            spectrum_of(PEPTIDES[0]), None, np.array([0]), fragment_tolerance=0.05
+        )
+
+
+def test_score_many_matches_individual_calls():
+    arena = FragmentArena.from_peptides(PEPTIDES)
+    spectra = [spectrum_of(p, scan=i) for i, p in enumerate(PEPTIDES[:3], 1)]
+    cand_lists = [
+        np.array([0, 2, 4]),
+        np.empty(0, dtype=np.int64),
+        np.array([1, 3]),
+    ]
+    outs = score_many(
+        spectra, cand_lists, fragment_tolerance=0.05, arena=arena
+    )
+    for s, c, got in zip(spectra, cand_lists, outs):
+        one = score_candidates(s, None, c, fragment_tolerance=0.05, arena=arena)
+        assert np.array_equal(got.scores, one.scores)
+        assert np.array_equal(got.n_matched, one.n_matched)
+    with pytest.raises(ConfigurationError):
+        score_many(spectra, cand_lists[:2], fragment_tolerance=0.05, arena=arena)
+
+
+@hsettings(max_examples=15, deadline=None)
+@given(st.data())
+def test_score_arena_property_bit_identical(data):
+    """Arena scoring == legacy per-candidate assembly on random inputs."""
+    seqs = data.draw(
+        st.lists(
+            st.text(alphabet="ACDEFGHIKLMNPQRSTVWY", min_size=1, max_size=12),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    peptides = [Peptide(s) for s in seqs]
+    arena = FragmentArena.from_peptides(peptides)
+    n_cands = data.draw(st.integers(min_value=0, max_value=len(peptides)))
+    cands = np.array(
+        data.draw(
+            st.lists(
+                st.integers(0, len(peptides) - 1),
+                min_size=n_cands,
+                max_size=n_cands,
+            )
+        ),
+        dtype=np.int64,
+    )
+    target = data.draw(st.integers(min_value=0, max_value=len(peptides) - 1))
+    q = (
+        spectrum_of(peptides[target])
+        if peptides[target].length > 1
+        else Spectrum(1, 500.0, 2, np.array([]), np.array([]))
+    )
+    tol = data.draw(st.sampled_from([0.0, 0.01, 0.05]))
+    legacy = score_candidates(q, peptides, cands, fragment_tolerance=tol)
+    hot = score_candidates(q, None, cands, fragment_tolerance=tol, arena=arena)
+    assert np.array_equal(legacy.scores, hot.scores)
+    assert np.array_equal(legacy.n_matched, hot.n_matched)
+    assert legacy.residues_scored == hot.residues_scored
+
+
+# -- end-to-end equivalence across policies and rank counts ------------
+
+
+@pytest.fixture(scope="module")
+def equivalence_workload():
+    db = IndexedDatabase.from_peptides(
+        [
+            Peptide(s)
+            for s in (
+                "AAAGGGKR", "CCDDEEKK", "MMNNQQRL", "WWYYFFKA", "AAAGGGRV",
+                "LLPPSSTK", "GGHHIIKK", "VVMMAACR", "TTSSPPLK", "EEDDCCKR",
+                "KAVLGGHR", "NNQQMMPK",
+            )
+        ],
+        max_variants_per_peptide=3,
+    )
+    spectra = generate_run(db.entries, SyntheticRunConfig(n_spectra=8, seed=7))
+    return db, spectra
+
+
+@pytest.mark.parametrize("policy", ["chunk", "cyclic", "random", "lpt"])
+@pytest.mark.parametrize("n_ranks", [1, 2, 4])
+def test_serial_distributed_equivalent_post_arena(
+    equivalence_workload, policy, n_ranks
+):
+    """Arena-based serial and distributed searches stay bit-identical:
+    same scores, tie-breaking, candidate counts, and summed work
+    counters for every policy × rank count."""
+    db, spectra = equivalence_workload
+    settings = SLMIndexSettings(shared_peak_threshold=2)
+    serial = SerialSearchEngine(db, settings).run(spectra)
+    dist = DistributedSearchEngine(
+        db,
+        EngineConfig(n_ranks=n_ranks, policy=policy, index=settings),
+    ).run(spectra)
+    for sr, dr in zip(serial.spectra, dist.spectra):
+        assert sr.n_candidates == dr.n_candidates
+        assert [(p.entry_id, p.score, p.shared_peaks) for p in sr.psms] == [
+            (p.entry_id, p.score, p.shared_peaks) for p in dr.psms
+        ]
+    for counter in ("candidates_scored", "residues_scored", "ions_scanned"):
+        assert sum(getattr(s, counter) for s in dist.rank_stats) == getattr(
+            serial.rank_stats[0], counter
+        )
+
+
+def test_filter_against_bruteforce_with_zero_fragment_peptides():
+    """The pre-CSR quadratic reference agrees on a universe containing
+    zero-fragment peptides."""
+    idx = SLMIndex(PEPTIDES, SLMIndexSettings(shared_peak_threshold=1))
+    for p in PEPTIDES:
+        if p.length < 2:
+            continue
+        q = spectrum_of(p)
+        fast, slow = idx.filter(q), idx.filter_bruteforce(q)
+        assert np.array_equal(fast.candidates, slow.candidates)
+        assert np.array_equal(fast.shared_peaks, slow.shared_peaks)

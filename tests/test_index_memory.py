@@ -102,3 +102,36 @@ def test_measure_actual_tracks_model_proportionally():
     actual = m.measure_actual(idx)
     assert actual.ion_bytes == 4 * idx.n_ions  # int32 parents
     assert actual.offsets_bytes == 8 * (idx.n_buckets + 1)
+
+
+def test_arena_bytes_tracks_live_arena():
+    """The arena model must match a live arena's flat-array bytes."""
+    from repro.index.arena import FragmentArena
+
+    peptides = [Peptide("ACDEFGHIK"), Peptide("LMNPQRSTVWYK"), Peptide("GGGGGGK")]
+    arena = FragmentArena.from_peptides(peptides)
+    arena.buckets_for(0.01)
+    arena.sort_order_for(0.01)
+    m = IndexMemoryModel()
+    measured = m.measure_arena(arena)
+    # Flat m/z + offsets + one resolution's bucket and order caches;
+    # the live arena adds only small per-entry metadata on top.
+    structural = (
+        8 * arena.n_ions  # float64 m/z
+        + 8 * (arena.n_entries + 1)  # int64 offsets
+        + 16 * arena.n_ions  # int64 buckets + sort order
+    )
+    assert measured >= structural
+    assert measured - structural <= 16 * arena.n_entries  # lengths + masses
+
+
+def test_arena_bytes_model_scales():
+    m = IndexMemoryModel()
+    base = m.arena_bytes(1_000_000, n_resolutions=0)
+    with_res = m.arena_bytes(1_000_000, n_resolutions=1)
+    assert with_res - base == int(16 * 1_000_000 * m.ions_per_entry)
+    assert m.arena_bytes(2_000_000, n_resolutions=0) == pytest.approx(
+        2 * base, rel=1e-5
+    )
+    with pytest.raises(ConfigurationError):
+        m.arena_bytes(1_000_000, n_resolutions=-1)
