@@ -14,6 +14,11 @@ synthetic workload, comparing
   :class:`~repro.index.arena.FragmentArena`, ``filter_many`` /
   ``score_many``).
 
+The filtration stage is additionally timed against a faithful
+**per-spectrum** baseline (the PR-1 ``filter`` loop) so the
+cross-spectrum batched kernel's speedup is recorded separately
+(``speedup.filter_batch_vs_per_spectrum``).
+
 Both paths must produce identical candidates and scores (checked every
 run); the point of the arena is speed, not different answers.  Results
 land in ``BENCH_hotpath.json`` at the repo root so future perf PRs
@@ -248,6 +253,12 @@ def run(quick: bool = False, threshold: int = 4) -> dict:
     t_legacy_filter, legacy_filtered = _best_of(
         repeats, lambda: [legacy_filter(index, s) for s in processed]
     )
+    # Faithful per-spectrum baseline: the PR-1 kernel, one spectrum at
+    # a time through the same workspace-backed gather (this was what
+    # filter_many did before the cross-spectrum batch kernel).
+    t_filter_per_spectrum, per_spectrum_filtered = _best_of(
+        repeats, lambda: [index.filter(s) for s in processed]
+    )
     t_arena_filter, arena_filtered = _best_of(
         repeats, lambda: index.filter_many(processed)
     )
@@ -282,6 +293,12 @@ def run(quick: bool = False, threshold: int = 4) -> dict:
         and np.array_equal(lf[1], af.shared_peaks)
         for lf, af in zip(legacy_filtered, arena_filtered)
     ) and all(
+        np.array_equal(pf.candidates, af.candidates)
+        and np.array_equal(pf.shared_peaks, af.shared_peaks)
+        and pf.buckets_scanned == af.buckets_scanned
+        and pf.ions_scanned == af.ions_scanned
+        for pf, af in zip(per_spectrum_filtered, arena_filtered)
+    ) and all(
         np.array_equal(lo.scores, ao.scores)
         and np.array_equal(lo.n_matched, ao.n_matched)
         and lo.residues_scored == ao.residues_scored
@@ -311,6 +328,7 @@ def run(quick: bool = False, threshold: int = 4) -> dict:
             "build": t_arena_build,
             "build_cold": t_arena_build_cold,
             "filter": t_arena_filter,
+            "filter_per_spectrum": t_filter_per_spectrum,
             "score": t_arena_score,
             "total": arena_total,
         },
@@ -320,6 +338,9 @@ def run(quick: bool = False, threshold: int = 4) -> dict:
             if t_arena_build_cold
             else float("inf"),
             "filter": t_legacy_filter / t_arena_filter
+            if t_arena_filter
+            else float("inf"),
+            "filter_batch_vs_per_spectrum": t_filter_per_spectrum / t_arena_filter
             if t_arena_filter
             else float("inf"),
             "score": t_legacy_score / t_arena_score if t_arena_score else float("inf"),
@@ -361,6 +382,11 @@ def main() -> None:
         arena = report["arena_s"].get(phase, report["arena_s"]["total"])
         print(f"{phase:>9}: legacy {legacy * 1e3:8.1f} ms  "
               f"arena {arena * 1e3:8.1f} ms  speedup {sp[phase]:6.2f}x")
+    print(
+        f"   filter: per-spectrum {report['arena_s']['filter_per_spectrum'] * 1e3:8.1f} ms  "
+        f"batch {report['arena_s']['filter'] * 1e3:8.1f} ms  "
+        f"speedup {sp['filter_batch_vs_per_spectrum']:6.2f}x"
+    )
     print(f"identical_results={report['identical_results']}")
     print(f"wrote {args.out}")
     if not report["identical_results"]:

@@ -1,0 +1,124 @@
+"""CI perf-regression guard for the hot-path benchmark.
+
+Compares a freshly-measured ``bench_wallclock_hotpath`` report against
+the committed trajectory in ``BENCH_hotpath.json`` and fails (non-zero
+exit) when the combined speedup regresses below the allowed fraction
+of the committed figure.  The committed report is produced on a
+developer machine with the full workload while CI runs ``--quick`` on
+shared runners, so the tolerance is deliberately generous: the guard
+exists to catch order-of-magnitude regressions (an accidentally
+de-vectorized kernel, a dropped cache), not single-digit-percent
+noise.
+
+Checks, in order:
+
+1. the fresh report's ``identical_results`` flag is true (the bench
+   itself refuses to report mismatched kernels, but belt-and-braces),
+2. fresh combined speedup >= ``--floor`` (absolute sanity bound),
+3. fresh combined speedup >= ``--min-ratio`` x committed combined,
+4. fresh batched-filtration speedup over the per-spectrum baseline
+   >= ``--filter-floor`` (the batched kernel must not regress into a
+   real loss; the floor sits below 1.0 for timing-noise margin).
+
+Usage::
+
+    python benchmarks/check_perf_regression.py \
+        --baseline BENCH_hotpath.json --fresh /tmp/bench_fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        required=True,
+        help="committed BENCH_hotpath.json (the trajectory to beat)",
+    )
+    parser.add_argument(
+        "--fresh",
+        type=Path,
+        required=True,
+        help="freshly measured report (e.g. a --quick run on CI)",
+    )
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.35,
+        help="fresh combined speedup must reach this fraction of the "
+        "committed combined speedup (default: 0.35 — CI runners are "
+        "slower and noisier than the committing machine)",
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=1.5,
+        help="absolute minimum combined speedup (default: 1.5)",
+    )
+    parser.add_argument(
+        "--filter-floor",
+        type=float,
+        default=0.8,
+        help="minimum batched-vs-per-spectrum filtration speedup "
+        "(default: 0.8 — batching must never be a real loss, but the "
+        "quick-mode stages are sub-millisecond best-of-2 timings, so "
+        "leave noise margin below 1.0)",
+    )
+    args = parser.parse_args()
+
+    baseline = json.loads(args.baseline.read_text(encoding="ascii"))
+    fresh = json.loads(args.fresh.read_text(encoding="ascii"))
+
+    failures = []
+    if not fresh.get("identical_results", False):
+        failures.append("fresh run reports identical_results=false")
+
+    committed_combined = float(baseline["speedup"]["combined"])
+    fresh_combined = float(fresh["speedup"]["combined"])
+    required = args.min_ratio * committed_combined
+    print(
+        f"combined speedup: fresh {fresh_combined:.2f}x vs committed "
+        f"{committed_combined:.2f}x (required >= {required:.2f}x, "
+        f"floor {args.floor:.2f}x)"
+    )
+    if fresh_combined < args.floor:
+        failures.append(
+            f"combined speedup {fresh_combined:.2f}x below absolute "
+            f"floor {args.floor:.2f}x"
+        )
+    if fresh_combined < required:
+        failures.append(
+            f"combined speedup {fresh_combined:.2f}x below "
+            f"{args.min_ratio:.2f} x committed ({required:.2f}x)"
+        )
+
+    filter_batch = float(
+        fresh["speedup"].get("filter_batch_vs_per_spectrum", float("nan"))
+    )
+    print(
+        f"batched filtration vs per-spectrum: {filter_batch:.2f}x "
+        f"(required >= {args.filter_floor:.2f}x)"
+    )
+    if not filter_batch >= args.filter_floor:  # catches NaN too
+        failures.append(
+            f"batched filtration speedup {filter_batch:.2f}x below "
+            f"floor {args.filter_floor:.2f}x"
+        )
+
+    if failures:
+        for f in failures:
+            print(f"PERF REGRESSION: {f}", file=sys.stderr)
+        return 1
+    print("perf guard: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -70,16 +70,34 @@ class Workspace:
     def __init__(self) -> None:
         self._buffers: Dict[Tuple[str, str], np.ndarray] = {}
 
-    def take(self, name: str, size: int, dtype) -> np.ndarray:
-        """Return an uninitialized length-``size`` view named ``name``."""
+    def _grow(self, name: str, size: int, dtype, factory) -> np.ndarray:
+        """Length-``size`` view of the named buffer, grown geometrically.
+
+        ``factory(length, dtype=...)`` builds a replacement buffer when
+        the cached one is absent or too small.
+        """
         dt = np.dtype(dtype)
         key = (name, dt.str)
         buf = self._buffers.get(key)
         if buf is None or buf.size < size:
             grown = buf.size * 2 if buf is not None else 0
-            buf = np.empty(max(size, grown, 1024), dtype=dt)
+            buf = factory(max(size, grown, 1024), dtype=dt)
             self._buffers[key] = buf
         return buf[:size]
+
+    def take(self, name: str, size: int, dtype) -> np.ndarray:
+        """Return an uninitialized length-``size`` view named ``name``."""
+        return self._grow(name, size, dtype, np.empty)
+
+    def iota(self, size: int, dtype=np.int64) -> np.ndarray:
+        """Read-only-by-convention view of ``[0, 1, ..., size - 1]``.
+
+        Backed by a growable cached ``arange``: a prefix slice of a
+        longer ascending run is still the ascending run, so growth
+        never invalidates values and repeated kernel calls skip the
+        O(n) sequence write.  Callers must not mutate the view.
+        """
+        return self._grow("__iota__", size, dtype, np.arange)
 
 
 _tls = threading.local()
@@ -313,6 +331,19 @@ class FragmentArena:
         immutable fragment data, so repeated index builds (the serial
         engine across a policy sweep, benchmark repetitions) pay for
         the sort once.
+
+        For a sub-arena carved with :meth:`take` from a master whose
+        order was already cached, the cached entry is *derived* from
+        the master order instead of re-argsorted.  The derived order is
+        bucket-major, but ions tied within one bucket follow **master**
+        arena position rather than sub-arena position; when the
+        ``take`` manifest is ascending the two coincide exactly with a
+        fresh stable argsort.  Per-bucket ion order is unobservable
+        downstream — filtration reduces parent ids with order-
+        independent integer counting, and scoring gathers fragments by
+        candidate id, never through the CSR — so every
+        :class:`~repro.index.slm.FilterResult` and score is
+        bit-identical either way.
         """
         cached = self._order_cache.get(resolution)
         if cached is None:
@@ -327,6 +358,10 @@ class FragmentArena:
 
         Per-entry metadata travels along, and any already-quantized
         bucket caches are gathered too, so ranks never re-quantize.
+        Cached bucket-major sort orders are *derived* as well — a
+        membership filter over the master order plus an id remap —
+        so a rank's partial-index build never re-argsorts its ion
+        subset (see :meth:`sort_order_for` for the tie-order caveat).
         """
         ids = np.asarray(entry_ids, dtype=np.int64)
         starts = self.offsets[ids]
@@ -342,6 +377,20 @@ class FragmentArena:
         )
         for resolution, buckets in self._bucket_cache.items():
             sub._bucket_cache[resolution] = buckets[idx]
+        # Duplicate entry ids would make the position remap ambiguous
+        # (and no engine manifest repeats an entry); only then fall
+        # back to the sub-arena argsorting on demand.
+        if self._order_cache and ids.size and np.unique(ids).size == ids.size:
+            member = np.zeros(self.n_ions, dtype=bool)
+            member[idx] = True
+            new_pos = np.empty(self.n_ions, dtype=np.int64)
+            new_pos[idx] = np.arange(idx.size, dtype=np.int64)
+            for resolution, order in self._order_cache.items():
+                # Master order restricted to the kept ions is already
+                # bucket-major; remapping to sub positions preserves
+                # that grouping.
+                kept = order[member[order]]
+                sub._order_cache[resolution] = new_pos[kept]
         return sub
 
     def gather_flat(

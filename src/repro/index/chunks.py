@@ -67,6 +67,13 @@ class ChunkedIndex:
     ``local_to_input[i]`` maps the chunked ordering back to positions
     in the constructor's ``peptides`` sequence, so filtration results
     can be reported in the caller's id space.
+
+    ``chunk_mass_ranges`` holds the float32-rounded mass extrema of
+    each chunk (widened to float64) — the *same* rounded masses the
+    per-chunk :class:`~repro.index.slm.SLMIndex` stores and masks with,
+    so chunk pruning and the inner precursor-window filter agree at
+    window boundaries (float32 rounding is monotone, hence the rounded
+    min/max are the min/max of the rounded masses).
     """
 
     def __init__(
@@ -89,7 +96,12 @@ class ChunkedIndex:
         for start in range(0, len(sorted_peps), size):
             block = sorted_peps[start : start + size]
             self.chunks.append(SLMIndex(block, settings))
-            self.chunk_mass_ranges.append((block[0].mass, block[-1].mass))
+            self.chunk_mass_ranges.append(
+                (
+                    float(np.float32(block[0].mass)),
+                    float(np.float32(block[-1].mass)),
+                )
+            )
             self._chunk_starts.append(start)
 
     def __len__(self) -> int:
@@ -104,17 +116,26 @@ class ChunkedIndex:
         """Chunk indices that may hold candidates for ``spectrum``.
 
         Open search → all chunks.  Windowed search → chunks whose mass
-        range intersects ``neutral_mass ± ΔM``.
+        range may intersect ``neutral_mass ± ΔM``.
+
+        Pruning is evaluated in float64 over the float32-rounded chunk
+        extrema, with the *difference-form* predicate the inner filter
+        uses (``|mass - neutral| <= tol``).  Because float subtraction
+        against a fixed ``neutral`` is monotone in ``mass``, a chunk is
+        pruned only when every member's ``mass - neutral`` provably
+        falls outside ``[-tol, tol]`` — so pruning can never drop a
+        peptide the flat index would keep, and chunked filtration stays
+        bit-identical to the flat index even exactly at window
+        boundaries.
         """
         if self.settings.is_open_search:
             return list(range(self.n_chunks))
         tol = float(self.settings.precursor_tolerance)  # type: ignore[arg-type]
-        lo = spectrum.neutral_mass - tol
-        hi = spectrum.neutral_mass + tol
+        nm = spectrum.neutral_mass
         return [
             i
             for i, (mmin, mmax) in enumerate(self.chunk_mass_ranges)
-            if mmax >= lo and mmin <= hi
+            if mmax - nm >= -tol and mmin - nm <= tol
         ]
 
     def filter(self, spectrum: Spectrum) -> FilterResult:
@@ -131,6 +152,63 @@ class ChunkedIndex:
                 count_parts.append(res.shared_peaks)
             buckets += res.buckets_scanned
             ions += res.ions_scanned
+        return self._assemble(cand_parts, count_parts, buckets, ions)
+
+    def filter_many(
+        self,
+        spectra: Sequence[Spectrum],
+        *,
+        max_batch_keys: int | None = None,
+        workspace=None,
+    ) -> List[FilterResult]:
+        """Batched filtration across chunks: one result per spectrum.
+
+        Spectra are grouped by the chunks their precursor windows prune
+        to, each chunk runs the cross-spectrum batched kernel over the
+        spectra that reach it, and per-spectrum parts are re-assembled
+        in ascending chunk order — exactly the order :meth:`filter`
+        visits chunks in, so results are bit-identical to per-spectrum
+        calls.
+        """
+        spectra = list(spectra)
+        kwargs = {} if max_batch_keys is None else {"max_batch_keys": max_batch_keys}
+        by_chunk: List[List[int]] = [[] for _ in range(self.n_chunks)]
+        for si, s in enumerate(spectra):
+            for ci in self.chunks_for(s):
+                by_chunk[ci].append(si)
+
+        cand_parts: List[List[np.ndarray]] = [[] for _ in spectra]
+        count_parts: List[List[np.ndarray]] = [[] for _ in spectra]
+        buckets = [0] * len(spectra)
+        ions = [0] * len(spectra)
+        for ci, sel in enumerate(by_chunk):
+            if not sel:
+                continue
+            chunk_results = self.chunks[ci].filter_many(
+                [spectra[si] for si in sel], workspace=workspace, **kwargs
+            )
+            for si, res in zip(sel, chunk_results):
+                buckets[si] += res.buckets_scanned
+                ions[si] += res.ions_scanned
+                if res.candidates.size:
+                    globl = self.local_to_input[
+                        res.candidates + self._chunk_starts[ci]
+                    ]
+                    cand_parts[si].append(globl.astype(np.int32))
+                    count_parts[si].append(res.shared_peaks)
+        return [
+            self._assemble(cand_parts[si], count_parts[si], buckets[si], ions[si])
+            for si in range(len(spectra))
+        ]
+
+    def _assemble(
+        self,
+        cand_parts: List[np.ndarray],
+        count_parts: List[np.ndarray],
+        buckets: int,
+        ions: int,
+    ) -> FilterResult:
+        """Merge per-chunk candidate parts (chunk order) into input-id space."""
         if cand_parts:
             candidates = np.concatenate(cand_parts)
             shared = np.concatenate(count_parts)

@@ -134,6 +134,7 @@ def load_index(path: Union[str, Path]) -> SLMIndex:
     index.masses = masses
     index.arena = None  # archives predate/omit the arena; queries don't need it
     index._ion_counts = None  # recovered lazily from ion_parents on demand
+    index._masses64 = None  # widened lazily on the first windowed query
     index.ion_parents = ion_parents
     index.bucket_offsets = bucket_offsets
     index.n_buckets = int(bucket_offsets.size - 1)

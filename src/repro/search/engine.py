@@ -25,7 +25,7 @@ enforced by the integration tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -35,7 +35,7 @@ from repro.core.partition import PartitionAssignment, make_policy
 from repro.core.predict import WorkModel
 from repro.core.planner import LBEPlan
 from repro.errors import ConfigurationError
-from repro.index.arena import concat_ranges
+from repro.index.arena import concat_ranges, thread_workspace
 from repro.index.slm import SLMIndex, SLMIndexSettings
 from repro.mpi.comm import Communicator
 from repro.mpi.launcher import run_spmd
@@ -233,9 +233,11 @@ class DistributedSearchEngine:
         plan = self.plan
         spectra = list(spectra)
         arena = db.arena_for(cfg.index.fragmentation)
-        # Quantize once on the master arena; rank sub-arenas inherit
-        # the bucket slice instead of re-running floor() per rank.
+        # Quantize and bucket-sort once on the master arena; rank
+        # sub-arenas inherit the bucket slice and a derived sort order
+        # instead of re-running floor() and argsort() per rank.
         arena.buckets_for(cfg.index.resolution)
+        arena.sort_order_for(cfg.index.resolution)
         # Every rank preprocesses every query (charged to its clock);
         # the computation is deterministic and rank-independent, so the
         # real work is hoisted out of the rank program and shared.
@@ -245,7 +247,6 @@ class DistributedSearchEngine:
 
         def rank_program(comm: Communicator):
             stats = RankStats(rank=comm.rank)
-            phase: Dict[str, float] = {}
             # Compute-cost multiplier: machine speed (heterogeneity)
             # over the hybrid intra-rank speedup (paper §VIII).
             speed = cfg.machine_speed(comm.rank) / cfg.intra_rank_speedup
@@ -258,7 +259,6 @@ class DistributedSearchEngine:
                 comm.charge_compute(
                     cfg.serial_costs.prep_cost(db.n_entries, db.n_bases)
                 )
-                phase["serial_prep"] = comm.clock.now
                 manifests = [
                     np.asarray(plan.rank_global_ids(r), dtype=np.int64)
                     for r in range(comm.size)
@@ -290,13 +290,18 @@ class DistributedSearchEngine:
             t0 = comm.clock.now
             counts = np.zeros(len(spectra), dtype=np.int64)
             local_psms: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
-            filtered = index.filter_many(processed_spectra)
+            # One scratch workspace per rank thread, shared by the
+            # filtration and scoring kernels so buffers stay warm
+            # across the whole query phase.
+            ws = thread_workspace()
+            filtered = index.filter_many(processed_spectra, workspace=ws)
             outcomes = score_many(
                 processed_spectra,
                 [f.candidates for f in filtered],
                 fragment_tolerance=cfg.index.fragment_tolerance,
                 fragmentation=cfg.index.fragmentation,
                 arena=my_arena,
+                workspace=ws,
             )
             for si, (fres, outcome) in enumerate(zip(filtered, outcomes)):
                 charge(cfg.query_costs.per_spectrum_preprocess)
@@ -336,8 +341,7 @@ class DistributedSearchEngine:
             if comm.is_master:
                 merged, n_psms = self._merge(gathered, spectra, plan.mapping)
                 comm.charge_compute(cfg.serial_costs.merge_cost(n_psms))
-                phase["master_end"] = comm.clock.now
-            return stats, merged, phase
+            return stats, merged
 
         spmd = run_spmd(rank_program, cfg.n_ranks, cost_model=cfg.comm)
 

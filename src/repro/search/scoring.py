@@ -37,7 +37,7 @@ import numpy as np
 from repro.chem.fragments import FragmentationSettings, fragment_mzs
 from repro.chem.peptide import Peptide
 from repro.errors import ConfigurationError
-from repro.index.arena import FragmentArena, thread_workspace
+from repro.index.arena import FragmentArena, Workspace, thread_workspace
 from repro.spectra.model import Spectrum
 
 __all__ = ["ScoringOutcome", "score_candidates", "score_many"]
@@ -93,6 +93,7 @@ def score_candidates(
     fragmentation: FragmentationSettings = FragmentationSettings(),
     fragments: Sequence[np.ndarray] | None = None,
     arena: FragmentArena | None = None,
+    workspace: Workspace | None = None,
 ) -> ScoringOutcome:
     """Score each candidate peptide against ``spectrum``.
 
@@ -117,6 +118,11 @@ def score_candidates(
         Optional flat fragment arena aligned with the id space; the
         hot path (vectorized gather, no per-candidate loop).  Takes
         precedence over ``fragments``.
+    workspace:
+        Scratch-buffer workspace for the gather/credit temporaries;
+        defaults to the calling thread's shared workspace.  Engines
+        pass one workspace through filtration and scoring so the whole
+        query phase reuses the same warm buffers.
     """
     n = int(candidate_ids.size)
     if n == 0:
@@ -126,7 +132,7 @@ def score_candidates(
             candidates_scored=0,
             residues_scored=0,
         )
-    ws = thread_workspace()
+    ws = workspace if workspace is not None else thread_workspace()
     if arena is not None:
         cids = np.asarray(candidate_ids, dtype=np.int64)
         theo_all, sizes = arena.gather_flat(cids, workspace=ws)
@@ -249,6 +255,7 @@ def score_many(
     arena: FragmentArena | None = None,
     peptides: Sequence[Peptide] | None = None,
     fragments: Sequence[np.ndarray] | None = None,
+    workspace: Workspace | None = None,
 ) -> List[ScoringOutcome]:
     """Score many spectra's candidate sets in one batched call.
 
@@ -271,6 +278,7 @@ def score_many(
             fragmentation=fragmentation,
             fragments=fragments,
             arena=arena,
+            workspace=workspace,
         )
         for s, cands in zip(spectra, candidate_lists)
     ]

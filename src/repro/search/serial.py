@@ -14,6 +14,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro.index.arena import thread_workspace
 from repro.index.slm import SLMIndex, SLMIndexSettings
 from repro.search.costs import QueryCostModel, SerialCostModel
 from repro.search.database import IndexedDatabase
@@ -112,13 +113,17 @@ class SerialSearchEngine:
         stats.build_time = build_time
 
         processed = [preprocess_spectrum(s, preprocess) for s in spectra]
-        filtered = index.filter_many(processed)
+        # One scratch workspace threads through the batched filtration
+        # and scoring kernels (same warm buffers for the whole run).
+        ws = thread_workspace()
+        filtered = index.filter_many(processed, workspace=ws)
         outcomes = score_many(
             processed,
             [f.candidates for f in filtered],
             fragment_tolerance=self.settings.fragment_tolerance,
             fragmentation=self.settings.fragmentation,
             arena=arena,
+            workspace=ws,
         )
 
         results: List[SpectrumResult] = []

@@ -1,0 +1,454 @@
+"""Equivalence suite for the cross-spectrum batched filtration kernel.
+
+PR 2 replaced ``SLMIndex.filter_many``'s per-spectrum loop with one
+flattened gather + segmented bincount over a whole batch of spectra,
+made ``FragmentArena.take`` derive rank sort orders from the master
+cache, and fixed the precursor-window dtype inconsistency between flat
+and chunked filtration.  Everything here pins those changes to the
+per-spectrum reference paths bit-for-bit: candidates, shared peaks,
+and both work counters, across empty spectra, zero-candidate spectra,
+windowed + open search, chunked indexes, and tiny batch-key budgets
+that force multi-batch execution.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings as hsettings, strategies as st
+
+from repro.chem.fragments import fragment_mzs
+from repro.chem.peptide import Peptide
+from repro.constants import PROTON
+from repro.errors import ConfigurationError
+from repro.index.arena import FragmentArena, Workspace, concat_ranges
+from repro.index.chunks import ChunkedIndex, ChunkingConfig
+from repro.index.slm import SLMIndex, SLMIndexSettings
+from repro.search.database import IndexedDatabase
+from repro.search.engine import DistributedSearchEngine, EngineConfig
+from repro.search.scoring import score_many
+from repro.search.serial import SerialSearchEngine
+from repro.spectra.model import Spectrum
+from repro.spectra.synthetic import SyntheticRunConfig, generate_run
+
+PEPTIDES = [
+    Peptide("AAAGGGK"),
+    Peptide("A"),  # zero fragments
+    Peptide("CCDDEEK"),
+    Peptide("MMNNQQRK"),
+    Peptide("WWYYFFK"),
+    Peptide("GGHHIIKK"),
+    Peptide("LLPPSSTK"),
+    Peptide("VVMMAACR"),
+]
+
+
+def spectrum_of(peptide, scan=1, charge=2):
+    mzs = fragment_mzs(peptide)
+    return Spectrum(
+        scan_id=scan,
+        precursor_mz=(peptide.mass + charge * PROTON) / charge,
+        charge=charge,
+        mzs=mzs,
+        intensities=np.ones_like(mzs),
+    )
+
+
+def mixed_spectra():
+    """Real hits, an empty spectrum, and out-of-range (zero-candidate) peaks."""
+    spectra = [
+        spectrum_of(p, scan=i) for i, p in enumerate(PEPTIDES) if p.length > 1
+    ]
+    spectra.append(Spectrum(90, 500.0, 2, np.array([]), np.array([])))
+    far = np.array([9000.0, 9500.0, 9900.0])
+    spectra.append(Spectrum(91, 700.0, 2, far, np.ones_like(far)))
+    return spectra
+
+
+def assert_results_equal(got, expected):
+    assert len(got) == len(expected)
+    for g, e in zip(got, expected):
+        assert g.candidates.dtype == e.candidates.dtype
+        assert np.array_equal(g.candidates, e.candidates)
+        assert np.array_equal(g.shared_peaks, e.shared_peaks)
+        assert g.buckets_scanned == e.buckets_scanned
+        assert g.ions_scanned == e.ions_scanned
+
+
+# -- SLMIndex batched kernel -------------------------------------------
+
+
+@pytest.mark.parametrize("precursor_tolerance", [None, 2.0, 0.0])
+@pytest.mark.parametrize("max_batch_keys", [1, 37, 1 << 22])
+def test_filter_many_bit_identical_to_filter(precursor_tolerance, max_batch_keys):
+    settings = SLMIndexSettings(
+        shared_peak_threshold=1, precursor_tolerance=precursor_tolerance
+    )
+    idx = SLMIndex(PEPTIDES, settings)
+    spectra = mixed_spectra()
+    batched = idx.filter_many(spectra, max_batch_keys=max_batch_keys)
+    assert_results_equal(batched, [idx.filter(s) for s in spectra])
+
+
+def test_filter_many_high_threshold_zero_candidates():
+    idx = SLMIndex(PEPTIDES, SLMIndexSettings(shared_peak_threshold=10_000))
+    spectra = mixed_spectra()
+    batched = idx.filter_many(spectra)
+    for got, s in zip(batched, spectra):
+        one = idx.filter(s)
+        assert got.candidates.size == one.candidates.size == 0
+        assert got.ions_scanned == one.ions_scanned
+        assert got.buckets_scanned == one.buckets_scanned
+
+
+def test_filter_many_empty_inputs_and_validation():
+    idx = SLMIndex(PEPTIDES, SLMIndexSettings(shared_peak_threshold=1))
+    assert idx.filter_many([]) == []
+    empty_idx = SLMIndex([], SLMIndexSettings(shared_peak_threshold=1))
+    res = empty_idx.filter_many(mixed_spectra())
+    assert all(r.candidates.size == 0 and r.ions_scanned == 0 for r in res)
+    with pytest.raises(ConfigurationError):
+        idx.filter_many(mixed_spectra(), max_batch_keys=0)
+
+
+def test_filter_many_ion_budget_split_bit_identical(monkeypatch):
+    """A tiny gather budget forces recursive batch splitting; results
+    must not change (each spectrum depends only on its own slice)."""
+    import repro.index.slm as slm_mod
+
+    idx = SLMIndex(PEPTIDES, SLMIndexSettings(shared_peak_threshold=1))
+    spectra = mixed_spectra()
+    expected = [idx.filter(s) for s in spectra]
+    with monkeypatch.context() as m:
+        m.setattr(slm_mod, "FILTER_BATCH_ION_BUDGET", 8)
+        assert_results_equal(idx.filter_many(spectra), expected)
+
+
+def test_filter_many_private_workspace_matches_default():
+    idx = SLMIndex(PEPTIDES, SLMIndexSettings(shared_peak_threshold=1))
+    spectra = mixed_spectra()
+    ws = Workspace()
+    assert_results_equal(
+        idx.filter_many(spectra, workspace=ws), idx.filter_many(spectra)
+    )
+
+
+def test_filter_many_bit_identical_on_synthetic_run():
+    """A realistic database + synthetic run, windowed and open."""
+    db = IndexedDatabase.from_peptides(
+        [
+            Peptide(s)
+            for s in (
+                "AAAGGGKR", "CCDDEEKK", "MMNNQQRL", "WWYYFFKA", "AAAGGGRV",
+                "LLPPSSTK", "GGHHIIKK", "VVMMAACR", "TTSSPPLK", "EEDDCCKR",
+            )
+        ],
+        max_variants_per_peptide=3,
+    )
+    spectra = generate_run(db.entries, SyntheticRunConfig(n_spectra=10, seed=3))
+    for ptol in (None, 1.5):
+        settings = SLMIndexSettings(
+            shared_peak_threshold=2, precursor_tolerance=ptol
+        )
+        idx = SLMIndex(
+            db.entries, settings, arena=db.arena_for(settings.fragmentation)
+        )
+        for keys in (len(db.entries) * 3, 1 << 22):
+            batched = idx.filter_many(spectra, max_batch_keys=keys)
+            assert_results_equal(batched, [idx.filter(s) for s in spectra])
+
+
+# -- chunked batched path ----------------------------------------------
+
+
+@pytest.mark.parametrize("precursor_tolerance", [None, 1.0])
+def test_chunked_filter_many_matches_per_spectrum(precursor_tolerance):
+    settings = SLMIndexSettings(
+        shared_peak_threshold=1, precursor_tolerance=precursor_tolerance
+    )
+    ci = ChunkedIndex(PEPTIDES, settings, ChunkingConfig(max_peptides_per_chunk=3))
+    spectra = mixed_spectra()
+    batched = ci.filter_many(spectra)
+    assert_results_equal(batched, [ci.filter(s) for s in spectra])
+    # Tiny key budget exercises multi-batch execution inside each chunk.
+    assert_results_equal(ci.filter_many(spectra, max_batch_keys=1), batched)
+
+
+def test_chunked_filter_many_matches_flat_index():
+    settings = SLMIndexSettings(shared_peak_threshold=1, precursor_tolerance=2.0)
+    ci = ChunkedIndex(PEPTIDES, settings, ChunkingConfig(max_peptides_per_chunk=2))
+    flat = SLMIndex(PEPTIDES, settings)
+    for s, res in zip(mixed_spectra(), ci.filter_many(mixed_spectra())):
+        fres = flat.filter(s)
+        assert np.array_equal(np.sort(res.candidates), fres.candidates)
+        got = dict(zip(res.candidates.tolist(), res.shared_peaks.tolist()))
+        want = dict(zip(fres.candidates.tolist(), fres.shared_peaks.tolist()))
+        assert got == want
+
+
+# -- precursor-window boundary regression ------------------------------
+
+
+def test_precursor_boundary_chunked_agrees_with_flat():
+    """A mass exactly at the float32-rounded window boundary must be
+    kept (or dropped) identically by flat and chunked filtration.
+
+    Before the fix, ``SLMIndex.filter`` masked with float32 masses
+    while ``ChunkedIndex.chunks_for`` pruned with float64 exact masses,
+    so a peptide whose float32 mass sits exactly on the window edge
+    while its float64 mass lies just outside was found by the flat
+    index but pruned away by the chunked one.
+    """
+    # A peptide whose float32 mass rounds *down* from the float64 mass.
+    target = next(
+        p for p in PEPTIDES if p.length > 1 and float(np.float32(p.mass)) < p.mass
+    )
+    m32 = float(np.float32(target.mass))
+    mzs = fragment_mzs(target)
+    q = Spectrum(
+        scan_id=1,
+        precursor_mz=m32 - 0.5 + PROTON,
+        charge=1,
+        mzs=mzs,
+        intensities=np.ones_like(mzs),
+    )
+    nm = q.neutral_mass
+    # Tolerance that puts the float32-rounded mass exactly on the
+    # window boundary, with the exact float64 mass strictly outside:
+    # the scenario where the two code paths used to disagree.
+    tol = float(np.abs(np.float64(m32) - nm))
+    assert target.mass - nm > tol
+
+    settings = SLMIndexSettings(shared_peak_threshold=1, precursor_tolerance=tol)
+    flat = SLMIndex(PEPTIDES, settings)
+    ci = ChunkedIndex(PEPTIDES, settings, ChunkingConfig(max_peptides_per_chunk=1))
+    fres = flat.filter(q)
+    cres = ci.filter(q)
+    # The boundary mass is inside the window (<=), so the target must
+    # survive filtration on BOTH paths.
+    tid = PEPTIDES.index(target)
+    assert tid in fres.candidates.tolist()
+    assert tid in cres.candidates.tolist()
+    assert np.array_equal(np.sort(cres.candidates), fres.candidates)
+    # The batched kernels agree too.
+    assert_results_equal(flat.filter_many([q]), [fres])
+    assert_results_equal(ci.filter_many([q]), [cres])
+
+
+def test_bruteforce_uses_same_window_predicate():
+    target = next(p for p in PEPTIDES if p.length > 1)
+    q = spectrum_of(target)
+    nm = q.neutral_mass
+    tol = float(np.abs(np.float64(np.float32(target.mass)) - nm))
+    settings = SLMIndexSettings(shared_peak_threshold=1, precursor_tolerance=tol)
+    idx = SLMIndex(PEPTIDES, settings)
+    fast, slow = idx.filter(q), idx.filter_bruteforce(q)
+    assert np.array_equal(fast.candidates, slow.candidates)
+    assert np.array_equal(fast.shared_peaks, slow.shared_peaks)
+
+
+# -- concat_ranges property + workspace aliasing -----------------------
+
+
+@hsettings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 40), st.integers(0, 15)), min_size=0, max_size=10
+    ),
+    st.lists(
+        st.tuples(st.integers(0, 40), st.integers(0, 15)), min_size=0, max_size=10
+    ),
+)
+def test_concat_ranges_workspace_reuse_stays_correct(pairs_a, pairs_b):
+    """Back-to-back workspace calls (the batched kernel's pattern) must
+    each be correct even though the second reuses/aliases the first's
+    scratch buffers."""
+
+    def naive(pairs):
+        return (
+            np.concatenate(
+                [np.arange(a, a + w, dtype=np.int64) for a, w in pairs]
+            )
+            if pairs
+            else np.empty(0, dtype=np.int64)
+        )
+
+    def args(pairs):
+        starts = np.array([a for a, _ in pairs], dtype=np.int64)
+        return starts, starts + np.array([w for _, w in pairs], dtype=np.int64)
+
+    ws = Workspace()
+    got_a = concat_ranges(*args(pairs_a), workspace=ws, name="t")
+    copy_a = got_a.copy()  # consume before the next call clobbers it
+    got_b = concat_ranges(*args(pairs_b), workspace=ws, name="t")
+    assert np.array_equal(copy_a, naive(pairs_a))
+    assert np.array_equal(got_b, naive(pairs_b))
+
+
+def test_workspace_iota_grows_and_stays_ascending():
+    ws = Workspace()
+    small = ws.iota(5, np.int64)
+    assert small.tolist() == [0, 1, 2, 3, 4]
+    big = ws.iota(5000, np.int64)
+    assert big[0] == 0 and big[-1] == 4999
+    assert np.array_equal(big, np.arange(5000))
+    # Growth must not invalidate prefix values (the cached arange is
+    # replaced by a longer arange, never mutated in place).
+    again = ws.iota(7, np.int64)
+    assert again.tolist() == [0, 1, 2, 3, 4, 5, 6]
+    assert ws.iota(7, np.int32).dtype == np.int32
+
+
+def test_concat_ranges_workspace_views_alias_buffer():
+    ws = Workspace()
+    starts = np.array([3, 10], dtype=np.int64)
+    stops = np.array([6, 12], dtype=np.int64)
+    first = concat_ranges(starts, stops, workspace=ws, name="alias")
+    second = concat_ranges(starts, stops, workspace=ws, name="alias")
+    # Same request size -> the scratch view aliases the same buffer.
+    assert first.base is second.base
+    assert np.array_equal(second, np.array([3, 4, 5, 10, 11]))
+
+
+# -- derived sub-arena sort orders -------------------------------------
+
+
+def test_take_derives_order_monotone_manifest_exact():
+    arena = FragmentArena.from_peptides(PEPTIDES)
+    r = 0.01
+    arena.buckets_for(r)
+    arena.sort_order_for(r)
+    ids = np.array([0, 2, 5, 7], dtype=np.int64)  # ascending
+    sub = arena.take(ids)
+    assert r in sub._order_cache
+    derived = sub._order_cache[r]
+    fresh = np.argsort(sub.buckets_for(r), kind="stable")
+    assert np.array_equal(derived, fresh)
+
+
+def test_take_derives_order_shuffled_manifest_valid():
+    arena = FragmentArena.from_peptides(PEPTIDES)
+    r = 0.01
+    arena.sort_order_for(r)
+    ids = np.array([6, 0, 4, 2], dtype=np.int64)  # non-monotone
+    sub = arena.take(ids)
+    derived = sub._order_cache[r]
+    buckets = sub.buckets_for(r)
+    # A permutation that sorts the sub buckets bucket-major.
+    assert np.array_equal(np.sort(derived), np.arange(sub.n_ions))
+    assert np.all(np.diff(buckets[derived]) >= 0)
+
+
+def test_take_skips_order_derivation_for_duplicate_ids():
+    arena = FragmentArena.from_peptides(PEPTIDES)
+    arena.sort_order_for(0.01)
+    sub = arena.take(np.array([2, 2, 0], dtype=np.int64))
+    assert 0.01 not in sub._order_cache
+    # Still fully functional: the order is argsorted on demand.
+    assert np.all(np.diff(sub.buckets_for(0.01)[sub.sort_order_for(0.01)]) >= 0)
+
+
+def test_sub_arena_index_build_avoids_argsort(monkeypatch):
+    settings = SLMIndexSettings(shared_peak_threshold=1)
+    arena = FragmentArena.from_peptides(PEPTIDES)
+    arena.buckets_for(settings.resolution)
+    arena.sort_order_for(settings.resolution)
+    ids = np.array([5, 1, 3, 0, 7], dtype=np.int64)  # shuffled manifest
+    sub = arena.take(ids)
+    sub_entries = [PEPTIDES[int(i)] for i in ids]
+    with monkeypatch.context() as m:
+        m.setattr(
+            np,
+            "argsort",
+            lambda *a, **k: pytest.fail("argsort during rank partial build"),
+        )
+        rank_index = SLMIndex(sub_entries, settings, arena=sub)
+    # Bit-identical filtration vs an index built from scratch (fresh
+    # argsort) over the same entries.
+    fresh_index = SLMIndex(sub_entries, settings)
+    for p in sub_entries:
+        if p.length < 2:
+            continue
+        q = spectrum_of(p)
+        assert_results_equal([rank_index.filter(q)], [fresh_index.filter(q)])
+    spectra = [spectrum_of(p) for p in sub_entries if p.length > 1]
+    assert_results_equal(
+        rank_index.filter_many(spectra), fresh_index.filter_many(spectra)
+    )
+
+
+def test_distributed_build_never_re_argsorts_rank_subsets(monkeypatch):
+    db = IndexedDatabase.from_peptides(
+        [
+            Peptide(s)
+            for s in (
+                "AAAGGGKR", "CCDDEEKK", "MMNNQQRL", "WWYYFFKA",
+                "LLPPSSTK", "GGHHIIKK", "VVMMAACR", "TTSSPPLK",
+            )
+        ],
+        max_variants_per_peptide=2,
+    )
+    spectra = generate_run(db.entries, SyntheticRunConfig(n_spectra=4, seed=11))
+    cfg = EngineConfig(
+        n_ranks=3,
+        policy="cyclic",
+        index=SLMIndexSettings(shared_peak_threshold=2),
+    )
+    master = db.arena_for(cfg.index.fragmentation)
+    calls = []
+    orig = FragmentArena.sort_order_for
+
+    def spy(self, resolution):
+        calls.append((self, resolution in self._order_cache))
+        return orig(self, resolution)
+
+    with monkeypatch.context() as m:
+        m.setattr(FragmentArena, "sort_order_for", spy)
+        dist = DistributedSearchEngine(db, cfg).run(spectra)
+    sub_calls = [hit for arena, hit in calls if arena is not master]
+    assert sub_calls, "expected rank sub-arena index builds"
+    assert all(sub_calls), "a rank sub-arena re-argsorted its ion subset"
+    # And the run still matches the serial engine exactly.
+    serial = SerialSearchEngine(db, cfg.index).run(spectra)
+    for sr, dr in zip(serial.spectra, dist.spectra):
+        assert [(p.entry_id, p.score) for p in sr.psms] == [
+            (p.entry_id, p.score) for p in dr.psms
+        ]
+
+
+# -- workspace plumbing through scoring --------------------------------
+
+
+def test_score_many_private_workspace_matches_default():
+    arena = FragmentArena.from_peptides(PEPTIDES)
+    spectra = [spectrum_of(p, scan=i) for i, p in enumerate(PEPTIDES[:3], 1)]
+    cand_lists = [
+        np.array([0, 2, 4]),
+        np.empty(0, dtype=np.int64),
+        np.array([1, 3, 5]),
+    ]
+    default = score_many(spectra, cand_lists, fragment_tolerance=0.05, arena=arena)
+    private = score_many(
+        spectra,
+        cand_lists,
+        fragment_tolerance=0.05,
+        arena=arena,
+        workspace=Workspace(),
+    )
+    for d, p in zip(default, private):
+        assert np.array_equal(d.scores, p.scores)
+        assert np.array_equal(d.n_matched, p.n_matched)
+
+
+# -- serialized indexes use the batched path too -----------------------
+
+
+def test_loaded_index_batched_filtration_identical(tmp_path):
+    from repro.index.serialize import load_index, save_index
+
+    settings = SLMIndexSettings(shared_peak_threshold=1, precursor_tolerance=2.0)
+    idx = SLMIndex(PEPTIDES, settings)
+    path = save_index(tmp_path / "idx.npz", idx)
+    loaded = load_index(path)
+    spectra = mixed_spectra()
+    assert_results_equal(
+        loaded.filter_many(spectra), [idx.filter(s) for s in spectra]
+    )
