@@ -1,16 +1,16 @@
-"""CI perf-regression guard for the hot-path benchmark.
+"""CI perf-regression guard for the hot-path and parallel benchmarks.
 
-Compares a freshly-measured ``bench_wallclock_hotpath`` report against
-the committed trajectory in ``BENCH_hotpath.json`` and fails (non-zero
-exit) when the combined speedup regresses below the allowed fraction
-of the committed figure.  The committed report is produced on a
-developer machine with the full workload while CI runs ``--quick`` on
-shared runners, so the tolerance is deliberately generous: the guard
-exists to catch order-of-magnitude regressions (an accidentally
-de-vectorized kernel, a dropped cache), not single-digit-percent
-noise.
+Compares freshly-measured benchmark reports against the committed
+trajectories (``BENCH_hotpath.json``, ``BENCH_parallel.json``) and
+fails (non-zero exit) when a guarded speedup regresses below the
+allowed fraction of the committed figure.  The committed reports are
+produced on a developer machine with the full workload while CI runs
+``--quick`` on shared runners, so the tolerances are deliberately
+generous: the guard exists to catch order-of-magnitude regressions
+(an accidentally de-vectorized kernel, a dropped cache, a backend
+that silently serializes), not single-digit-percent noise.
 
-Checks, in order:
+Hot-path checks (``--baseline``/``--fresh``), in order:
 
 1. the fresh report's ``identical_results`` flag is true (the bench
    itself refuses to report mismatched kernels, but belt-and-braces),
@@ -20,10 +20,25 @@ Checks, in order:
    >= ``--filter-floor`` (the batched kernel must not regress into a
    real loss; the floor sits below 1.0 for timing-noise margin).
 
+Parallel-backend checks (``--parallel-baseline``/``--parallel-fresh``):
+
+1. ``identical_results`` is true (process backend == serial engine),
+2. dedicated-core query speedup at 2 workers >= ``--parallel-floor``
+   (CPU-seconds based, so it holds even on 1-CPU runners),
+3. >= ``--min-ratio`` x the committed dedicated 2-worker figure,
+4. LBE-vs-naive (chunk/cyclic slowest-worker ratio) at 2 workers
+   >= ``--lbe-floor`` (well below 1.0: small quick workloads can
+   land near-balanced chunk partitions by luck).
+
+Either pair of reports may be supplied alone; at least one is
+required.
+
 Usage::
 
     python benchmarks/check_perf_regression.py \
-        --baseline BENCH_hotpath.json --fresh /tmp/bench_fresh.json
+        --baseline BENCH_hotpath.json --fresh /tmp/bench_fresh.json \
+        --parallel-baseline BENCH_parallel.json \
+        --parallel-fresh /tmp/bench_parallel_fresh.json
 """
 
 from __future__ import annotations
@@ -34,51 +49,12 @@ import sys
 from pathlib import Path
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--baseline",
-        type=Path,
-        required=True,
-        help="committed BENCH_hotpath.json (the trajectory to beat)",
-    )
-    parser.add_argument(
-        "--fresh",
-        type=Path,
-        required=True,
-        help="freshly measured report (e.g. a --quick run on CI)",
-    )
-    parser.add_argument(
-        "--min-ratio",
-        type=float,
-        default=0.35,
-        help="fresh combined speedup must reach this fraction of the "
-        "committed combined speedup (default: 0.35 — CI runners are "
-        "slower and noisier than the committing machine)",
-    )
-    parser.add_argument(
-        "--floor",
-        type=float,
-        default=1.5,
-        help="absolute minimum combined speedup (default: 1.5)",
-    )
-    parser.add_argument(
-        "--filter-floor",
-        type=float,
-        default=0.8,
-        help="minimum batched-vs-per-spectrum filtration speedup "
-        "(default: 0.8 — batching must never be a real loss, but the "
-        "quick-mode stages are sub-millisecond best-of-2 timings, so "
-        "leave noise margin below 1.0)",
-    )
-    args = parser.parse_args()
-
+def check_hotpath(args, failures: list) -> None:
     baseline = json.loads(args.baseline.read_text(encoding="ascii"))
     fresh = json.loads(args.fresh.read_text(encoding="ascii"))
 
-    failures = []
     if not fresh.get("identical_results", False):
-        failures.append("fresh run reports identical_results=false")
+        failures.append("fresh hot-path run reports identical_results=false")
 
     committed_combined = float(baseline["speedup"]["combined"])
     fresh_combined = float(fresh["speedup"]["combined"])
@@ -111,6 +87,137 @@ def main() -> int:
             f"batched filtration speedup {filter_batch:.2f}x below "
             f"floor {args.filter_floor:.2f}x"
         )
+
+
+def check_parallel(args, failures: list) -> None:
+    fresh = json.loads(args.parallel_fresh.read_text(encoding="ascii"))
+
+    if not fresh.get("identical_results", False):
+        failures.append("fresh parallel run reports identical_results=false")
+
+    dedicated = float(fresh["speedup"].get("query_dedicated_2w", float("nan")))
+    print(
+        f"parallel query speedup (dedicated-core, 2 workers): "
+        f"{dedicated:.2f}x (required >= {args.parallel_floor:.2f}x)"
+    )
+    if not dedicated >= args.parallel_floor:  # catches NaN too
+        failures.append(
+            f"dedicated 2-worker query speedup {dedicated:.2f}x below "
+            f"floor {args.parallel_floor:.2f}x"
+        )
+    if args.parallel_baseline is not None:
+        committed = json.loads(
+            args.parallel_baseline.read_text(encoding="ascii")
+        )
+        committed_dedicated = float(committed["speedup"]["query_dedicated_2w"])
+        required = args.min_ratio * committed_dedicated
+        print(
+            f"  vs committed {committed_dedicated:.2f}x "
+            f"(required >= {required:.2f}x)"
+        )
+        if dedicated < required:
+            failures.append(
+                f"dedicated 2-worker query speedup {dedicated:.2f}x below "
+                f"{args.min_ratio:.2f} x committed ({required:.2f}x)"
+            )
+
+    lbe = float(fresh["speedup"].get("lbe_vs_naive_2w", float("nan")))
+    print(
+        f"LBE vs naive partitioning (2 workers): {lbe:.2f}x "
+        f"(required >= {args.lbe_floor:.2f}x)"
+    )
+    if not lbe >= args.lbe_floor:
+        failures.append(
+            f"LBE-vs-naive speedup {lbe:.2f}x below floor "
+            f"{args.lbe_floor:.2f}x"
+        )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="committed BENCH_hotpath.json (the trajectory to beat)",
+    )
+    parser.add_argument(
+        "--fresh",
+        type=Path,
+        default=None,
+        help="freshly measured hot-path report (e.g. a --quick run on CI)",
+    )
+    parser.add_argument(
+        "--parallel-baseline",
+        type=Path,
+        default=None,
+        help="committed BENCH_parallel.json",
+    )
+    parser.add_argument(
+        "--parallel-fresh",
+        type=Path,
+        default=None,
+        help="freshly measured parallel-backend report",
+    )
+    parser.add_argument(
+        "--parallel-floor",
+        type=float,
+        default=1.1,
+        help="minimum dedicated-core query speedup at 2 workers "
+        "(default: 1.1 — CPU-seconds based, so valid on any runner; a "
+        "work-dividing backend lands well above it, a serializing one "
+        "at ~1.0 or below)",
+    )
+    parser.add_argument(
+        "--lbe-floor",
+        type=float,
+        default=0.6,
+        help="minimum LBE-vs-naive slowest-worker ratio at 2 workers "
+        "(default: 0.6 — quick workloads can land near-balanced chunk "
+        "partitions; the guard only catches LBE becoming a large loss)",
+    )
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.35,
+        help="fresh combined speedup must reach this fraction of the "
+        "committed combined speedup (default: 0.35 — CI runners are "
+        "slower and noisier than the committing machine)",
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=1.5,
+        help="absolute minimum combined speedup (default: 1.5)",
+    )
+    parser.add_argument(
+        "--filter-floor",
+        type=float,
+        default=0.8,
+        help="minimum batched-vs-per-spectrum filtration speedup "
+        "(default: 0.8 — batching must never be a real loss, but the "
+        "quick-mode stages are sub-millisecond best-of-2 timings, so "
+        "leave noise margin below 1.0)",
+    )
+    args = parser.parse_args()
+
+    if (args.baseline is None) != (args.fresh is None):
+        parser.error("--baseline and --fresh must be supplied together")
+    if args.parallel_baseline is not None and args.parallel_fresh is None:
+        parser.error("--parallel-baseline requires --parallel-fresh")
+    have_hotpath = args.baseline is not None
+    have_parallel = args.parallel_fresh is not None
+    if not have_hotpath and not have_parallel:
+        parser.error(
+            "supply --baseline/--fresh and/or --parallel-fresh "
+            "(with optional --parallel-baseline)"
+        )
+
+    failures: list = []
+    if have_hotpath:
+        check_hotpath(args, failures)
+    if have_parallel:
+        check_parallel(args, failures)
 
     if failures:
         for f in failures:

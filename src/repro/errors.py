@@ -44,6 +44,13 @@ class CommunicatorError(ReproError, RuntimeError):
     buffering, ...)."""
 
 
+class WorkerError(ReproError, RuntimeError):
+    """A real-OS-process worker of the parallel backend failed: it
+    raised (the message carries the remote traceback), died without
+    reporting (the message carries the exit code), or the whole pool
+    exceeded its deadline."""
+
+
 class SearchError(ReproError, RuntimeError):
     """The search engine reached an inconsistent state (e.g. a partial
     index references a peptide the mapping table does not know)."""

@@ -32,6 +32,32 @@ list slots.  :meth:`IndexMemoryModel.arena_bytes` models it and
 :meth:`IndexMemoryModel.measure_arena` checks the model against a live
 arena; it is *not* part of the Fig. 5 comparison, which models the
 original's layout.
+
+Shared-arena (multi-process) memory model
+-----------------------------------------
+Under the real-process backend (:mod:`repro.parallel`) the arena is
+spilled once to a
+:class:`~repro.parallel.shared_arena.SharedArenaStore` and every
+worker reopens it with read-only ``np.memmap``:
+
+* the spilled flat arrays exist as **one physical copy** machine-wide
+  — the OS page cache backs every worker's mapping, so the arena term
+  does *not* multiply by the worker count the way pickled-per-worker
+  clones would,
+* a worker's page-cache **residency** is only the pages it touches:
+  carving its :meth:`~repro.index.arena.FragmentArena.take` sub-arena
+  reads just its manifest's slices, so cold pages of other ranks'
+  entries never fault in,
+* each worker's *private* (unique) bytes are its gathered sub-arena —
+  O(arena / n_workers) — plus its partial index, exactly the
+  distributed per-rank share :meth:`IndexMemoryModel.distributed`
+  models.
+
+System-wide under the process backend: ``arena_bytes`` (the shared
+copy, counted once) + Σ per-worker sub-arena m/z (≈ 8 B × n_ions
+total across workers) + the per-rank index terms.  The same model
+applies to ``.npz`` archives opened with
+:func:`repro.index.serialize.load_index` ``(mmap_mode="r")``.
 """
 
 from __future__ import annotations
@@ -185,6 +211,12 @@ class IndexMemoryModel:
         caches after the partial build but keep their m/z slices), so
         its system-wide arena total is roughly this figure plus
         ``8 B × n_ions`` of rank-held m/z.
+
+        Under the process backend the master-arena term is the
+        memmap-shared store: one physical copy machine-wide however
+        many workers map it, resident only to the extent pages are
+        touched (see the module docstring's shared-arena model); the
+        per-worker sub-arena term is unchanged.
         """
         if n_resolutions < 0:
             raise ConfigurationError(

@@ -134,7 +134,15 @@ class SLMIndex:
     ----------
     peptides:
         The peptides (base + modified variants) to index.  Local ids
-        are positions in this sequence.
+        are positions in this sequence.  May be ``None`` when an
+        ``arena`` carrying per-entry ``masses`` is supplied: querying
+        only needs the flat arrays, so backends that ship the arena to
+        worker processes (the memmap-shared process backend) build
+        **peptide-free** indexes without ever materializing — or
+        pickling — :class:`~repro.chem.peptide.Peptide` objects.
+        Peptide-free indexes cannot be serialized with
+        :func:`~repro.index.serialize.save_index` or queried with
+        :meth:`filter_bruteforce`.
     settings:
         Index/query settings.
     fragments:
@@ -161,16 +169,31 @@ class SLMIndex:
 
     def __init__(
         self,
-        peptides: Sequence[Peptide],
+        peptides: Sequence[Peptide] | None,
         settings: SLMIndexSettings = SLMIndexSettings(),
         *,
         fragments: Sequence[np.ndarray] | None = None,
         arena: FragmentArena | None = None,
     ) -> None:
         self.settings = settings
-        self.peptides: List[Peptide] = list(peptides)
-        n = len(self.peptides)
+        self.peptides: List[Peptide] | None = (
+            None if peptides is None else list(peptides)
+        )
         owns_arena = arena is None
+        if self.peptides is None:
+            if arena is None:
+                raise ConfigurationError(
+                    "SLMIndex needs an arena when peptides is None"
+                )
+            if arena.masses is None:
+                raise ConfigurationError(
+                    "a peptide-free SLMIndex needs arena masses for the "
+                    "precursor filter"
+                )
+            n = arena.n_entries
+        else:
+            n = len(self.peptides)
+        self.n_peptides = n
         if arena is not None:
             if arena.n_entries != n:
                 raise ConfigurationError(
@@ -226,7 +249,7 @@ class SLMIndex:
     # -- introspection -------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self.peptides)
+        return self.n_peptides
 
     @property
     def n_ions(self) -> int:
@@ -242,13 +265,13 @@ class SLMIndex:
         """
         if self._ion_counts is None:
             self._ion_counts = np.bincount(
-                self.ion_parents, minlength=len(self.peptides)
+                self.ion_parents, minlength=self.n_peptides
             ).astype(np.int64)
         return self._ion_counts
 
     def ions_of(self, local_id: int) -> int:
         """Number of indexed ions of peptide ``local_id`` (O(1))."""
-        if not 0 <= local_id < len(self.peptides):
+        if not 0 <= local_id < self.n_peptides:
             return 0
         return int(self.ion_counts[local_id])
 
@@ -300,7 +323,7 @@ class SLMIndex:
         The whole spectrum is processed with vectorized segment
         gathering (no per-peak Python loop).
         """
-        n = len(self.peptides)
+        n = self.n_peptides
         if n == 0 or self.n_ions == 0 or spectrum.n_peaks == 0:
             return self._empty_result()
         r = self.settings.resolution
@@ -396,7 +419,7 @@ class SLMIndex:
             raise ConfigurationError(
                 f"max_batch_keys must be >= 1, got {max_batch_keys}"
             )
-        n = len(self.peptides)
+        n = self.n_peptides
         if n == 0 or self.n_ions == 0:
             return [self._empty_result() for _ in spectra]
         ws = workspace if workspace is not None else thread_workspace()
@@ -425,7 +448,7 @@ class SLMIndex:
         combined key space, whose key construction alone costs two
         extra passes over every gathered ion.
         """
-        n = len(self.peptides)
+        n = self.n_peptides
         nb = len(batch)
         r = self.settings.resolution
         frag_tol = self.settings.fragment_tolerance
@@ -517,7 +540,12 @@ class SLMIndex:
         ion-multiplicity semantics as the index (each (ion, peak
         window) containment adds one), so both paths agree exactly.
         """
-        n = len(self.peptides)
+        if self.peptides is None:
+            raise ConfigurationError(
+                "filter_bruteforce needs peptide objects; this index was "
+                "built peptide-free over an arena"
+            )
+        n = self.n_peptides
         counts = np.zeros(n, dtype=np.int32)
         inv_r = 1.0 / self.settings.resolution
         for local_id, pep in enumerate(self.peptides):

@@ -1,0 +1,35 @@
+"""Real multi-process execution backend with a memmap-shared arena.
+
+The simulated cluster (:mod:`repro.mpi`) runs ranks as threads over
+virtual clocks — ideal for deterministic load-imbalance experiments,
+useless for measuring the paper's actual claim: wall-clock speedup
+from load-balanced parallel peptide search.  This package executes the
+same rank program (:mod:`repro.search.rank`) on real OS processes:
+
+* :mod:`repro.parallel.shared_arena` — spill a
+  :class:`~repro.index.arena.FragmentArena` to a directory of raw
+  ``.npy`` files and reopen it read-only with ``np.memmap`` in any
+  process: N workers share **one** physical copy of the fragment data
+  through the OS page cache instead of N pickled clones,
+* :mod:`repro.parallel.pool` — a :class:`~repro.parallel.pool.ProcessBackend`
+  mirroring :func:`~repro.mpi.launcher.run_spmd`'s contract (per-rank
+  callable, rank/size, gathered results and real timings) on
+  ``multiprocessing`` spawn workers, with crash → clean exception,
+* :mod:`repro.parallel.engine` — a
+  :class:`~repro.parallel.engine.ParallelSearchEngine` that is
+  bit-identical to the serial and simulated-distributed engines for
+  every partition policy and worker count, but whose phase times are
+  real seconds.
+"""
+
+from repro.parallel.engine import ParallelEngineConfig, ParallelSearchEngine
+from repro.parallel.pool import ProcessBackend, ProcessResult
+from repro.parallel.shared_arena import SharedArenaStore
+
+__all__ = [
+    "ParallelEngineConfig",
+    "ParallelSearchEngine",
+    "ProcessBackend",
+    "ProcessResult",
+    "SharedArenaStore",
+]

@@ -1,0 +1,270 @@
+"""Real-OS-process SPMD backend (the ``mpiexec`` analogue, for real).
+
+:class:`ProcessBackend` mirrors :func:`~repro.mpi.launcher.run_spmd`'s
+contract — run one callable per rank, gather per-rank return values
+and per-rank timings — but the ranks are ``multiprocessing`` workers
+(``spawn`` by default: no inherited interpreter state, the same code
+path on every platform) and the timings are **real seconds**, wall and
+CPU.
+
+Failure semantics, mirroring the simulated launcher's "a failing rank
+can never leave the suite hanging":
+
+* a worker that *raises* reports the exception through its pipe; the
+  master terminates the remaining workers and re-raises as
+  :class:`~repro.errors.WorkerError` carrying the remote traceback,
+* a worker that *dies* without reporting (segfault, ``os._exit``,
+  OOM-kill) is detected through its process sentinel and surfaces as
+  :class:`~repro.errors.WorkerError` with the exit code,
+* a pool that exceeds its deadline is terminated and raises — the
+  master waits on pipes and sentinels together, so no failure mode
+  blocks forever.
+
+Worker callables must be module-level (picklable by reference) and
+take ``(rank, size, payload)``; payloads are pickled per worker — keep
+them small and put bulk data behind a
+:class:`~repro.parallel.shared_arena.SharedArenaStore`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+import traceback
+from dataclasses import dataclass
+from multiprocessing import connection
+from typing import Any, Callable, List, Sequence
+
+from repro.errors import ConfigurationError, WorkerError
+
+__all__ = ["ProcessBackend", "ProcessResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessResult:
+    """Outcome of one process-pool run.
+
+    Attributes
+    ----------
+    results:
+        Per-rank return values of the worker callable.
+    wall_times:
+        Per-rank real elapsed seconds inside the worker callable
+        (excludes interpreter start-up and result pickling).
+    cpu_times:
+        Per-rank process CPU seconds over the same span.  On a
+        machine with one core per worker, wall ≈ CPU; on an
+        oversubscribed machine CPU is the dedicated-core-equivalent
+        time (what the wall-clock would be with a core per worker).
+    """
+
+    results: List[Any]
+    wall_times: List[float]
+    cpu_times: List[float]
+
+    @property
+    def n_workers(self) -> int:
+        """Number of workers that ran."""
+        return len(self.results)
+
+    @property
+    def makespan(self) -> float:
+        """The slowest worker's elapsed seconds."""
+        return max(self.wall_times) if self.wall_times else 0.0
+
+
+def _worker_entry(conn, fn, rank: int, size: int, payload) -> None:
+    """Worker-side wrapper: run ``fn``, report result or traceback."""
+    try:
+        t0 = time.perf_counter()
+        c0 = time.process_time()
+        result = fn(rank, size, payload)
+        wall = time.perf_counter() - t0
+        cpu = time.process_time() - c0
+    except BaseException as exc:  # noqa: BLE001 - reported to the master
+        try:
+            conn.send(
+                ("error", f"{type(exc).__name__}: {exc}", traceback.format_exc())
+            )
+        finally:
+            conn.close()
+        return
+    try:
+        conn.send(("ok", result, wall, cpu))
+    except BaseException as exc:  # noqa: BLE001 - e.g. unpicklable result
+        # Pickling happens before any bytes hit the pipe, so a failed
+        # ok-send leaves it clean for an error report — without this,
+        # an unpicklable return value would surface as "died without
+        # reporting" with the real cause lost.
+        try:
+            conn.send(
+                (
+                    "error",
+                    f"{type(exc).__name__}: {exc} (while sending the result)",
+                    traceback.format_exc(),
+                )
+            )
+        except BaseException:  # noqa: BLE001 - pipe itself is broken
+            pass
+    finally:
+        conn.close()
+
+
+class ProcessBackend:
+    """Run a rank program on ``n_workers`` real OS processes.
+
+    Parameters
+    ----------
+    n_workers:
+        Process count (the rank space is ``0 .. n_workers - 1``).
+    start_method:
+        ``multiprocessing`` start method; ``spawn`` (default) imports
+        a fresh interpreter per worker — slower to start but immune to
+        inherited locks/threads, and identical across platforms.
+    timeout:
+        Real-seconds deadline for the whole pool; exceeding it
+        terminates every worker and raises :class:`WorkerError`.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        *,
+        start_method: str = "spawn",
+        timeout: float = 600.0,
+    ) -> None:
+        if n_workers < 1:
+            raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+        if timeout <= 0:
+            raise ConfigurationError(f"timeout must be > 0, got {timeout}")
+        if start_method not in mp.get_all_start_methods():
+            raise ConfigurationError(
+                f"start method {start_method!r} not available "
+                f"(have {mp.get_all_start_methods()})"
+            )
+        self.n_workers = n_workers
+        self.start_method = start_method
+        self.timeout = timeout
+
+    def run(
+        self,
+        fn: Callable[[int, int, Any], Any],
+        payloads: Sequence[Any] | None = None,
+    ) -> ProcessResult:
+        """Execute ``fn(rank, n_workers, payloads[rank])`` per rank.
+
+        Returns once every worker has reported; raises
+        :class:`WorkerError` on the first worker failure (remaining
+        workers are terminated) or on deadline expiry.
+        """
+        size = self.n_workers
+        if payloads is None:
+            payloads = [None] * size
+        if len(payloads) != size:
+            raise ConfigurationError(
+                f"{len(payloads)} payloads for {size} workers"
+            )
+        ctx = mp.get_context(self.start_method)
+        pipes = []
+        child_ends = []
+        procs = []
+        for rank in range(size):
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_worker_entry,
+                args=(child_conn, fn, rank, size, payloads[rank]),
+                name=f"repro-worker-{rank}",
+                daemon=True,
+            )
+            pipes.append(parent_conn)
+            child_ends.append(child_conn)
+            procs.append(proc)
+        results: List[Any] = [None] * size
+        walls = [0.0] * size
+        cpus = [0.0] * size
+        deadline = time.monotonic() + self.timeout
+        pending = set(range(size))
+        started: List[Any] = []
+        try:
+            for rank, proc in enumerate(procs):
+                proc.start()
+                started.append(proc)
+                # Drop the master's copy of the child end: the worker
+                # holds the only write handle, so a dead worker reads
+                # as EOF/sentinel, never as an open idle pipe.
+                child_ends[rank].close()
+            while pending:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise WorkerError(
+                        f"process pool deadline ({self.timeout:.0f}s) expired "
+                        f"with workers {sorted(pending)} still running"
+                    )
+                waitees = [pipes[r] for r in pending] + [
+                    procs[r].sentinel for r in pending
+                ]
+                connection.wait(waitees, timeout=remaining)
+                for rank in sorted(pending):
+                    if pipes[rank].poll():
+                        self._receive(
+                            rank, pipes[rank], procs[rank], results, walls, cpus
+                        )
+                        pending.discard(rank)
+                    elif not procs[rank].is_alive():
+                        # Died without reporting — but close the race
+                        # where the message landed between poll() and
+                        # the liveness check.
+                        procs[rank].join()
+                        if pipes[rank].poll():
+                            self._receive(
+                                rank,
+                                pipes[rank],
+                                procs[rank],
+                                results,
+                                walls,
+                                cpus,
+                            )
+                            pending.discard(rank)
+                        else:
+                            raise WorkerError(
+                                f"worker {rank} died without reporting "
+                                f"(exit code {procs[rank].exitcode})"
+                            )
+        finally:
+            # Only processes that actually started can be terminated or
+            # joined — a start() failure (e.g. an unpicklable payload)
+            # must re-raise its own error, not an AssertionError from
+            # joining an unstarted Process.
+            for proc in started:
+                if proc.is_alive():
+                    proc.terminate()
+            for proc in started:
+                proc.join(timeout=5.0)
+            for pipe in pipes:
+                pipe.close()
+        return ProcessResult(results=results, wall_times=walls, cpu_times=cpus)
+
+    @staticmethod
+    def _receive(rank, pipe, proc, results, walls, cpus) -> None:
+        """Consume one worker's report; raise on a reported error."""
+        try:
+            message = pipe.recv()
+        except EOFError:
+            # The pipe reached EOF before any report: the worker died
+            # (hard exit, kill, segfault).  Join so the exit code is
+            # available for the diagnosis.
+            proc.join()
+            raise WorkerError(
+                f"worker {rank} died without reporting "
+                f"(exit code {proc.exitcode})"
+            ) from None
+        if message[0] == "error":
+            _, summary, remote_tb = message
+            raise WorkerError(
+                f"worker {rank} raised {summary}\n"
+                f"--- remote traceback ---\n{remote_tb}"
+            )
+        _, result, wall, cpu = message
+        results[rank] = result
+        walls[rank] = wall
+        cpus[rank] = cpu

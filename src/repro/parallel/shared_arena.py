@@ -1,0 +1,198 @@
+"""Spill a fragment arena to disk; reopen it memmap-shared anywhere.
+
+The communication-lower-bounds argument for parallel database search
+(arXiv:2009.14123) says the database should stay *resident and shared*
+rather than be copied per worker; HiCOPS realizes that on flat arrays.
+:class:`SharedArenaStore` is our equivalent for the
+:class:`~repro.index.arena.FragmentArena`:
+
+* :meth:`SharedArenaStore.spill` writes each flat array — ``mzs``,
+  ``offsets``, optional ``lengths``/``masses``, plus every cached
+  per-resolution bucket quantization and bucket-major sort order — as
+  its own **uncompressed** ``.npy`` file under one directory, with a
+  small JSON manifest binding them together (resolutions are keyed by
+  ``float.hex`` so keys round-trip exactly),
+* :meth:`SharedArenaStore.load` reopens every array with
+  ``np.load(..., mmap_mode="r")`` and rebuilds a read-only
+  :class:`~repro.index.arena.FragmentArena` around the maps — O(metadata)
+  per process, no data copied.
+
+Memory model: however many worker processes ``load()`` the same store,
+the OS page cache holds **one** physical copy of the fragment data;
+each worker's private (unique) footprint is only what it materializes
+itself — its :meth:`~repro.index.arena.FragmentArena.take` sub-arena,
+O(arena / n_workers).  Pages of the shared copy fault in lazily, so a
+worker that only touches its partition's slices never pages in the
+rest.  This is exactly the ROADMAP's "memory-map the arena to share
+across processes" item.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError, FormatError
+from repro.index.arena import FragmentArena
+
+__all__ = ["SharedArenaStore"]
+
+_MANIFEST_NAME = "arena_manifest.json"
+_FORMAT_VERSION = 1
+
+
+class SharedArenaStore:
+    """A directory of ``.npy`` files holding one spilled arena.
+
+    Construct through :meth:`spill` (write) or :meth:`open` (attach to
+    an existing store); :meth:`load` materializes the memmap-backed
+    arena.  Instances are cheap handles — all state is on disk.
+    """
+
+    def __init__(self, directory: Path, manifest: dict) -> None:
+        self.directory = Path(directory)
+        self.manifest = manifest
+
+    # -- writing --------------------------------------------------------
+
+    @classmethod
+    def spill(
+        cls, arena: FragmentArena, directory: Union[str, Path]
+    ) -> "SharedArenaStore":
+        """Write ``arena`` (flat arrays + caches) under ``directory``.
+
+        The directory is created if needed; an existing manifest is
+        overwritten (stores are immutable once written — spill to a
+        fresh directory for a different arena).  Quantization caches
+        present on the arena travel along, so workers that
+        :meth:`load` the store never re-quantize or re-argsort; spill
+        *after* ``buckets_for``/``sort_order_for`` on the master.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        np.save(directory / "mzs.npy", arena.mzs)
+        np.save(directory / "offsets.npy", arena.offsets)
+        manifest: dict = {
+            "version": _FORMAT_VERSION,
+            "n_entries": int(arena.n_entries),
+            "n_ions": int(arena.n_ions),
+            "lengths": arena.lengths is not None,
+            "masses": arena.masses is not None,
+            "resolutions": [],
+        }
+        if arena.lengths is not None:
+            np.save(directory / "lengths.npy", arena.lengths)
+        if arena.masses is not None:
+            np.save(directory / "masses.npy", arena.masses)
+        resolutions = sorted(
+            set(arena._bucket_cache) | set(arena._order_cache)
+        )
+        for i, resolution in enumerate(resolutions):
+            entry = {
+                "hex": float(resolution).hex(),
+                "buckets": None,
+                "order": None,
+            }
+            buckets = arena._bucket_cache.get(resolution)
+            if buckets is not None:
+                entry["buckets"] = f"buckets_{i}.npy"
+                np.save(directory / entry["buckets"], buckets)
+            order = arena._order_cache.get(resolution)
+            if order is not None:
+                entry["order"] = f"order_{i}.npy"
+                np.save(directory / entry["order"], order)
+            manifest["resolutions"].append(entry)
+        (directory / _MANIFEST_NAME).write_text(
+            json.dumps(manifest, indent=2) + "\n", encoding="ascii"
+        )
+        return cls(directory, manifest)
+
+    # -- reading --------------------------------------------------------
+
+    @classmethod
+    def exists(cls, directory: Union[str, Path]) -> bool:
+        """True when ``directory`` holds a spilled store (a manifest)."""
+        return (Path(directory) / _MANIFEST_NAME).is_file()
+
+    @classmethod
+    def open(cls, directory: Union[str, Path]) -> "SharedArenaStore":
+        """Attach to a store written by :meth:`spill`."""
+        directory = Path(directory)
+        manifest_path = directory / _MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise FormatError(f"no arena store at {directory} (missing manifest)")
+        manifest = json.loads(manifest_path.read_text(encoding="ascii"))
+        if manifest.get("version") != _FORMAT_VERSION:
+            raise FormatError(
+                f"unsupported arena store version {manifest.get('version')!r}"
+            )
+        return cls(directory, manifest)
+
+    def load(self, *, mmap_mode: str = "r") -> FragmentArena:
+        """Rebuild the arena with every array memory-mapped.
+
+        ``mmap_mode="r"`` (default) yields read-only views: any
+        attempted write raises, which is what guarantees N workers can
+        share one physical copy safely.  ``"c"`` (copy-on-write) is
+        accepted for callers that must scribble on private pages.
+        """
+        if mmap_mode not in ("r", "c"):
+            raise ConfigurationError(
+                f"mmap_mode must be 'r' or 'c', got {mmap_mode!r}"
+            )
+        d = self.directory
+        try:
+            mzs = np.load(d / "mzs.npy", mmap_mode=mmap_mode)
+            offsets = np.load(d / "offsets.npy", mmap_mode=mmap_mode)
+            lengths = (
+                np.load(d / "lengths.npy", mmap_mode=mmap_mode)
+                if self.manifest["lengths"]
+                else None
+            )
+            masses = (
+                np.load(d / "masses.npy", mmap_mode=mmap_mode)
+                if self.manifest["masses"]
+                else None
+            )
+            arena = FragmentArena(mzs, offsets, lengths=lengths, masses=masses)
+            for entry in self.manifest["resolutions"]:
+                resolution = float.fromhex(entry["hex"])
+                if entry["buckets"] is not None:
+                    arena._bucket_cache[resolution] = np.load(
+                        d / entry["buckets"], mmap_mode=mmap_mode
+                    )
+                if entry["order"] is not None:
+                    arena._order_cache[resolution] = np.load(
+                        d / entry["order"], mmap_mode=mmap_mode
+                    )
+        except FileNotFoundError as missing:
+            raise FormatError(
+                f"arena store {d} is missing {missing.filename!r}"
+            ) from None
+        return arena
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def n_entries(self) -> int:
+        """Entries in the spilled arena."""
+        return int(self.manifest["n_entries"])
+
+    @property
+    def n_ions(self) -> int:
+        """Fragments in the spilled arena."""
+        return int(self.manifest["n_ions"])
+
+    def file_bytes(self) -> Dict[str, int]:
+        """On-disk bytes per store file (the shared-copy footprint)."""
+        return {
+            p.name: p.stat().st_size
+            for p in sorted(self.directory.glob("*.npy"))
+        }
+
+    def nbytes(self) -> int:
+        """Total on-disk bytes — the one physical copy all workers share."""
+        return sum(self.file_bytes().values())

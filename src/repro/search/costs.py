@@ -71,16 +71,34 @@ class QueryCostModel:
 
     def filter_cost(self, result: FilterResult) -> float:
         """Cost of one filtration, from its work counters."""
+        return self.filter_cost_counts(
+            result.buckets_scanned, result.ions_scanned
+        )
+
+    def filter_cost_counts(self, buckets_scanned: int, ions_scanned: int) -> float:
+        """:meth:`filter_cost` from raw counters (no result object).
+
+        The backend-agnostic rank body reports work as plain counter
+        arrays (they must cross process boundaries); the simulated
+        engine charges virtual time from those counters directly.
+        """
         return (
-            result.buckets_scanned * self.per_bucket
-            + result.ions_scanned * self.per_ion
+            buckets_scanned * self.per_bucket + ions_scanned * self.per_ion
         )
 
     def scoring_cost(self, outcome: ScoringOutcome) -> float:
         """Cost of one scoring pass, from its work counters."""
+        return self.scoring_cost_counts(
+            outcome.candidates_scored, outcome.residues_scored
+        )
+
+    def scoring_cost_counts(
+        self, candidates_scored: int, residues_scored: int
+    ) -> float:
+        """:meth:`scoring_cost` from raw counters (no outcome object)."""
         return (
-            outcome.candidates_scored * self.per_candidate
-            + outcome.residues_scored * self.per_residue
+            candidates_scored * self.per_candidate
+            + residues_scored * self.per_residue
         )
 
     def build_cost(self, n_entries: int, n_ions: int) -> float:

@@ -25,7 +25,7 @@ enforced by the integration tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 
@@ -35,21 +35,25 @@ from repro.core.partition import PartitionAssignment, make_policy
 from repro.core.predict import WorkModel
 from repro.core.planner import LBEPlan
 from repro.errors import ConfigurationError
-from repro.index.arena import concat_ranges, thread_workspace
-from repro.index.slm import SLMIndex, SLMIndexSettings
+from repro.index.arena import concat_ranges
+from repro.index.slm import SLMIndexSettings
 from repro.mpi.comm import Communicator
 from repro.mpi.launcher import run_spmd
 from repro.mpi.simtime import CommCostModel
 from repro.search.costs import QueryCostModel, SerialCostModel
 from repro.search.database import IndexedDatabase
 from repro.search.psm import RankStats, SearchResults, SpectrumResult
-from repro.search.scoring import score_many
-from repro.search.serial import top_k_psms
+from repro.search.rank import (
+    RankPayload,
+    build_rank_index,
+    merge_rank_payloads,
+    run_rank_queries,
+)
 from repro.spectra.model import Spectrum
 from repro.spectra.preprocess import PreprocessConfig, preprocess_spectrum
 from repro.util.rng import rng_from
 
-__all__ = ["EngineConfig", "DistributedSearchEngine"]
+__all__ = ["EngineConfig", "DistributedSearchEngine", "make_lbe_plan"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -150,9 +154,61 @@ class EngineConfig:
         return max(0.5, 1.0 + self.machine_jitter * draw)
 
 
-#: Per-rank payload returned from the query phase to the master:
-#: (scan-order candidate counts, per-scan (local ids, scores, shared)).
-_RankPayload = Tuple[np.ndarray, List[Tuple[np.ndarray, np.ndarray, np.ndarray]]]
+def make_lbe_plan(
+    database: IndexedDatabase,
+    *,
+    n_ranks: int,
+    policy: str,
+    policy_seed: int = 0,
+    grouping: GroupingConfig = GroupingConfig(),
+    rank_speeds: Sequence[float] | None = None,
+) -> LBEPlan:
+    """Partition ``database`` at *base-sequence* granularity, then expand.
+
+    The paper's clustered FASTA holds peptide sequences; each machine
+    extracts its sequence partition and SLM-Transform enumerates the
+    modified variants locally (Section III-D), so a base peptide and
+    all its variants are colocated by construction.  The mapping table
+    is still in entry-id space: each rank's entry manifest is the
+    concatenation of its bases' contiguous entry ranges.
+
+    Shared by every execution backend (simulated fabric, real
+    processes): identical plans are what make their results
+    comparable rank-for-rank.  ``rank_speeds`` feeds the predictive
+    ``lpt`` policy (relative per-rank speeds; ``None`` = homogeneous).
+    """
+    base_grouping = database.group_bases(grouping)
+    if policy == "lpt":
+        # Predictive policy (paper §VIII): structural work model over
+        # the bases; speeds come from the caller's machine model.
+        model = WorkModel()
+        weights = model.structural(
+            database.entry_counts(),
+            np.array(
+                [p.length for p in database.base_peptides], dtype=np.float64
+            ),
+        )
+        speeds = (
+            list(rank_speeds) if rank_speeds is not None else [1.0] * n_ranks
+        )
+        policy_obj = make_policy(policy, weights=weights, speeds=speeds)
+    else:
+        policy_obj = make_policy(policy, seed=policy_seed)
+    assignment: PartitionAssignment = policy_obj.assign(base_grouping, n_ranks)
+    offsets = database.entry_offsets
+    per_rank_entries = []
+    for rank in range(n_ranks):
+        base_ids = base_grouping.order[assignment.members(rank)]
+        per_rank_entries.append(
+            concat_ranges(offsets[base_ids], offsets[base_ids + 1])
+        )
+    mapping = MappingTable(per_rank_entries)
+    return LBEPlan(
+        grouping=base_grouping,
+        assignment=assignment,
+        mapping=mapping,
+        n_ranks=n_ranks,
+    )
 
 
 class DistributedSearchEngine:
@@ -182,46 +238,21 @@ class DistributedSearchEngine:
         return self._plan
 
     def _make_plan(self) -> LBEPlan:
-        """Partition at *base-sequence* granularity, then expand.
+        """The shared LBE plan, with ``lpt`` speeds from the machine model.
 
-        The paper's clustered FASTA holds peptide sequences; each
-        machine extracts its sequence partition and SLM-Transform
-        enumerates the modified variants locally (Section III-D), so a
-        base peptide and all its variants are colocated by
-        construction.  The mapping table is still in entry-id space:
-        each rank's entry manifest is the concatenation of its bases'
-        contiguous entry ranges.
+        ``machine_speed`` is a cost *multiplier*, so the predictive
+        policy sees ``speed = 1 / multiplier``.
         """
-        db = self.database
         cfg = self.config
-        base_grouping = db.group_bases(cfg.grouping)
-        if cfg.policy == "lpt":
-            # Predictive policy (paper §VIII): structural work model
-            # over the bases, speeds from the engine's machine model
-            # (machine_speed is a cost multiplier; speed = 1/multiplier).
-            model = WorkModel()
-            weights = model.structural(
-                db.entry_counts(),
-                np.array([p.length for p in db.base_peptides], dtype=np.float64),
-            )
-            speeds = [1.0 / cfg.machine_speed(r) for r in range(cfg.n_ranks)]
-            policy = make_policy(cfg.policy, weights=weights, speeds=speeds)
-        else:
-            policy = make_policy(cfg.policy, seed=cfg.policy_seed)
-        assignment: PartitionAssignment = policy.assign(base_grouping, cfg.n_ranks)
-        offsets = db.entry_offsets
-        per_rank_entries = []
-        for rank in range(cfg.n_ranks):
-            base_ids = base_grouping.order[assignment.members(rank)]
-            per_rank_entries.append(
-                concat_ranges(offsets[base_ids], offsets[base_ids + 1])
-            )
-        mapping = MappingTable(per_rank_entries)
-        return LBEPlan(
-            grouping=base_grouping,
-            assignment=assignment,
-            mapping=mapping,
+        return make_lbe_plan(
+            self.database,
             n_ranks=cfg.n_ranks,
+            policy=cfg.policy,
+            policy_seed=cfg.policy_seed,
+            grouping=cfg.grouping,
+            rank_speeds=[
+                1.0 / cfg.machine_speed(r) for r in range(cfg.n_ranks)
+            ],
         )
 
     # -- execution ---------------------------------------------------------
@@ -269,16 +300,12 @@ class DistributedSearchEngine:
             # Phase 2: manifest scatter.
             my_entry_ids = comm.scatter(manifests, root=0)
 
-            # Phase 3: partial index build — a sub-arena gathered in C
-            # from the shared arena (fragments, masses, bucket caches
-            # all travel with the manifest; no per-entry Python loop).
+            # Phase 3: partial index build — the backend-agnostic body
+            # carves a sub-arena in C from the shared arena (fragments,
+            # masses, bucket caches all travel with the manifest) and
+            # builds a peptide-free partial index over it.
             t0 = comm.clock.now
-            my_entries = db.entries_at(my_entry_ids)
-            my_arena = arena.take(my_entry_ids)
-            index = SLMIndex(my_entries, cfg.index, arena=my_arena)
-            # The rank builds exactly one index; scoring only needs the
-            # sub-arena's m/z data, so release its quantization state.
-            my_arena.drop_quantization_caches()
+            my_arena, index = build_rank_index(arena, my_entry_ids, cfg.index)
             charge(cfg.query_costs.build_cost(len(index), index.n_ions))
             stats.n_entries = len(index)
             stats.n_ions = index.n_ions
@@ -286,60 +313,46 @@ class DistributedSearchEngine:
             stats.build_time = comm.clock.now - t0
 
             # Phase 4: distributed querying (every rank, every
-            # spectrum) through the batched kernels.
+            # spectrum) through the shared rank body; virtual time is
+            # charged spectrum-by-spectrum from its work counters.
             t0 = comm.clock.now
-            counts = np.zeros(len(spectra), dtype=np.int64)
-            local_psms: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
-            # One scratch workspace per rank thread, shared by the
-            # filtration and scoring kernels so buffers stay warm
-            # across the whole query phase.
-            ws = thread_workspace()
-            filtered = index.filter_many(processed_spectra, workspace=ws)
-            outcomes = score_many(
+            out = run_rank_queries(
+                index,
+                my_arena,
+                my_entry_ids,
                 processed_spectra,
-                [f.candidates for f in filtered],
-                fragment_tolerance=cfg.index.fragment_tolerance,
-                fragmentation=cfg.index.fragmentation,
-                arena=my_arena,
-                workspace=ws,
+                top_k=cfg.top_k,
             )
-            for si, (fres, outcome) in enumerate(zip(filtered, outcomes)):
+            for si in range(len(spectra)):
                 charge(cfg.query_costs.per_spectrum_preprocess)
-                charge(cfg.query_costs.filter_cost(fres))
-                stats.buckets_scanned += fres.buckets_scanned
-                stats.ions_scanned += fres.ions_scanned
-                charge(cfg.query_costs.scoring_cost(outcome))
-                stats.candidates_scored += outcome.candidates_scored
-                stats.residues_scored += outcome.residues_scored
-                counts[si] = fres.candidates.size
-                # Tie-break by *global* entry id so the per-rank top-k
-                # agrees with the serial engine's global ordering
-                # (local-id order is grouped-order, not global order).
-                keep = (
-                    np.lexsort(
-                        (my_entry_ids[fres.candidates], -outcome.scores)
-                    )[: cfg.top_k]
-                    if fres.candidates.size
-                    else np.empty(0, dtype=np.int64)
-                )
-                local_psms.append(
-                    (
-                        fres.candidates[keep].astype(np.int64),
-                        outcome.scores[keep],
-                        fres.shared_peaks[keep].astype(np.int64),
+                charge(
+                    cfg.query_costs.filter_cost_counts(
+                        int(out.buckets_scanned[si]), int(out.ions_scanned[si])
                     )
                 )
+                charge(
+                    cfg.query_costs.scoring_cost_counts(
+                        int(out.candidates_scored[si]),
+                        int(out.residues_scored[si]),
+                    )
+                )
+            stats.buckets_scanned = int(out.buckets_scanned.sum())
+            stats.ions_scanned = int(out.ions_scanned.sum())
+            stats.candidates_scored = int(out.candidates_scored.sum())
+            stats.residues_scored = int(out.residues_scored.sum())
             stats.query_time = comm.clock.now - t0
 
             # Phase 5: gather to master.
             t0 = comm.clock.now
-            payload: _RankPayload = (counts, local_psms)
+            payload: RankPayload = out.payload
             gathered = comm.gather(payload, root=0)
             stats.comm_time = comm.clock.now - t0
 
             merged: List[SpectrumResult] | None = None
             if comm.is_master:
-                merged, n_psms = self._merge(gathered, spectra, plan.mapping)
+                merged, n_psms = merge_rank_payloads(
+                    gathered, spectra, plan.mapping, cfg.top_k
+                )
                 comm.charge_compute(cfg.serial_costs.merge_cost(n_psms))
             return stats, merged
 
@@ -371,51 +384,3 @@ class DistributedSearchEngine:
             n_ranks=cfg.n_ranks,
         )
 
-    # -- master-side merge ---------------------------------------------------
-
-    def _merge(
-        self,
-        gathered: List[_RankPayload],
-        spectra: Sequence[Spectrum],
-        mapping: MappingTable,
-    ) -> Tuple[List[SpectrumResult], int]:
-        """Combine per-rank payloads into global results.
-
-        Local ids are translated through the mapping table (one array
-        access per id, as in the paper's Fig. 4); candidate counts add
-        up; top-k lists merge by (score desc, entry id asc).
-        """
-        results: List[SpectrumResult] = []
-        total_psms = 0
-        for si, spectrum in enumerate(spectra):
-            gids_parts: List[np.ndarray] = []
-            scores_parts: List[np.ndarray] = []
-            shared_parts: List[np.ndarray] = []
-            n_candidates = 0
-            for rank, (counts, local_psms) in enumerate(gathered):
-                n_candidates += int(counts[si])
-                local_ids, scores, shared = local_psms[si]
-                if local_ids.size:
-                    gids_parts.append(mapping.to_global_batch(rank, local_ids))
-                    scores_parts.append(scores)
-                    shared_parts.append(shared)
-            if gids_parts:
-                gids = np.concatenate(gids_parts)
-                scores = np.concatenate(scores_parts)
-                shared = np.concatenate(shared_parts)
-            else:
-                gids = np.empty(0, dtype=np.int64)
-                scores = np.empty(0, dtype=np.float64)
-                shared = np.empty(0, dtype=np.int64)
-            psms = top_k_psms(
-                spectrum.scan_id, gids, scores, shared, self.config.top_k
-            )
-            total_psms += len(psms)
-            results.append(
-                SpectrumResult(
-                    scan_id=spectrum.scan_id,
-                    n_candidates=n_candidates,
-                    psms=psms,
-                )
-            )
-        return results, total_psms

@@ -80,7 +80,13 @@ class RankStats:
     residues_scored:
         Total residues across scored candidates (scoring cost basis).
     build_time / query_time / comm_time:
-        Virtual seconds spent in each phase.
+        Seconds spent in each phase — virtual seconds under the
+        simulated fabric, real wall seconds under the process backend.
+    query_cpu_time:
+        Query-phase process CPU seconds (real backends only; the
+        simulated engine leaves 0).  On a core-per-worker machine this
+        ≈ ``query_time``; on an oversubscribed one it is the
+        dedicated-core-equivalent query time.
     """
 
     rank: int
@@ -93,6 +99,7 @@ class RankStats:
     build_time: float = 0.0
     query_time: float = 0.0
     comm_time: float = 0.0
+    query_cpu_time: float = 0.0
 
     @property
     def total_time(self) -> float:

@@ -1,0 +1,217 @@
+"""Backend-agnostic rank-side execution of the distributed search.
+
+Every execution backend runs the same per-rank body: carve the rank's
+sub-arena from the shared fragment arena, build the partial SLM index,
+filter and score every query spectrum through the batched kernels, and
+keep each spectrum's top-k tie-broken by *global* entry id so per-rank
+lists merge into exactly the serial engine's ordering.  This module is
+that body, factored out of :class:`~repro.search.engine.DistributedSearchEngine`
+so that
+
+* the **simulated** engine (threads over the virtual MPI fabric) calls
+  it and charges virtual time from the returned work counters,
+* the **process** backend (:mod:`repro.parallel`) calls it inside real
+  OS workers over a memmap-shared arena and reports real seconds,
+* serial baselines can call it inline with a whole-database manifest.
+
+One implementation is what makes the engines bit-identical by
+construction rather than by parallel maintenance: the float operand
+sequences, the candidate ordering, and the tie-breaking live here and
+nowhere else.
+
+Everything returned is plain numpy + builtins (picklable), because the
+process backend ships :class:`RankQueryOutput` across a pipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.mapping import MappingTable
+from repro.index.arena import FragmentArena, Workspace, thread_workspace
+from repro.index.slm import SLMIndex, SLMIndexSettings
+from repro.search.psm import SpectrumResult
+from repro.search.scoring import score_many
+from repro.search.serial import top_k_psms
+from repro.spectra.model import Spectrum
+
+__all__ = [
+    "RankPayload",
+    "RankQueryOutput",
+    "build_rank_index",
+    "run_rank_queries",
+    "merge_rank_payloads",
+]
+
+#: Per-rank payload the master merges: (scan-order candidate counts,
+#: per-scan (local ids, scores, shared-peak counts)).
+RankPayload = Tuple[np.ndarray, List[Tuple[np.ndarray, np.ndarray, np.ndarray]]]
+
+
+@dataclass(slots=True)
+class RankQueryOutput:
+    """One rank's query-phase product plus per-spectrum work counters.
+
+    Attributes
+    ----------
+    counts:
+        int64, candidates that passed filtration per query spectrum.
+    local_psms:
+        Per spectrum: (local candidate ids, scores, shared-peak
+        counts) of the rank's top-k, already globally tie-broken.
+    buckets_scanned / ions_scanned:
+        int64 per-spectrum filtration work counters.
+    candidates_scored / residues_scored:
+        int64 per-spectrum scoring work counters.
+
+    The counters are arrays rather than totals so the simulated engine
+    can charge virtual time spectrum-by-spectrum, exactly as it did
+    when the loop lived inside its rank program.
+    """
+
+    counts: np.ndarray
+    local_psms: List[Tuple[np.ndarray, np.ndarray, np.ndarray]]
+    buckets_scanned: np.ndarray
+    ions_scanned: np.ndarray
+    candidates_scored: np.ndarray
+    residues_scored: np.ndarray
+
+    @property
+    def payload(self) -> RankPayload:
+        """The (counts, psms) pair the master-side merge consumes."""
+        return self.counts, self.local_psms
+
+
+def build_rank_index(
+    arena: FragmentArena,
+    entry_ids: np.ndarray,
+    settings: SLMIndexSettings,
+) -> Tuple[FragmentArena, SLMIndex]:
+    """Carve ``entry_ids``'s sub-arena and build the rank's partial index.
+
+    The sub-arena is gathered in C from the (possibly memmap-backed)
+    master arena — fragments, masses, and any cached bucket
+    quantizations and sort orders travel with the manifest, so the
+    rank never re-quantizes or re-argsorts.  The index is built
+    **peptide-free** (local ids are manifest positions; masses come
+    from the arena), and the sub-arena's quantization caches are
+    dropped after the build: scoring only needs the flat m/z data.
+    """
+    ids = np.asarray(entry_ids, dtype=np.int64)
+    sub = arena.take(ids)
+    index = SLMIndex(None, settings, arena=sub)
+    sub.drop_quantization_caches()
+    return sub, index
+
+
+def run_rank_queries(
+    index: SLMIndex,
+    sub_arena: FragmentArena,
+    entry_ids: np.ndarray,
+    spectra: Sequence[Spectrum],
+    *,
+    top_k: int,
+    workspace: Workspace | None = None,
+) -> RankQueryOutput:
+    """Filter + score every (preprocessed) spectrum against ``index``.
+
+    ``entry_ids`` maps the index's local ids back to global entry ids;
+    the per-spectrum top-k is tie-broken by (score desc, **global** id
+    asc) so the per-rank lists agree with the serial engine's global
+    ordering (local-id order is grouped-order, not global order).
+    """
+    entry_ids = np.asarray(entry_ids, dtype=np.int64)
+    ws = workspace if workspace is not None else thread_workspace()
+    filtered = index.filter_many(spectra, workspace=ws)
+    outcomes = score_many(
+        spectra,
+        [f.candidates for f in filtered],
+        fragment_tolerance=index.settings.fragment_tolerance,
+        fragmentation=index.settings.fragmentation,
+        arena=sub_arena,
+        workspace=ws,
+    )
+    n = len(filtered)
+    counts = np.zeros(n, dtype=np.int64)
+    buckets = np.zeros(n, dtype=np.int64)
+    ions = np.zeros(n, dtype=np.int64)
+    cands = np.zeros(n, dtype=np.int64)
+    residues = np.zeros(n, dtype=np.int64)
+    local_psms: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    for si, (fres, outcome) in enumerate(zip(filtered, outcomes)):
+        buckets[si] = fres.buckets_scanned
+        ions[si] = fres.ions_scanned
+        cands[si] = outcome.candidates_scored
+        residues[si] = outcome.residues_scored
+        counts[si] = fres.candidates.size
+        keep = (
+            np.lexsort((entry_ids[fres.candidates], -outcome.scores))[:top_k]
+            if fres.candidates.size
+            else np.empty(0, dtype=np.int64)
+        )
+        local_psms.append(
+            (
+                fres.candidates[keep].astype(np.int64),
+                outcome.scores[keep],
+                fres.shared_peaks[keep].astype(np.int64),
+            )
+        )
+    return RankQueryOutput(
+        counts=counts,
+        local_psms=local_psms,
+        buckets_scanned=buckets,
+        ions_scanned=ions,
+        candidates_scored=cands,
+        residues_scored=residues,
+    )
+
+
+def merge_rank_payloads(
+    gathered: Sequence[RankPayload],
+    spectra: Sequence[Spectrum],
+    mapping: MappingTable,
+    top_k: int,
+) -> Tuple[List[SpectrumResult], int]:
+    """Combine per-rank payloads into global results (master side).
+
+    Local ids are translated through the mapping table (one array
+    access per id, as in the paper's Fig. 4); candidate counts add
+    up; top-k lists merge by (score desc, entry id asc).  Returns the
+    per-spectrum results and the total PSM count (the merge-cost
+    basis).
+    """
+    results: List[SpectrumResult] = []
+    total_psms = 0
+    for si, spectrum in enumerate(spectra):
+        gids_parts: List[np.ndarray] = []
+        scores_parts: List[np.ndarray] = []
+        shared_parts: List[np.ndarray] = []
+        n_candidates = 0
+        for rank, (counts, local_psms) in enumerate(gathered):
+            n_candidates += int(counts[si])
+            local_ids, scores, shared = local_psms[si]
+            if local_ids.size:
+                gids_parts.append(mapping.to_global_batch(rank, local_ids))
+                scores_parts.append(scores)
+                shared_parts.append(shared)
+        if gids_parts:
+            gids = np.concatenate(gids_parts)
+            scores = np.concatenate(scores_parts)
+            shared = np.concatenate(shared_parts)
+        else:
+            gids = np.empty(0, dtype=np.int64)
+            scores = np.empty(0, dtype=np.float64)
+            shared = np.empty(0, dtype=np.int64)
+        psms = top_k_psms(spectrum.scan_id, gids, scores, shared, top_k)
+        total_psms += len(psms)
+        results.append(
+            SpectrumResult(
+                scan_id=spectrum.scan_id,
+                n_candidates=n_candidates,
+                psms=psms,
+            )
+        )
+    return results, total_psms

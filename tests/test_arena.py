@@ -79,6 +79,19 @@ def test_concat_ranges_skips_empty_and_reversed():
     assert got.tolist() == [9, 10, 11]
 
 
+def test_concat_ranges_workspace_result_is_fresh():
+    """The branch-free kernel returns a new array every call — keeping
+    a previous result across calls must be safe (only the iota scratch
+    is shared, and it is read-only by convention)."""
+    ws = Workspace()
+    first = concat_ranges(np.array([3]), np.array([6]), workspace=ws)
+    second = concat_ranges(np.array([10]), np.array([13]), workspace=ws)
+    assert first.tolist() == [3, 4, 5]
+    assert second.tolist() == [10, 11, 12]
+    second[0] = -1  # mutating one result must not corrupt the other
+    assert first.tolist() == [3, 4, 5]
+
+
 def test_workspace_reuses_and_grows():
     ws = Workspace()
     a = ws.take("x", 10, np.int64)

@@ -83,6 +83,27 @@ def test_search_command_with_report(workspace, capsys):
     assert scans <= set(range(1, 13))
 
 
+def test_search_process_backend_matches_simulated(workspace, capsys):
+    """--backend process returns the same PSM report as simulated."""
+    sim_report = workspace / "psms_sim.tsv"
+    proc_report = workspace / "psms_proc.tsv"
+    common = [
+        "search",
+        "--fasta", str(workspace / "proteome.fasta"),
+        "--ms2", str(workspace / "run.ms2"),
+        "--ranks", "2", "--policy", "cyclic",
+    ]
+    assert main(common + ["--report", str(sim_report)]) == 0
+    assert main(
+        common + ["--backend", "process", "--report", str(proc_report)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "backend: process" in out and "(real)" in out
+    sim = [(p.scan_id, p.entry_id, p.score) for p in read_psm_report(sim_report)]
+    proc = [(p.scan_id, p.entry_id, p.score) for p in read_psm_report(proc_report)]
+    assert sim == proc
+
+
 def test_search_lpt_policy(workspace, capsys):
     rc = main([
         "search",

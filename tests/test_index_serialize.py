@@ -88,3 +88,61 @@ def test_bad_version_rejected(tmp_path, index):
     np.savez(tmp_path / "v99.npz", **fields)
     with pytest.raises(FormatError, match="version"):
         load_index(tmp_path / "v99.npz")
+
+
+# -- zero-copy (memmap) loading ----------------------------------------
+
+
+def test_mmap_roundtrip_bit_identical(tmp_path, index):
+    path = save_index(tmp_path / "flat.npz", index, compress=False)
+    loaded = load_index(path, mmap_mode="r")
+    assert isinstance(loaded.ion_parents, np.memmap)
+    assert isinstance(loaded.bucket_offsets, np.memmap)
+    assert isinstance(loaded.masses, np.memmap)
+    assert np.array_equal(loaded.ion_parents, index.ion_parents)
+    assert np.array_equal(loaded.bucket_offsets, index.bucket_offsets)
+    assert np.array_equal(loaded.masses, index.masses)
+    assert loaded.ion_parents.dtype == index.ion_parents.dtype
+
+
+def test_mmap_views_reject_writes(tmp_path, index):
+    path = save_index(tmp_path / "flat.npz", index, compress=False)
+    loaded = load_index(path, mmap_mode="r")
+    with pytest.raises(ValueError):
+        loaded.ion_parents[0] = 1
+
+
+def test_mmap_loaded_filters_identically(tmp_path, index):
+    from repro.chem.fragments import fragment_mzs
+    from repro.spectra.model import Spectrum
+
+    path = save_index(tmp_path / "flat.npz", index, compress=False)
+    loaded = load_index(path, mmap_mode="r")
+    mzs = fragment_mzs(PEPTIDES[0])
+    q = Spectrum(1, 500.0, 2, mzs, np.ones_like(mzs))
+    a, b = index.filter(q), loaded.filter(q)
+    assert np.array_equal(a.candidates, b.candidates)
+    assert np.array_equal(a.shared_peaks, b.shared_peaks)
+
+
+def test_mmap_of_compressed_archive_rejected(tmp_path, index):
+    path = save_index(tmp_path / "packed.npz", index, compress=True)
+    with pytest.raises(FormatError, match="compress"):
+        load_index(path, mmap_mode="r")
+
+
+def test_mmap_mode_validated(tmp_path, index):
+    from repro.errors import ConfigurationError
+
+    path = save_index(tmp_path / "flat.npz", index, compress=False)
+    with pytest.raises(ConfigurationError):
+        load_index(path, mmap_mode="r+")
+
+
+def test_peptide_free_index_refuses_serialization(tmp_path, tiny_db):
+    from repro.errors import ConfigurationError
+
+    arena = tiny_db.arena_for()
+    idx = SLMIndex(None, SLMIndexSettings(), arena=arena)
+    with pytest.raises(ConfigurationError, match="peptide-free"):
+        save_index(tmp_path / "nope.npz", idx)

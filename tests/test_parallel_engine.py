@@ -1,0 +1,136 @@
+"""Process-backend engine vs serial reference: exact equivalence.
+
+The acceptance bar for the real-process backend is the same one the
+simulated engine carries: for every partition policy and worker
+count, search results — candidate counts, PSM identities, scores,
+tie-breaking — are *bit-identical* to the serial engine's.  Real
+parallelism must change where the work runs, never what it computes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel import ParallelEngineConfig, ParallelSearchEngine
+from repro.search.serial import SerialSearchEngine
+
+
+def assert_same_results(serial, parallel):
+    assert len(serial.spectra) == len(parallel.spectra)
+    for a, b in zip(serial.spectra, parallel.spectra):
+        assert a.scan_id == b.scan_id
+        assert a.n_candidates == b.n_candidates
+        assert [(p.entry_id, p.score, p.shared_peaks) for p in a.psms] == [
+            (p.entry_id, p.score, p.shared_peaks) for p in b.psms
+        ]
+
+
+@pytest.fixture(scope="module")
+def serial_reference(tiny_db, tiny_spectra):
+    return SerialSearchEngine(tiny_db).run(tiny_spectra)
+
+
+@pytest.mark.parametrize("policy", ["cyclic", "chunk"])
+@pytest.mark.parametrize("n_workers", [2, 3])
+def test_process_backend_equals_serial(
+    tiny_db, tiny_spectra, serial_reference, policy, n_workers
+):
+    engine = ParallelSearchEngine(
+        tiny_db, ParallelEngineConfig(n_workers=n_workers, policy=policy)
+    )
+    res = engine.run(tiny_spectra)
+    assert_same_results(serial_reference, res)
+    assert res.n_ranks == n_workers
+    assert res.policy_name == policy
+
+
+def test_rank_stats_cover_all_work(tiny_db, tiny_spectra, serial_reference):
+    res = ParallelSearchEngine(
+        tiny_db, ParallelEngineConfig(n_workers=2, policy="cyclic")
+    ).run(tiny_spectra)
+    assert sum(s.n_entries for s in res.rank_stats) == tiny_db.n_entries
+    assert (
+        sum(s.candidates_scored for s in res.rank_stats)
+        == serial_reference.total_cpsms
+    )
+
+
+def test_phase_times_are_real_and_positive(tiny_db, tiny_spectra):
+    res = ParallelSearchEngine(
+        tiny_db, ParallelEngineConfig(n_workers=2, policy="cyclic")
+    ).run(tiny_spectra)
+    for key in ("build", "query", "query_cpu", "parallel_wall", "total"):
+        assert res.phase_times[key] > 0.0
+    # Worker phases are bounded by the master-observed parallel section.
+    assert res.phase_times["query"] <= res.phase_times["parallel_wall"]
+    for stats in res.rank_stats:
+        assert stats.query_time > 0.0
+        assert stats.query_cpu_time > 0.0
+
+
+def test_plan_partitions_all_entries(tiny_db):
+    engine = ParallelSearchEngine(tiny_db, ParallelEngineConfig(n_workers=3))
+    assert int(engine.plan.partition_sizes().sum()) == tiny_db.n_entries
+
+
+def test_engine_reuses_spilled_store(tiny_db, tiny_spectra):
+    engine = ParallelSearchEngine(
+        tiny_db, ParallelEngineConfig(n_workers=2, policy="cyclic")
+    )
+    a = engine.run(tiny_spectra)
+    store_dir = engine._store.directory
+    b = engine.run(tiny_spectra)
+    assert engine._store.directory == store_dir
+    assert_same_results(a, b)
+    # The second run's spill phase is a cache hit.
+    assert b.phase_times["spill"] <= a.phase_times["spill"]
+
+
+def test_explicit_store_dir_is_kept_and_reused(tiny_db, tiny_spectra, tmp_path):
+    store_dir = tmp_path / "spill"
+    config = ParallelEngineConfig(
+        n_workers=2, policy="cyclic", store_dir=store_dir
+    )
+    first = ParallelSearchEngine(tiny_db, config)
+    res_a = first.run(tiny_spectra)
+    assert (store_dir / "mzs.npy").is_file()
+    spilled_mtime = (store_dir / "mzs.npy").stat().st_mtime_ns
+    # A second engine attaches to the existing spill instead of
+    # rewriting it (rewriting could tear live memmaps).
+    second = ParallelSearchEngine(tiny_db, config)
+    res_b = second.run(tiny_spectra)
+    assert (store_dir / "mzs.npy").stat().st_mtime_ns == spilled_mtime
+    assert_same_results(res_a, res_b)
+
+
+def test_mismatched_store_dir_rejected(tiny_db, small_db, tiny_spectra, tmp_path):
+    store_dir = tmp_path / "spill"
+    ParallelSearchEngine(
+        tiny_db,
+        ParallelEngineConfig(n_workers=2, store_dir=store_dir),
+    ).run(tiny_spectra)
+    other = ParallelSearchEngine(
+        small_db, ParallelEngineConfig(n_workers=2, store_dir=store_dir)
+    )
+    with pytest.raises(ConfigurationError, match="refusing to reuse"):
+        other._ensure_store()
+
+
+def test_workers_see_only_their_partition(tiny_db, tiny_spectra):
+    """Per-worker index sizes match the plan (no replicated database)."""
+    engine = ParallelSearchEngine(
+        tiny_db, ParallelEngineConfig(n_workers=3, policy="cyclic")
+    )
+    res = engine.run(tiny_spectra)
+    expected = engine.plan.partition_sizes()
+    got = np.array([s.n_entries for s in res.rank_stats], dtype=np.int64)
+    assert np.array_equal(expected, got)
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ConfigurationError):
+        ParallelEngineConfig(n_workers=0)
+    with pytest.raises(ConfigurationError):
+        ParallelEngineConfig(top_k=0)
+    with pytest.raises(ConfigurationError):
+        ParallelEngineConfig(timeout=-1.0)

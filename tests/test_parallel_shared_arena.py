@@ -1,0 +1,128 @@
+"""Shared-arena store tests: spill → memmap reopen must be bit-exact.
+
+The whole point of the store is that a worker's memmap view of the
+arena is indistinguishable (bit-for-bit) from the master's in-memory
+arrays — including the cached bucket quantizations and bucket-major
+sort orders — while rejecting writes, so N workers can safely share
+one physical copy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, FormatError
+from repro.index.slm import SLMIndex, SLMIndexSettings
+from repro.parallel.shared_arena import SharedArenaStore
+from repro.search.rank import build_rank_index
+
+RES = SLMIndexSettings().resolution
+RES_COARSE = 0.5
+
+
+@pytest.fixture(scope="module")
+def master_arena(tiny_db):
+    arena = tiny_db.arena_for()
+    # Two cached resolutions, one with a sort order, to exercise the
+    # manifest's partial-cache representation.
+    arena.buckets_for(RES)
+    arena.sort_order_for(RES)
+    arena.buckets_for(RES_COARSE)
+    return arena
+
+
+@pytest.fixture(scope="module")
+def store(master_arena, tmp_path_factory):
+    return SharedArenaStore.spill(
+        master_arena, tmp_path_factory.mktemp("arena-store")
+    )
+
+
+@pytest.fixture(scope="module")
+def reopened(store):
+    return SharedArenaStore.open(store.directory).load()
+
+
+def test_roundtrip_flat_arrays_bit_identical(master_arena, reopened):
+    assert np.array_equal(master_arena.mzs, reopened.mzs)
+    assert np.array_equal(master_arena.offsets, reopened.offsets)
+    assert np.array_equal(master_arena.lengths, reopened.lengths)
+    assert np.array_equal(master_arena.masses, reopened.masses)
+    assert reopened.masses.dtype == np.float32
+    assert reopened.offsets.dtype == np.int64
+
+
+def test_roundtrip_caches_bit_identical(master_arena, reopened):
+    assert set(reopened._bucket_cache) == {RES, RES_COARSE}
+    assert set(reopened._order_cache) == {RES}
+    for res in (RES, RES_COARSE):
+        assert np.array_equal(
+            master_arena._bucket_cache[res], reopened._bucket_cache[res]
+        )
+    assert np.array_equal(
+        master_arena._order_cache[RES], reopened._order_cache[RES]
+    )
+
+
+def test_reopened_views_are_read_only(reopened):
+    for arr in (reopened.mzs, reopened.offsets, reopened.masses):
+        with pytest.raises(ValueError):
+            arr[0] = 1
+
+
+def test_store_reports_footprint(store, master_arena):
+    files = store.file_bytes()
+    assert "mzs.npy" in files and "offsets.npy" in files
+    # One shared copy on disk covers at least the fragment payload.
+    assert store.nbytes() >= master_arena.mzs.nbytes
+    assert store.n_entries == master_arena.n_entries
+    assert store.n_ions == master_arena.n_ions
+
+
+def test_partial_index_over_memmap_matches_master(master_arena, reopened):
+    """A worker building from the memmap store gets the master's index."""
+    ids = np.arange(0, master_arena.n_entries, 3, dtype=np.int64)
+    settings = SLMIndexSettings()
+    _, from_master = build_rank_index(master_arena, ids, settings)
+    _, from_store = build_rank_index(reopened, ids, settings)
+    assert np.array_equal(from_master.ion_parents, from_store.ion_parents)
+    assert np.array_equal(from_master.bucket_offsets, from_store.bucket_offsets)
+    assert np.array_equal(from_master.masses, from_store.masses)
+
+
+def test_spill_without_caches_loads_empty_caches(tiny_db, tmp_path):
+    arena = tiny_db.arena_for()
+    bare = SharedArenaStore.spill(
+        type(arena)(arena.mzs, arena.offsets), tmp_path / "bare"
+    )
+    loaded = SharedArenaStore.open(bare.directory).load()
+    assert loaded._bucket_cache == {} and loaded._order_cache == {}
+    assert loaded.lengths is None and loaded.masses is None
+
+
+def test_open_missing_store_raises(tmp_path):
+    with pytest.raises(FormatError):
+        SharedArenaStore.open(tmp_path / "nowhere")
+
+
+def test_load_rejects_writable_modes(store):
+    with pytest.raises(ConfigurationError):
+        store.load(mmap_mode="r+")
+
+
+def test_load_missing_file_raises(store, tmp_path):
+    import shutil
+
+    broken_dir = tmp_path / "broken"
+    shutil.copytree(store.directory, broken_dir)
+    (broken_dir / "mzs.npy").unlink()
+    with pytest.raises(FormatError):
+        SharedArenaStore.open(broken_dir).load()
+
+
+def test_peptide_free_index_requires_masses(tiny_db):
+    arena = tiny_db.arena_for()
+    bare = type(arena)(arena.mzs, arena.offsets)
+    with pytest.raises(ConfigurationError):
+        SLMIndex(None, SLMIndexSettings(), arena=bare)
+    with pytest.raises(ConfigurationError):
+        SLMIndex(None, SLMIndexSettings())
