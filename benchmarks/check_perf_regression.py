@@ -30,15 +30,27 @@ Parallel-backend checks (``--parallel-baseline``/``--parallel-fresh``):
    >= ``--lbe-floor`` (well below 1.0: small quick workloads can
    land near-balanced chunk partitions by luck).
 
-Either pair of reports may be supplied alone; at least one is
-required.
+Service checks (``--service-baseline``/``--service-fresh``):
+
+1. ``identical_results`` is true (every session batch == serial),
+2. resident-vs-oneshot per-batch speedup >= ``--service-floor``
+   (the session must actually amortize the spawn/spill overhead —
+   a service that silently re-attaches per batch lands at ~1.0),
+3. the resident pickled scatter per batch stays <=
+   ``--scatter-ceiling`` of the one-shot pickled spectra payload
+   (peak arrays sneaking back into the command pickle is a
+   regression even when latency looks fine).
+
+Any pair of reports may be supplied alone; at least one is required.
 
 Usage::
 
     python benchmarks/check_perf_regression.py \
         --baseline BENCH_hotpath.json --fresh /tmp/bench_fresh.json \
         --parallel-baseline BENCH_parallel.json \
-        --parallel-fresh /tmp/bench_parallel_fresh.json
+        --parallel-fresh /tmp/bench_parallel_fresh.json \
+        --service-baseline BENCH_service.json \
+        --service-fresh /tmp/bench_service_fresh.json
 """
 
 from __future__ import annotations
@@ -133,6 +145,54 @@ def check_parallel(args, failures: list) -> None:
         )
 
 
+def check_service(args, failures: list) -> None:
+    fresh = json.loads(args.service_fresh.read_text(encoding="ascii"))
+
+    if not fresh.get("identical_results", False):
+        failures.append("fresh service run reports identical_results=false")
+
+    resident = float(
+        fresh["speedup"].get("resident_vs_oneshot", float("nan"))
+    )
+    print(
+        f"service resident-vs-oneshot batch speedup: {resident:.2f}x "
+        f"(required >= {args.service_floor:.2f}x)"
+    )
+    if not resident >= args.service_floor:  # catches NaN too
+        failures.append(
+            f"resident-vs-oneshot speedup {resident:.2f}x below floor "
+            f"{args.service_floor:.2f}x"
+        )
+    if args.service_baseline is not None:
+        committed = json.loads(
+            args.service_baseline.read_text(encoding="ascii")
+        )
+        committed_resident = float(committed["speedup"]["resident_vs_oneshot"])
+        required = args.min_ratio * committed_resident
+        print(
+            f"  vs committed {committed_resident:.2f}x "
+            f"(required >= {required:.2f}x)"
+        )
+        if resident < required:
+            failures.append(
+                f"resident-vs-oneshot speedup {resident:.2f}x below "
+                f"{args.min_ratio:.2f} x committed ({required:.2f}x)"
+            )
+
+    scatter = fresh.get("scatter", {})
+    ratio = float(scatter.get("pickled_ratio", float("nan")))
+    print(
+        f"service scatter ratio (resident/oneshot pickled bytes): "
+        f"{ratio:.4f} (required <= {args.scatter_ceiling:.2f})"
+    )
+    if not ratio <= args.scatter_ceiling:  # catches NaN too
+        failures.append(
+            f"resident scatter ratio {ratio:.4f} above ceiling "
+            f"{args.scatter_ceiling:.2f} — peak arrays are being pickled "
+            "into the per-batch command payload"
+        )
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -158,6 +218,35 @@ def main() -> int:
         type=Path,
         default=None,
         help="freshly measured parallel-backend report",
+    )
+    parser.add_argument(
+        "--service-baseline",
+        type=Path,
+        default=None,
+        help="committed BENCH_service.json",
+    )
+    parser.add_argument(
+        "--service-fresh",
+        type=Path,
+        default=None,
+        help="freshly measured service-throughput report",
+    )
+    parser.add_argument(
+        "--service-floor",
+        type=float,
+        default=1.2,
+        help="minimum resident-vs-oneshot per-batch speedup (default: "
+        "1.2 — the committed figure is ~16x on a 1-CPU container; the "
+        "floor only catches the service degenerating into per-batch "
+        "re-attach, with a wide margin for slow shared runners)",
+    )
+    parser.add_argument(
+        "--scatter-ceiling",
+        type=float,
+        default=0.1,
+        help="maximum resident/oneshot pickled-bytes ratio per batch "
+        "(default: 0.1 — the resident command payload is O(manifest), "
+        "~0.002 of the pickled peak arrays on the committed workload)",
     )
     parser.add_argument(
         "--parallel-floor",
@@ -205,12 +294,15 @@ def main() -> int:
         parser.error("--baseline and --fresh must be supplied together")
     if args.parallel_baseline is not None and args.parallel_fresh is None:
         parser.error("--parallel-baseline requires --parallel-fresh")
+    if args.service_baseline is not None and args.service_fresh is None:
+        parser.error("--service-baseline requires --service-fresh")
     have_hotpath = args.baseline is not None
     have_parallel = args.parallel_fresh is not None
-    if not have_hotpath and not have_parallel:
+    have_service = args.service_fresh is not None
+    if not have_hotpath and not have_parallel and not have_service:
         parser.error(
-            "supply --baseline/--fresh and/or --parallel-fresh "
-            "(with optional --parallel-baseline)"
+            "supply --baseline/--fresh, --parallel-fresh and/or "
+            "--service-fresh (each with its optional committed baseline)"
         )
 
     failures: list = []
@@ -218,6 +310,8 @@ def main() -> int:
         check_hotpath(args, failures)
     if have_parallel:
         check_parallel(args, failures)
+    if have_service:
+        check_service(args, failures)
 
     if failures:
         for f in failures:

@@ -7,13 +7,18 @@ Subcommands mirror the paper's toolchain stages::
     python -m repro group    --fasta data/peptides.fasta --out data/clustered.fasta
     python -m repro search   --fasta data/proteome.fasta --ms2 data/run.ms2 \\
                              --ranks 8 --policy cyclic --report data/psms.tsv
+    python -m repro serve    --fasta data/proteome.fasta --ranks 2 \\
+                             --batch data/run.ms2 --batch data/run2.ms2
     python -m repro figures --sizes 18 30 --spectra 60  # quick figure tables
 
 Every command is deterministic under ``--seed`` and prints a short
 summary table; ``search`` additionally reports per-policy load
 imbalance when ``--compare-policies`` is set, and runs on real OS
 worker processes over a memmap-shared arena (real wall-clock times,
-identical results) with ``--backend process``.
+identical results) with ``--backend process``.  ``serve`` keeps those
+workers *resident* across an unbounded stream of query batches (MS2
+paths via ``--batch``, or newline-separated on stdin) and prints
+per-batch latency and scatter accounting.
 """
 
 from __future__ import annotations
@@ -36,6 +41,7 @@ from repro.search.database import IndexedDatabase
 from repro.search.engine import DistributedSearchEngine, EngineConfig
 from repro.search.metrics import load_imbalance
 from repro.search.report import write_psm_report
+from repro.service import SearchService, ServiceConfig
 from repro.spectra.ms2 import read_ms2, write_ms2
 from repro.spectra.synthetic import SyntheticRunConfig, generate_run
 from repro.util.tables import format_table
@@ -90,6 +96,27 @@ def build_parser() -> argparse.ArgumentParser:
     srch.add_argument("--top-k", type=int, default=5)
     srch.add_argument("--compare-policies", action="store_true")
     srch.add_argument("--seed", type=int, default=0)
+
+    srv = sub.add_parser(
+        "serve",
+        help="persistent search service over a stream of MS2 batches",
+    )
+    srv.add_argument("--fasta", type=Path, required=True,
+                     help="protein FASTA to digest and index")
+    srv.add_argument("--batch", type=Path, action="append", default=None,
+                     help="MS2 file to submit as one batch (repeatable); "
+                     "omitted = read newline-separated MS2 paths from stdin")
+    srv.add_argument("--ranks", type=int, default=2)
+    srv.add_argument("--backend", default="process", choices=("process",),
+                     help="resident-worker backend (real OS processes over "
+                     "memmap-shared arena + spectra stores)")
+    srv.add_argument("--policy", default="cyclic",
+                     choices=("chunk", "cyclic", "random", "lpt"))
+    srv.add_argument("--report-dir", type=Path, default=None,
+                     help="write each batch's PSMs as TSV under this dir")
+    srv.add_argument("--max-variants", type=int, default=8)
+    srv.add_argument("--top-k", type=int, default=5)
+    srv.add_argument("--seed", type=int, default=0)
 
     figs = sub.add_parser("figures", help="print quick figure tables")
     figs.add_argument("--sizes", type=float, nargs="+", default=[18.0, 49.45])
@@ -227,6 +254,71 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    records = list(read_fasta(args.fasta))
+    peptides = deduplicate_peptides(digest_proteome(records))
+    db = IndexedDatabase.from_peptides(
+        peptides, max_variants_per_peptide=args.max_variants
+    )
+    batch_paths = (
+        list(args.batch)
+        if args.batch
+        else [Path(line.strip()) for line in sys.stdin if line.strip()]
+    )
+    if not batch_paths:
+        print("serve: no batches (pass --batch or pipe MS2 paths on stdin)",
+              file=sys.stderr)
+        return 2
+    if args.report_dir is not None:
+        args.report_dir.mkdir(parents=True, exist_ok=True)
+
+    config = ServiceConfig(
+        n_workers=args.ranks,
+        policy=args.policy,
+        policy_seed=args.seed,
+        top_k=args.top_k,
+    )
+    with SearchService(db, config) as service:
+        print(
+            f"session: {db.n_entries} entries, {args.ranks} resident "
+            f"workers, policy {args.policy}, backend {args.backend}; "
+            f"open {service.open_s:.2f} s "
+            f"(spawn + arena spill + attach, paid once)"
+        )
+        rows = []
+        for i, path in enumerate(batch_paths):
+            spectra = list(read_ms2(path))
+            results, stats = service.submit(spectra)
+            rows.append(
+                (
+                    i,
+                    path.name,
+                    stats.n_spectra,
+                    results.total_cpsms,
+                    f"{stats.total_s * 1e3:.1f}",
+                    f"{stats.query_wall_max_s * 1e3:.1f}",
+                    stats.scatter_bytes,
+                )
+            )
+            if args.report_dir is not None:
+                report_path = args.report_dir / f"batch_{i:04d}.tsv"
+                write_psm_report(report_path, results, db.entries)
+        print(format_table(
+            ["batch", "file", "spectra", "cPSMs", "total ms", "query ms",
+             "scatter B"],
+            rows,
+            title=f"session: {len(batch_paths)} batches on resident workers",
+        ))
+        steady = [s.total_s for s in service.batch_stats[1:]]
+        if steady:
+            print(
+                f"steady-state batch latency: {1e3 * min(steady):.1f} ms "
+                f"(vs open cost {service.open_s * 1e3:.1f} ms, amortized "
+                f"over {service.n_batches} batches)"
+            )
+    return 0
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     suite = ExperimentSuite(
         ExperimentConfig(
@@ -256,6 +348,7 @@ _COMMANDS = {
     "digest": _cmd_digest,
     "group": _cmd_group,
     "search": _cmd_search,
+    "serve": _cmd_serve,
     "figures": _cmd_figures,
 }
 

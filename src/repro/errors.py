@@ -51,6 +51,12 @@ class WorkerError(ReproError, RuntimeError):
     exceeded its deadline."""
 
 
+class ServiceError(ReproError, RuntimeError):
+    """Misuse of the persistent search service or its worker pool
+    (submit after close, admission queue full, batch submitted to a
+    pool that was never attached, ...)."""
+
+
 class SearchError(ReproError, RuntimeError):
     """The search engine reached an inconsistent state (e.g. a partial
     index references a peptide the mapping table does not know)."""

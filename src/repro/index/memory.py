@@ -58,6 +58,27 @@ copy, counted once) + Σ per-worker sub-arena m/z (≈ 8 B × n_ions
 total across workers) + the per-rank index terms.  The same model
 applies to ``.npz`` archives opened with
 :func:`repro.index.serialize.load_index` ``(mmap_mode="r")``.
+
+Service residency (persistent sessions)
+---------------------------------------
+The persistent service (:mod:`repro.service`) changes *durations*,
+not *terms*:
+
+* the **arena spill is shared machine-wide and refcounted**: every
+  engine and service session over one database holds the same
+  :class:`~repro.parallel.shared_arena.SharedSpill` handle (one
+  tmpdir, one physical page-cache copy), removed when the last holder
+  is garbage-collected — N concurrent sessions still count
+  ``arena_bytes`` once,
+* each worker's **private bytes are unchanged** at O(arena/n_workers)
+  — the ``take`` sub-arena plus partial index — but now resident for
+  the whole session instead of being rebuilt per run,
+* **query batches** add a per-session term: one
+  :class:`~repro.parallel.shared_spectra.SharedSpectraStore` spill per
+  in-flight batch (~16 B × batch peaks on disk, one page-cache copy
+  shared by all workers), deleted as soon as the batch's results are
+  merged — steady-state spectra residency is one batch, not the
+  stream, and the per-worker pickled payload is O(manifest).
 """
 
 from __future__ import annotations

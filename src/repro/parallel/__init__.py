@@ -19,17 +19,41 @@ same rank program (:mod:`repro.search.rank`) on real OS processes:
   :class:`~repro.parallel.engine.ParallelSearchEngine` that is
   bit-identical to the serial and simulated-distributed engines for
   every partition policy and worker count, but whose phase times are
-  real seconds.
+  real seconds,
+* :mod:`repro.parallel.persistent` — a
+  :class:`~repro.parallel.persistent.PersistentPool` of *resident*
+  spawn workers looping on a command pipe (ATTACH once, QUERY per
+  batch, SHUTDOWN), with automatic respawn + re-attach on worker
+  death — the substrate of :mod:`repro.service`,
+* :mod:`repro.parallel.shared_spectra` — the
+  :class:`~repro.parallel.shared_spectra.SharedSpectraStore` giving
+  preprocessed query batches the same memmap-shared treatment, so the
+  per-batch scatter payload is O(manifest), never pickled peak arrays.
 """
 
 from repro.parallel.engine import ParallelEngineConfig, ParallelSearchEngine
+from repro.parallel.persistent import PersistentPool, PoolBatchResult
 from repro.parallel.pool import ProcessBackend, ProcessResult
-from repro.parallel.shared_arena import SharedArenaStore
+from repro.parallel.shared_arena import (
+    SharedArenaStore,
+    SharedSpill,
+    shared_spill_for,
+    sweep_stale_stores,
+    write_owner_marker,
+)
+from repro.parallel.shared_spectra import SharedSpectraStore
 
 __all__ = [
     "ParallelEngineConfig",
     "ParallelSearchEngine",
+    "PersistentPool",
+    "PoolBatchResult",
     "ProcessBackend",
     "ProcessResult",
     "SharedArenaStore",
+    "SharedSpectraStore",
+    "SharedSpill",
+    "shared_spill_for",
+    "sweep_stale_stores",
+    "write_owner_marker",
 ]

@@ -30,10 +30,7 @@ seconds rather than virtual ones.
 
 from __future__ import annotations
 
-import shutil
-import tempfile
 import time
-import weakref
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Sequence
@@ -45,12 +42,16 @@ from repro.core.planner import LBEPlan
 from repro.errors import ConfigurationError
 from repro.index.slm import SLMIndexSettings
 from repro.parallel.pool import ProcessBackend
-from repro.parallel.shared_arena import SharedArenaStore
+from repro.parallel.shared_arena import (
+    SharedArenaStore,
+    SharedSpill,
+    shared_spill_for,
+)
 from repro.parallel.worker import RankTask, search_rank_worker
 from repro.search.database import IndexedDatabase
 from repro.search.engine import make_lbe_plan
 from repro.search.psm import RankStats, SearchResults
-from repro.search.rank import merge_rank_payloads
+from repro.search.rank import merge_rank_payloads, rank_stats_from_report
 from repro.spectra.model import Spectrum
 from repro.spectra.preprocess import PreprocessConfig, preprocess_spectrum
 
@@ -83,10 +84,11 @@ class ParallelEngineConfig:
     timeout:
         Real-seconds deadline for the parallel phase.
     store_dir:
-        Where to spill the shared arena.  ``None`` (default) uses a
-        fresh temporary directory, removed when the engine is
-        garbage-collected; pass a path to reuse a spill across
-        engines/runs (it is then the caller's to clean up).
+        Where to spill the shared arena.  ``None`` (default) uses the
+        process-wide spill cache: engines over the same database share
+        one temporary-directory spill, removed when the last holder is
+        garbage-collected.  Pass a path to pin the spill somewhere
+        explicit (it is then the caller's to clean up).
     """
 
     n_workers: int = 2
@@ -130,7 +132,7 @@ class ParallelSearchEngine:
         self.config = config
         self._plan: LBEPlan | None = None
         self._store: SharedArenaStore | None = None
-        self._store_cleanup: weakref.finalize | None = None
+        self._spill: SharedSpill | None = None
 
     # -- planning --------------------------------------------------------
 
@@ -151,13 +153,21 @@ class ParallelSearchEngine:
     # -- arena spill -----------------------------------------------------
 
     def _ensure_store(self) -> SharedArenaStore:
-        """Spill the (fully quantized) arena once; reuse across runs.
+        """Spill the (fully quantized) arena once; reuse across engines.
+
+        With the default ``store_dir=None``, the spill comes from the
+        process-wide :func:`~repro.parallel.shared_arena.shared_spill_for`
+        cache keyed by arena identity: every engine (and service) over
+        the same :class:`IndexedDatabase` shares **one** tmpdir spill,
+        held alive by plain refcounting on the
+        :class:`~repro.parallel.shared_arena.SharedSpill` handle — the
+        first engine's death cannot yank the memmaps out from under
+        the second, and the last holder's death removes the tmpdir.
 
         A caller-supplied ``store_dir`` that already holds a store is
-        **attached to, not re-spilled** — that is what lets engines
-        share one spill, and rewriting the files in place could tear
-        the memmaps of workers still reading them.  A store whose
-        shape doesn't match this database is rejected.
+        **attached to, not re-spilled** — rewriting the files in place
+        could tear the memmaps of workers still reading them.  A store
+        whose shape doesn't match this database is rejected.
         """
         if self._store is None:
             cfg = self.config
@@ -174,18 +184,14 @@ class ParallelSearchEngine:
                         )
                     self._store = store
                     return self._store
+                arena = db.arena_for(cfg.index.fragmentation)
+                arena.buckets_for(cfg.index.resolution)
+                arena.sort_order_for(cfg.index.resolution)
+                self._store = SharedArenaStore.spill(arena, directory)
             else:
-                directory = Path(tempfile.mkdtemp(prefix="repro-arena-"))
-                self._store_cleanup = weakref.finalize(
-                    self, shutil.rmtree, str(directory), ignore_errors=True
-                )
-            arena = db.arena_for(cfg.index.fragmentation)
-            # Quantize and bucket-sort on the master before spilling so
-            # worker sub-arenas derive their orders from the shared
-            # cache instead of re-running floor() and argsort().
-            arena.buckets_for(cfg.index.resolution)
-            arena.sort_order_for(cfg.index.resolution)
-            self._store = SharedArenaStore.spill(arena, directory)
+                arena = db.arena_for(cfg.index.fragmentation)
+                self._spill = shared_spill_for(arena, cfg.index.resolution)
+                self._store = self._spill.store
         return self._store
 
     # -- execution -------------------------------------------------------
@@ -235,23 +241,10 @@ class ParallelSearchEngine:
         )
         merge_wall = wall() - t0
 
-        all_stats: List[RankStats] = []
-        for r, report in enumerate(pres.results):
-            all_stats.append(
-                RankStats(
-                    rank=r,
-                    n_entries=report["n_entries"],
-                    n_ions=report["n_ions"],
-                    buckets_scanned=report["buckets_scanned"],
-                    ions_scanned=report["ions_scanned"],
-                    candidates_scored=report["candidates_scored"],
-                    residues_scored=report["residues_scored"],
-                    build_time=report["build_s"],
-                    query_time=report["query_s"],
-                    comm_time=report["open_s"],
-                    query_cpu_time=report["query_cpu_s"],
-                )
-            )
+        all_stats: List[RankStats] = [
+            rank_stats_from_report(r, report)
+            for r, report in enumerate(pres.results)
+        ]
 
         # Worker-side phases account for compute; the spawn/IPC cost of
         # the parallel section is everything the workers didn't see.

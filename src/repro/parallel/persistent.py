@@ -1,0 +1,512 @@
+"""Long-lived spawn workers looping on a command pipe.
+
+:class:`~repro.parallel.pool.ProcessBackend` pays the full spawn +
+import + attach cost on every ``run()`` — fine for one batch, fatal
+for serving a stream of them.  :class:`PersistentPool` keeps the
+workers *resident*: each worker is spawned once, receives one
+``ATTACH`` command that builds its long-lived state (for the search
+service: open the memmap-shared arena store and build the rank's
+partial index), then answers any number of ``QUERY`` commands against
+that state until ``SHUTDOWN``.  HiCOPS keeps its parallel machinery
+resident across query batches for exactly this amortization.
+
+The crash/deadline contract mirrors ``ProcessBackend`` — no failure
+mode may hang, every failure surfaces as
+:class:`~repro.errors.WorkerError` — but with session survival on top:
+
+* a worker that *raises* during a batch reports the remote traceback
+  and **keeps looping**; the batch fails with :class:`WorkerError`,
+  the session does not,
+* a worker that *dies* (segfault, ``os._exit``, kill) fails the
+  in-flight batch with :class:`WorkerError` carrying its exit code;
+  the pool **respawns and re-attaches** the rank automatically before
+  the next batch, so the service survives,
+* a batch that exceeds the deadline terminates the stragglers (a
+  stuck worker cannot be resynchronized) and raises; the stragglers
+  are respawned + re-attached on the next batch.
+
+Command callables must be module-level (picklable by reference).  The
+attach callable runs ``fn(rank, size, payload) -> (state, report)``;
+the worker keeps ``state`` and returns ``report``.  Batch callables
+run ``fn(rank, size, state, payload) -> result``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+import time
+import traceback
+import weakref
+from dataclasses import dataclass
+from multiprocessing import connection
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, ServiceError, WorkerError
+
+__all__ = ["PersistentPool", "PoolBatchResult"]
+
+_ATTACH = "attach"
+_QUERY = "query"
+_SHUTDOWN = "shutdown"
+
+
+@dataclass(frozen=True, slots=True)
+class PoolBatchResult:
+    """Outcome of one resident-pool command round.
+
+    Attributes
+    ----------
+    results:
+        Per-rank return values of the command callable.
+    wall_times / cpu_times:
+        Per-rank real elapsed / process-CPU seconds inside the
+        callable (excludes pipe transfer).
+    respawned:
+        Workers that had to be respawned (and re-attached) before this
+        round could run — 0 in steady state.
+    """
+
+    results: List[Any]
+    wall_times: List[float]
+    cpu_times: List[float]
+    respawned: int = 0
+
+    @property
+    def n_workers(self) -> int:
+        """Number of workers that answered."""
+        return len(self.results)
+
+    @property
+    def makespan(self) -> float:
+        """The slowest worker's elapsed seconds."""
+        return max(self.wall_times) if self.wall_times else 0.0
+
+
+def _persistent_worker_entry(conn, rank: int, size: int) -> None:
+    """Worker-side command loop: ATTACH once, QUERY forever, SHUTDOWN."""
+    state: Any = None
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break  # master is gone; daemon exit
+        command = message[0]
+        if command == _SHUTDOWN:
+            try:
+                conn.send(("ok", None, 0.0, 0.0))
+            except (BrokenPipeError, OSError):
+                pass
+            break
+        fn, payload = message[1], message[2]
+        try:
+            t0 = time.perf_counter()
+            c0 = time.process_time()
+            if command == _ATTACH:
+                state, result = fn(rank, size, payload)
+            else:
+                result = fn(rank, size, state, payload)
+            wall = time.perf_counter() - t0
+            cpu = time.process_time() - c0
+        except BaseException as exc:  # noqa: BLE001 - reported to the master
+            try:
+                conn.send(
+                    ("error", f"{type(exc).__name__}: {exc}", traceback.format_exc())
+                )
+            except BaseException:  # noqa: BLE001 - pipe itself is broken
+                break
+            continue  # a failing batch must not kill the session
+        try:
+            conn.send(("ok", result, wall, cpu))
+        except BaseException as exc:  # noqa: BLE001 - e.g. unpicklable result
+            try:
+                conn.send(
+                    (
+                        "error",
+                        f"{type(exc).__name__}: {exc} (while sending the result)",
+                        traceback.format_exc(),
+                    )
+                )
+            except BaseException:  # noqa: BLE001
+                break
+    conn.close()
+
+
+def _terminate_quietly(proc) -> None:
+    """Terminate and reap one worker process, swallowing races."""
+    try:
+        if proc.is_alive():
+            proc.terminate()
+        proc.join(timeout=5.0)
+    except (OSError, ValueError):
+        pass
+
+
+class PersistentPool:
+    """``n_workers`` resident OS processes answering command rounds.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker count (the rank space is ``0 .. n_workers - 1``).
+    start_method:
+        ``multiprocessing`` start method; ``spawn`` (default) for a
+        fresh interpreter per worker on every platform.
+    timeout:
+        Real-seconds deadline per command round (attach or batch).
+
+    Use as a context manager, or call :meth:`close` explicitly; a
+    dropped pool terminates its workers through a finalizer.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        *,
+        start_method: str = "spawn",
+        timeout: float = 600.0,
+    ) -> None:
+        if n_workers < 1:
+            raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+        if timeout <= 0:
+            raise ConfigurationError(f"timeout must be > 0, got {timeout}")
+        if start_method not in mp.get_all_start_methods():
+            raise ConfigurationError(
+                f"start method {start_method!r} not available "
+                f"(have {mp.get_all_start_methods()})"
+            )
+        self.n_workers = n_workers
+        self.start_method = start_method
+        self.timeout = timeout
+        self._ctx = mp.get_context(start_method)
+        self._procs: List[Optional[Any]] = [None] * n_workers
+        self._pipes: List[Optional[Any]] = [None] * n_workers
+        self._attach: Optional[Tuple[Callable, List[Any]]] = None
+        self._closed = False
+        self._respawn_total = 0
+        # Serializes command rounds against each other and against
+        # close(): a concurrent close waits for the in-flight round
+        # (bounded by the deadline) instead of tearing its pipes away.
+        self._round_lock = threading.Lock()
+        for rank in range(n_workers):
+            self._spawn(rank)
+        # Safety net: a pool dropped without close() must not leave
+        # orphan processes.  The finalizer captures the lists, not
+        # self, so it cannot keep the pool alive.
+        self._reaper = weakref.finalize(
+            self, _reap_pool, self._procs, self._pipes
+        )
+
+    # -- lifecycle -------------------------------------------------------
+
+    def __enter__(self) -> "PersistentPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut every worker down; idempotent (double-close is a no-op).
+
+        New rounds are rejected immediately; an in-flight round is
+        waited for (it ends by its own deadline at the latest) so its
+        caller sees a clean result or :class:`WorkerError`, never torn
+        pipes.
+        """
+        if self._closed:
+            return
+        self._closed = True  # reject new rounds before taking the lock
+        with self._round_lock:
+            self._close_locked()
+
+    def _close_locked(self) -> None:
+        deadline = time.monotonic() + min(self.timeout, 10.0)
+        for rank in range(self.n_workers):
+            pipe, proc = self._pipes[rank], self._procs[rank]
+            if pipe is None or proc is None or not proc.is_alive():
+                continue
+            try:
+                pipe.send((_SHUTDOWN,))
+            except (BrokenPipeError, OSError):
+                continue
+        for rank in range(self.n_workers):
+            proc = self._procs[rank]
+            if proc is None:
+                continue
+            try:
+                proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            except (OSError, ValueError):
+                pass
+            _terminate_quietly(proc)
+        for pipe in self._pipes:
+            if pipe is not None:
+                pipe.close()
+        self._procs = [None] * self.n_workers
+        self._pipes = [None] * self.n_workers
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._closed
+
+    @property
+    def respawn_total(self) -> int:
+        """Workers respawned over the pool's lifetime."""
+        return self._respawn_total
+
+    def worker_pids(self) -> List[Optional[int]]:
+        """Current per-rank worker PIDs (None for a dead slot)."""
+        return [
+            proc.pid if proc is not None else None for proc in self._procs
+        ]
+
+    # -- spawning --------------------------------------------------------
+
+    def _spawn(self, rank: int) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_persistent_worker_entry,
+            args=(child_conn, rank, self.n_workers),
+            name=f"repro-resident-{rank}",
+            daemon=True,
+        )
+        proc.start()
+        # Drop the master's copy of the child end so a dead worker
+        # reads as EOF/sentinel, never as an open idle pipe.
+        child_conn.close()
+        self._procs[rank] = proc
+        self._pipes[rank] = parent_conn
+
+    def _respawn(self, rank: int, deadline: float) -> None:
+        """Replace a dead worker and replay its ATTACH."""
+        proc = self._procs[rank]
+        if proc is not None:
+            _terminate_quietly(proc)
+        pipe = self._pipes[rank]
+        if pipe is not None:
+            pipe.close()
+        self._spawn(rank)
+        self._respawn_total += 1
+        if self._attach is not None:
+            fn, payloads = self._attach
+            self._pipes[rank].send((_ATTACH, fn, payloads[rank]))
+            self._receive(rank, deadline)
+
+    def _ensure_alive(self, deadline: float) -> int:
+        """Respawn (and re-attach) any rank that died between rounds."""
+        respawned = 0
+        for rank in range(self.n_workers):
+            proc = self._procs[rank]
+            if proc is None or not proc.is_alive():
+                self._respawn(rank, deadline)
+                respawned += 1
+        return respawned
+
+    # -- command rounds --------------------------------------------------
+
+    def attach(
+        self, fn: Callable[[int, int, Any], Any], payloads: Sequence[Any]
+    ) -> PoolBatchResult:
+        """Build per-worker resident state: ``fn(rank, size, payload)``.
+
+        ``fn`` must return ``(state, report)``; the worker keeps
+        ``state`` for subsequent :meth:`run_batch` calls and this
+        method gathers the reports.  The attach round is remembered
+        and **replayed automatically** whenever a dead worker is
+        respawned.
+        """
+        self._check_open()
+        if len(payloads) != self.n_workers:
+            raise ConfigurationError(
+                f"{len(payloads)} payloads for {self.n_workers} workers"
+            )
+        self._attach = (fn, list(payloads))
+        return self._round(_ATTACH, fn, self._attach[1])
+
+    def run_batch(
+        self, fn: Callable[[int, int, Any, Any], Any], payloads: Sequence[Any]
+    ) -> PoolBatchResult:
+        """One batch round: ``fn(rank, size, state, payload)`` per rank."""
+        self._check_open()
+        if len(payloads) != self.n_workers:
+            raise ConfigurationError(
+                f"{len(payloads)} payloads for {self.n_workers} workers"
+            )
+        return self._round(_QUERY, fn, list(payloads))
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceError("pool is closed; no further commands accepted")
+
+    def _round(self, command: str, fn: Callable, payloads: List[Any]) -> PoolBatchResult:
+        with self._round_lock:
+            return self._round_locked(command, fn, payloads)
+
+    def _round_locked(
+        self, command: str, fn: Callable, payloads: List[Any]
+    ) -> PoolBatchResult:
+        # Re-check under the lock: a concurrent close() that won the
+        # lock first has already torn the pipes down.
+        self._check_open()
+        deadline = time.monotonic() + self.timeout
+        respawned = self._ensure_alive(deadline)
+        dispatched: List[int] = []
+        for rank in range(self.n_workers):
+            try:
+                self._pipes[rank].send((command, fn, payloads[rank]))
+            except (BrokenPipeError, OSError):
+                # Died between the liveness check and the send: one
+                # respawn attempt, then give up on the round.
+                try:
+                    self._respawn(rank, deadline)
+                    respawned += 1
+                    self._pipes[rank].send((command, fn, payloads[rank]))
+                except (WorkerError, BrokenPipeError, OSError) as exc:
+                    # Aborting mid-scatter would leave the ranks already
+                    # dispatched with undrained replies — stale messages
+                    # that a later round would misread as its own
+                    # results.  Kill them instead; the next round
+                    # respawns everything with clean pipes.
+                    self._abort_dispatched(dispatched)
+                    raise WorkerError(
+                        f"worker {rank} died immediately after respawn: {exc}"
+                    ) from None
+                except BaseException:
+                    self._abort_dispatched(dispatched)
+                    raise
+            except BaseException:
+                # Any other send failure (e.g. an unpicklable payload
+                # raising TypeError) aborts the scatter the same way —
+                # dispatched ranks must never be left with undrained
+                # replies.
+                self._abort_dispatched(dispatched)
+                raise
+            dispatched.append(rank)
+        results: List[Any] = [None] * self.n_workers
+        walls = [0.0] * self.n_workers
+        cpus = [0.0] * self.n_workers
+        pending = set(range(self.n_workers))
+        failures: dict[int, WorkerError] = {}
+        deadline_failure: Optional[WorkerError] = None
+        while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                # Stuck workers cannot be resynchronized — kill them;
+                # the next round respawns and re-attaches.
+                for rank in sorted(pending):
+                    _terminate_quietly(self._procs[rank])
+                stuck = sorted(pending)
+                pending.clear()
+                deadline_failure = WorkerError(
+                    f"resident pool deadline ({self.timeout:.0f}s) expired "
+                    f"with workers {stuck} still running"
+                )
+                break
+            waitees = [self._pipes[r] for r in pending] + [
+                self._procs[r].sentinel for r in pending
+            ]
+            connection.wait(waitees, timeout=remaining)
+            for rank in sorted(pending):
+                if self._pipes[rank].poll():
+                    failure = self._consume(rank, results, walls, cpus)
+                    pending.discard(rank)
+                    if failure is not None:
+                        failures[rank] = failure
+                elif not self._procs[rank].is_alive():
+                    self._procs[rank].join()
+                    if self._pipes[rank].poll():
+                        failure = self._consume(rank, results, walls, cpus)
+                        pending.discard(rank)
+                        if failure is not None:
+                            failures[rank] = failure
+                    else:
+                        pending.discard(rank)
+                        failures[rank] = WorkerError(
+                            f"worker {rank} died mid-batch without reporting "
+                            f"(exit code {self._procs[rank].exitcode})"
+                        )
+        if failures:
+            # Healthy workers have been drained, so the pipes stay in
+            # request/response sync; dead ones respawn next round.  The
+            # lowest failing rank is surfaced deterministically, not
+            # whichever reply happened to arrive first.
+            raise failures[min(failures)]
+        if deadline_failure is not None:
+            raise deadline_failure
+        return PoolBatchResult(
+            results=results, wall_times=walls, cpu_times=cpus, respawned=respawned
+        )
+
+    def _abort_dispatched(self, dispatched: List[int]) -> None:
+        """Kill ranks whose command was already sent in an aborted
+        scatter — their replies would desync the next round."""
+        for rank in dispatched:
+            _terminate_quietly(self._procs[rank])
+
+    def _consume(
+        self, rank: int, results, walls, cpus
+    ) -> Optional[WorkerError]:
+        """Read one reply; return (not raise) a failure so the round
+        can keep draining the other workers before surfacing it."""
+        try:
+            message = self._pipes[rank].recv()
+        except (EOFError, OSError):
+            proc = self._procs[rank]
+            proc.join()
+            return WorkerError(
+                f"worker {rank} died mid-batch without reporting "
+                f"(exit code {proc.exitcode})"
+            )
+        if message[0] == "error":
+            _, summary, remote_tb = message
+            return WorkerError(
+                f"worker {rank} raised {summary}\n"
+                f"--- remote traceback ---\n{remote_tb}"
+            )
+        _, result, wall, cpu = message
+        results[rank] = result
+        walls[rank] = wall
+        cpus[rank] = cpu
+        return None
+
+    def _receive(self, rank: int, deadline: float) -> Any:
+        """Await one rank's reply (used for replayed ATTACH rounds)."""
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                _terminate_quietly(self._procs[rank])
+                raise WorkerError(
+                    f"worker {rank} exceeded the deadline while re-attaching"
+                )
+            connection.wait(
+                [self._pipes[rank], self._procs[rank].sentinel], timeout=remaining
+            )
+            if self._pipes[rank].poll():
+                results = [None] * self.n_workers
+                walls = [0.0] * self.n_workers
+                cpus = [0.0] * self.n_workers
+                failure = self._consume(rank, results, walls, cpus)
+                if failure is not None:
+                    raise failure
+                return results[rank]
+            if not self._procs[rank].is_alive():
+                self._procs[rank].join()
+                if self._pipes[rank].poll():
+                    continue
+                raise WorkerError(
+                    f"worker {rank} died while re-attaching "
+                    f"(exit code {self._procs[rank].exitcode})"
+                )
+
+
+def _reap_pool(procs, pipes) -> None:
+    """Finalizer body: terminate whatever is still running."""
+    for proc in procs:
+        if proc is not None:
+            _terminate_quietly(proc)
+    for pipe in pipes:
+        if pipe is not None:
+            try:
+                pipe.close()
+            except OSError:
+                pass

@@ -30,18 +30,75 @@ across processes" item.
 from __future__ import annotations
 
 import json
+import os
+import shutil
+import tempfile
+import threading
+import time
+import weakref
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, Tuple, Union
 
 import numpy as np
 
 from repro.errors import ConfigurationError, FormatError
 from repro.index.arena import FragmentArena
 
-__all__ = ["SharedArenaStore"]
+__all__ = [
+    "SharedArenaStore",
+    "SharedSpill",
+    "shared_spill_for",
+    "sweep_stale_stores",
+    "write_owner_marker",
+]
 
 _MANIFEST_NAME = "arena_manifest.json"
 _FORMAT_VERSION = 1
+
+#: Temp-dir prefixes owned by this package (arena spills and
+#: per-session spectra stores); :func:`sweep_stale_stores` only ever
+#: touches directories matching these.
+_STORE_PREFIXES = ("repro-arena-", "repro-spectra-")
+
+#: Liveness marker: the PID of the process that owns a store tmpdir.
+#: :func:`sweep_stale_stores` never touches a directory whose owner
+#: is still alive — age heuristics only apply to orphans.
+_OWNER_MARKER = "owner.pid"
+
+
+def write_owner_marker(directory: Union[str, Path]) -> None:
+    """Mark ``directory`` as owned by this process (best-effort).
+
+    Long-lived sessions can idle past any age threshold; the marker is
+    what keeps :func:`sweep_stale_stores` off their directories while
+    the owning process lives, and what lets it reap them confidently
+    once it is gone.
+    """
+    try:
+        (Path(directory) / _OWNER_MARKER).write_text(
+            f"{os.getpid()}\n", encoding="ascii"
+        )
+    except OSError:
+        pass
+
+
+def _owner_alive(directory: Path) -> bool:
+    """True when the directory's recorded owner process still exists."""
+    try:
+        pid = int((directory / _OWNER_MARKER).read_text(encoding="ascii"))
+    except (OSError, ValueError):
+        return False
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return False
+    return True
 
 
 class SharedArenaStore:
@@ -196,3 +253,125 @@ class SharedArenaStore:
     def nbytes(self) -> int:
         """Total on-disk bytes — the one physical copy all workers share."""
         return sum(self.file_bytes().values())
+
+
+# -- shared spill cache (one tmpdir spill per arena, refcounted) --------
+
+
+def sweep_stale_stores(
+    root: Union[str, Path, None] = None,
+    *,
+    incomplete_age_s: float = 3600.0,
+    complete_age_s: float = 3 * 86400.0,
+) -> int:
+    """Best-effort removal of stale ``repro-arena-*``/``repro-spectra-*`` dirs.
+
+    The normal cleanup path is a ``weakref.finalize`` on the spill
+    handle, but a process that exits hard (kill -9, OOM) never runs
+    finalizers, and a crash between ``mkdtemp`` and the spill leaves a
+    manifest-less husk.  This sweep closes both leak windows while
+    staying off live data: directories under ``root`` (default: the
+    system temp dir) matching the package's store prefixes are
+
+    * **never touched** while their recorded owner process
+      (``owner.pid``, written at creation) is still alive — an idle
+      long-running session outlasts any age threshold,
+    * otherwise removed when *incomplete* (no ``*_manifest.json`` — a
+      torn spill) and older than ``incomplete_age_s``, or complete but
+      older than ``complete_age_s`` (an orphan whose owner died before
+      its finalizers ran).
+
+    Every error is swallowed — this must never break the caller.
+    Returns the number of directories removed.
+    """
+    base = Path(root) if root is not None else Path(tempfile.gettempdir())
+    removed = 0
+    now = time.time()
+    try:
+        candidates = [
+            p
+            for p in base.iterdir()
+            if p.is_dir() and p.name.startswith(_STORE_PREFIXES)
+        ]
+    except OSError:
+        return 0
+    for path in candidates:
+        try:
+            if _owner_alive(path):
+                continue
+            age = now - path.stat().st_mtime
+            complete = any(path.glob("*_manifest.json"))
+            limit = complete_age_s if complete else incomplete_age_s
+            if age > limit:
+                shutil.rmtree(path, ignore_errors=True)
+                removed += 1
+        except OSError:
+            continue
+    return removed
+
+
+class SharedSpill:
+    """A refcounted temporary-directory spill of one arena.
+
+    The handle owns its tmpdir: a ``weakref.finalize`` registered
+    **before** any file is written removes the directory when the last
+    holder drops the handle (or at interpreter exit), so a crash
+    mid-spill cannot leak it.  Engines and services that share one
+    database hold the *same* handle (via :func:`shared_spill_for`), so
+    the directory lives exactly as long as anyone is mapping it —
+    plain Python refcounting is the refcount.
+    """
+
+    __slots__ = ("arena", "resolution", "directory", "store", "_finalizer", "__weakref__")
+
+    def __init__(self, arena: FragmentArena, resolution: float) -> None:
+        sweep_stale_stores()
+        self.arena = arena
+        self.resolution = float(resolution)
+        self.directory = Path(tempfile.mkdtemp(prefix="repro-arena-"))
+        self._finalizer = weakref.finalize(
+            self, shutil.rmtree, str(self.directory), ignore_errors=True
+        )
+        write_owner_marker(self.directory)
+        # Quantize and bucket-sort before spilling so workers that
+        # load the store never re-run floor() or argsort().
+        arena.buckets_for(self.resolution)
+        arena.sort_order_for(self.resolution)
+        self.store = SharedArenaStore.spill(arena, self.directory)
+
+    @property
+    def alive(self) -> bool:
+        """True while the tmpdir has not been finalized away."""
+        return self._finalizer.alive
+
+
+#: Live spills keyed by (arena identity, quantization resolution).
+#: Values are weak: the cache never keeps a spill alive — holders do.
+#: The key stays valid while the spill lives because the spill holds
+#: the arena strongly (so ``id(arena)`` cannot be recycled under it).
+_SPILL_CACHE: Dict[Tuple[int, str], "weakref.ref[SharedSpill]"] = {}
+_SPILL_LOCK = threading.Lock()
+
+
+def shared_spill_for(arena: FragmentArena, resolution: float) -> SharedSpill:
+    """The one shared tmpdir spill of ``arena`` at ``resolution``.
+
+    Two engines (or a service and an engine) over the same
+    :class:`~repro.search.database.IndexedDatabase` receive the same
+    :class:`SharedSpill` handle instead of spilling twice; the tmpdir
+    is removed only when the *last* holder dies, so one engine's death
+    never tears the memmaps out from under another.  Callers must keep
+    the returned handle referenced for as long as they (or their
+    workers) map the store.
+    """
+    key = (id(arena), float(resolution).hex())
+    with _SPILL_LOCK:
+        ref = _SPILL_CACHE.get(key)
+        spill = ref() if ref is not None else None
+        if spill is not None and spill.arena is arena and spill.alive:
+            return spill
+        spill = SharedSpill(arena, resolution)
+        _SPILL_CACHE[key] = weakref.ref(
+            spill, lambda _ref, _key=key: _SPILL_CACHE.pop(_key, None)
+        )
+        return spill

@@ -1,0 +1,196 @@
+"""Spill a preprocessed query batch to disk; reopen it memmap-shared.
+
+The scatter side of the communication-lower-bounds argument
+(arXiv:2009.14123): once the index is resident and shared, the query
+*spectra* become the per-batch communication volume.  Pickling the
+peak arrays to every worker makes that volume O(n_workers × peaks);
+:class:`SharedSpectraStore` makes it O(1) the same way
+:class:`~repro.parallel.shared_arena.SharedArenaStore` does for the
+fragment arena:
+
+* :meth:`SharedSpectraStore.spill` flattens a batch of (already
+  preprocessed) :class:`~repro.spectra.model.Spectrum` objects into
+  raw uncompressed ``.npy`` files — one flat peak m/z array, one flat
+  intensity array, int64 CSR peak offsets, and per-spectrum scan ids,
+  precursor m/z values and charges — bound by a small JSON manifest,
+* :meth:`SharedSpectraStore.load` reopens every array with
+  ``np.load(..., mmap_mode="r")`` and rebuilds the ``Spectrum`` list
+  as zero-copy slices of the maps.
+
+However many workers ``load()`` one batch, the OS page cache holds one
+physical copy of the peak data; the worker-side *pickled* payload per
+batch is only the store path plus scalars — O(batch manifest), never
+O(peaks).  ``true_peptide`` ground-truth labels travel as an int64
+column (−1 encodes ``None``) so synthetic-data round-trips stay exact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError, FormatError
+from repro.spectra.model import Spectrum
+
+__all__ = ["SharedSpectraStore"]
+
+_MANIFEST_NAME = "spectra_manifest.json"
+_FORMAT_VERSION = 1
+
+
+class SharedSpectraStore:
+    """A directory of ``.npy`` files holding one spilled query batch.
+
+    Construct through :meth:`spill` (write) or :meth:`open` (attach);
+    :meth:`load` materializes the memmap-backed spectrum list.
+    Instances are cheap handles — all state is on disk.
+    """
+
+    def __init__(self, directory: Path, manifest: dict) -> None:
+        self.directory = Path(directory)
+        self.manifest = manifest
+
+    # -- writing --------------------------------------------------------
+
+    @classmethod
+    def spill(
+        cls, spectra: Sequence[Spectrum], directory: Union[str, Path]
+    ) -> "SharedSpectraStore":
+        """Write ``spectra`` as flat CSR arrays under ``directory``.
+
+        The directory is created if needed.  Stores are immutable once
+        written — spill each batch to a fresh directory (rewriting in
+        place could tear the memmaps of workers still reading).
+        """
+        spectra = list(spectra)
+        if not spectra:
+            raise ConfigurationError("cannot spill an empty spectra batch")
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        n = len(spectra)
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        for i, s in enumerate(spectra):
+            offsets[i + 1] = offsets[i] + s.n_peaks
+        mzs = np.concatenate([s.mzs for s in spectra]) if offsets[-1] else np.empty(0)
+        intensities = (
+            np.concatenate([s.intensities for s in spectra])
+            if offsets[-1]
+            else np.empty(0)
+        )
+        scan_ids = np.array([s.scan_id for s in spectra], dtype=np.int64)
+        precursor_mzs = np.array([s.precursor_mz for s in spectra], dtype=np.float64)
+        charges = np.array([s.charge for s in spectra], dtype=np.int64)
+        true_peptides = np.array(
+            [-1 if s.true_peptide is None else s.true_peptide for s in spectra],
+            dtype=np.int64,
+        )
+        np.save(directory / "peak_mzs.npy", np.ascontiguousarray(mzs, dtype=np.float64))
+        np.save(
+            directory / "peak_intensities.npy",
+            np.ascontiguousarray(intensities, dtype=np.float64),
+        )
+        np.save(directory / "peak_offsets.npy", offsets)
+        np.save(directory / "scan_ids.npy", scan_ids)
+        np.save(directory / "precursor_mzs.npy", precursor_mzs)
+        np.save(directory / "charges.npy", charges)
+        np.save(directory / "true_peptides.npy", true_peptides)
+        manifest = {
+            "version": _FORMAT_VERSION,
+            "n_spectra": n,
+            "n_peaks": int(offsets[-1]),
+        }
+        (directory / _MANIFEST_NAME).write_text(
+            json.dumps(manifest, indent=2) + "\n", encoding="ascii"
+        )
+        return cls(directory, manifest)
+
+    # -- reading --------------------------------------------------------
+
+    @classmethod
+    def exists(cls, directory: Union[str, Path]) -> bool:
+        """True when ``directory`` holds a spilled batch (a manifest)."""
+        return (Path(directory) / _MANIFEST_NAME).is_file()
+
+    @classmethod
+    def open(cls, directory: Union[str, Path]) -> "SharedSpectraStore":
+        """Attach to a store written by :meth:`spill`."""
+        directory = Path(directory)
+        manifest_path = directory / _MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise FormatError(
+                f"no spectra store at {directory} (missing manifest)"
+            )
+        manifest = json.loads(manifest_path.read_text(encoding="ascii"))
+        if manifest.get("version") != _FORMAT_VERSION:
+            raise FormatError(
+                f"unsupported spectra store version {manifest.get('version')!r}"
+            )
+        return cls(directory, manifest)
+
+    def load(self, *, mmap_mode: str = "r") -> List[Spectrum]:
+        """Rebuild the spectrum list over memory-mapped peak arrays.
+
+        Each spectrum's ``mzs``/``intensities`` are zero-copy slices of
+        the shared maps — read-only under the default ``mmap_mode="r"``,
+        which is what lets N workers share one physical copy of the
+        batch.  ``"c"`` (copy-on-write) is accepted for callers that
+        must scribble on private pages.
+        """
+        if mmap_mode not in ("r", "c"):
+            raise ConfigurationError(
+                f"mmap_mode must be 'r' or 'c', got {mmap_mode!r}"
+            )
+        d = self.directory
+        try:
+            mzs = np.load(d / "peak_mzs.npy", mmap_mode=mmap_mode)
+            intensities = np.load(d / "peak_intensities.npy", mmap_mode=mmap_mode)
+            offsets = np.load(d / "peak_offsets.npy")
+            scan_ids = np.load(d / "scan_ids.npy")
+            precursor_mzs = np.load(d / "precursor_mzs.npy")
+            charges = np.load(d / "charges.npy")
+            true_peptides = np.load(d / "true_peptides.npy")
+        except FileNotFoundError as missing:
+            raise FormatError(
+                f"spectra store {d} is missing {missing.filename!r}"
+            ) from None
+        spectra: List[Spectrum] = []
+        for i in range(self.n_spectra):
+            lo, hi = int(offsets[i]), int(offsets[i + 1])
+            true = int(true_peptides[i])
+            spectra.append(
+                Spectrum(
+                    scan_id=int(scan_ids[i]),
+                    precursor_mz=float(precursor_mzs[i]),
+                    charge=int(charges[i]),
+                    mzs=mzs[lo:hi],
+                    intensities=intensities[lo:hi],
+                    true_peptide=None if true < 0 else true,
+                )
+            )
+        return spectra
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def n_spectra(self) -> int:
+        """Spectra in the spilled batch."""
+        return int(self.manifest["n_spectra"])
+
+    @property
+    def n_peaks(self) -> int:
+        """Total peaks across the batch."""
+        return int(self.manifest["n_peaks"])
+
+    def file_bytes(self) -> Dict[str, int]:
+        """On-disk bytes per store file (the shared-copy footprint)."""
+        return {
+            p.name: p.stat().st_size
+            for p in sorted(self.directory.glob("*.npy"))
+        }
+
+    def nbytes(self) -> int:
+        """Total on-disk bytes — the one physical copy all workers share."""
+        return sum(self.file_bytes().values())

@@ -4,13 +4,20 @@
 everything a :class:`~repro.parallel.pool.ProcessBackend` executes
 must live at module scope in an importable module.  This module holds
 
-* :func:`search_rank_worker` — the real rank program: open the
+* :func:`search_rank_worker` — the one-shot rank program: open the
   memmap-shared arena store, carve this rank's sub-arena, build the
   partial index, query every spectrum (all through the same
   :mod:`repro.search.rank` body the simulated engine runs), and
   report the payload plus real wall/CPU phase timings,
+* :func:`service_attach_worker` / :func:`service_query_worker` — the
+  same body split at the attach/query boundary for the persistent
+  pool: attach opens the arena store and builds the partial index
+  **once**, then every query round reopens only that batch's
+  memmap-shared spectra store — the per-batch pickled payload is a
+  :class:`QueryTask` (a path plus scalars), never peak arrays,
 * tiny diagnostic programs (:func:`echo_worker`, :func:`crash_worker`,
-  :func:`exit_worker`, :func:`sleep_worker`) used by the backend's
+  :func:`exit_worker`, :func:`sleep_worker`, and the ``resident_*`` /
+  ``query_*`` family for the persistent pool) used by the backends'
   tests and for smoke-checking a deployment.
 """
 
@@ -23,12 +30,25 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.errors import ServiceError
 from repro.index.slm import SLMIndexSettings
 from repro.parallel.shared_arena import SharedArenaStore
-from repro.search.rank import build_rank_index, run_rank_queries
+from repro.parallel.shared_spectra import SharedSpectraStore
+from repro.search.rank import (
+    build_rank_index,
+    run_rank_queries,
+    summarize_rank_output,
+)
 from repro.spectra.model import Spectrum
 
-__all__ = ["RankTask", "search_rank_worker"]
+__all__ = [
+    "RankTask",
+    "search_rank_worker",
+    "AttachTask",
+    "QueryTask",
+    "service_attach_worker",
+    "service_query_worker",
+]
 
 
 @dataclass(frozen=True)
@@ -79,22 +99,132 @@ def search_rank_worker(rank: int, size: int, task: RankTask) -> dict:
     query_wall = time.perf_counter() - t0
     query_cpu = time.process_time() - c0
 
-    return {
+    report = summarize_rank_output(out)
+    report.update(
+        rank=rank,
+        n_entries=len(index),
+        n_ions=index.n_ions,
+        open_s=open_wall,
+        build_s=build_wall,
+        build_cpu_s=build_cpu,
+        query_s=query_wall,
+        query_cpu_s=query_cpu,
+    )
+    return report
+
+
+# -- persistent-service rank programs ----------------------------------
+
+
+@dataclass(frozen=True)
+class AttachTask:
+    """One resident worker's session-scoped state recipe (picklable).
+
+    Pickled **once per session** (and again only on a respawn): the
+    arena-store path, the rank's entry-id manifest, and the index
+    settings.  The bulk fragment data stays behind ``store_dir``.
+    """
+
+    store_dir: str
+    entry_ids: np.ndarray
+    settings: SLMIndexSettings
+
+
+@dataclass(frozen=True)
+class QueryTask:
+    """One resident worker's per-batch command (picklable).
+
+    This is the whole per-batch scatter payload: the batch's
+    spectra-store path plus scalars — O(batch manifest).  The peak
+    arrays are never pickled; workers reach them zero-copy through
+    ``spectra_dir``.  The payload-accounting assertions in the service
+    suite pin this down.
+    """
+
+    spectra_dir: str
+    n_spectra: int
+    top_k: int
+
+
+def service_attach_worker(rank: int, size: int, task: AttachTask) -> tuple:
+    """ATTACH body: build this rank's resident index state, once.
+
+    Returns ``(state, report)`` per the persistent-pool attach
+    contract — the worker keeps ``state`` (sub-arena, partial index,
+    manifest) across batches; the report carries partial-index stats
+    and real attach-phase seconds back to the master.
+    """
+    t0 = time.perf_counter()
+    store = SharedArenaStore.open(task.store_dir)
+    arena = store.load(mmap_mode="r")
+    open_wall = time.perf_counter() - t0
+
+    t0, c0 = time.perf_counter(), time.process_time()
+    entry_ids = np.asarray(task.entry_ids, dtype=np.int64)
+    sub_arena, index = build_rank_index(arena, entry_ids, task.settings)
+    build_wall = time.perf_counter() - t0
+    build_cpu = time.process_time() - c0
+
+    state = {
+        "index": index,
+        "sub_arena": sub_arena,
+        "entry_ids": entry_ids,
+    }
+    report = {
         "rank": rank,
-        "counts": out.counts,
-        "local_psms": out.local_psms,
         "n_entries": len(index),
         "n_ions": index.n_ions,
-        "buckets_scanned": int(out.buckets_scanned.sum()),
-        "ions_scanned": int(out.ions_scanned.sum()),
-        "candidates_scored": int(out.candidates_scored.sum()),
-        "residues_scored": int(out.residues_scored.sum()),
         "open_s": open_wall,
         "build_s": build_wall,
         "build_cpu_s": build_cpu,
-        "query_s": query_wall,
-        "query_cpu_s": query_cpu,
     }
+    return state, report
+
+
+def service_query_worker(rank: int, size: int, state: dict, task: QueryTask) -> dict:
+    """QUERY body: run one batch against the resident index state.
+
+    Reopens the batch's memmap-shared spectra store (O(metadata) —
+    peak pages fault in lazily while filtering) and runs the exact
+    rank body every other backend runs, so session results are
+    bit-identical to the serial engine by construction.
+    """
+    if state is None:
+        raise ServiceError(
+            f"worker {rank} received a query before any attach"
+        )
+    t0 = time.perf_counter()
+    store = SharedSpectraStore.open(task.spectra_dir)
+    if store.n_spectra != task.n_spectra:
+        raise ServiceError(
+            f"batch store at {task.spectra_dir} holds {store.n_spectra} "
+            f"spectra but the command says {task.n_spectra}; refusing a "
+            "torn batch"
+        )
+    spectra = store.load(mmap_mode="r")
+    open_wall = time.perf_counter() - t0
+
+    t0, c0 = time.perf_counter(), time.process_time()
+    out = run_rank_queries(
+        state["index"],
+        state["sub_arena"],
+        state["entry_ids"],
+        spectra,
+        top_k=task.top_k,
+    )
+    query_wall = time.perf_counter() - t0
+    query_cpu = time.process_time() - c0
+
+    report = summarize_rank_output(out)
+    report.update(
+        rank=rank,
+        n_entries=len(state["index"]),
+        n_ions=state["index"].n_ions,
+        open_s=open_wall,
+        query_s=query_wall,
+        query_cpu_s=query_cpu,
+    )
+    return report
 
 
 # -- diagnostic programs (backend tests / deployment smoke checks) -----
@@ -126,3 +256,39 @@ def sleep_worker(rank: int, size: int, payload) -> float:
 def unpicklable_result_worker(rank: int, size: int, payload):
     """Return something the result pipe cannot pickle."""
     return lambda: rank
+
+
+# -- persistent-pool diagnostic programs -------------------------------
+
+
+def resident_attach(rank: int, size: int, payload) -> tuple:
+    """Minimal ATTACH body: state remembers the payload and this PID."""
+    return {"payload": payload, "pid": os.getpid()}, {
+        "rank": rank,
+        "attached": payload,
+        "pid": os.getpid(),
+    }
+
+
+def resident_echo(rank: int, size: int, state, payload) -> tuple:
+    """QUERY body proving state survives batches: echo state + payload."""
+    return rank, state["payload"], payload, state["pid"], os.getpid()
+
+
+def resident_crash(rank: int, size: int, state, payload) -> tuple:
+    """Raise on the rank given in ``payload`` (others echo)."""
+    if rank == payload:
+        raise ValueError(f"deliberate resident crash on rank {rank}")
+    return rank, state["payload"]
+
+
+def resident_exit(rank: int, size: int, state, payload) -> None:
+    """Hard-exit mid-batch (no report) on the rank given in ``payload``."""
+    if rank == payload:
+        os._exit(21)
+
+
+def resident_sleep(rank: int, size: int, state, payload) -> float:
+    """Sleep ``payload`` seconds — per-batch deadline testing."""
+    time.sleep(float(payload))
+    return float(payload)

@@ -33,7 +33,7 @@ import numpy as np
 from repro.core.mapping import MappingTable
 from repro.index.arena import FragmentArena, Workspace, thread_workspace
 from repro.index.slm import SLMIndex, SLMIndexSettings
-from repro.search.psm import SpectrumResult
+from repro.search.psm import RankStats, SpectrumResult
 from repro.search.scoring import score_many
 from repro.search.serial import top_k_psms
 from repro.spectra.model import Spectrum
@@ -44,6 +44,8 @@ __all__ = [
     "build_rank_index",
     "run_rank_queries",
     "merge_rank_payloads",
+    "summarize_rank_output",
+    "rank_stats_from_report",
 ]
 
 #: Per-rank payload the master merges: (scan-order candidate counts,
@@ -215,3 +217,45 @@ def merge_rank_payloads(
             )
         )
     return results, total_psms
+
+
+def summarize_rank_output(out: RankQueryOutput) -> dict:
+    """Flatten a :class:`RankQueryOutput` into a picklable report dict.
+
+    This is the merge payload plus summed work counters — the common
+    core of every worker-side report (the one-shot process backend and
+    the persistent service add their own timing keys on top).  Keeping
+    the dict shape in one place is what keeps the master-side merge
+    and :func:`rank_stats_from_report` in lockstep across backends.
+    """
+    return {
+        "counts": out.counts,
+        "local_psms": out.local_psms,
+        "buckets_scanned": int(out.buckets_scanned.sum()),
+        "ions_scanned": int(out.ions_scanned.sum()),
+        "candidates_scored": int(out.candidates_scored.sum()),
+        "residues_scored": int(out.residues_scored.sum()),
+    }
+
+
+def rank_stats_from_report(rank: int, report: dict) -> RankStats:
+    """Build one rank's :class:`RankStats` from a worker report dict.
+
+    Absent keys default to 0 — a resident worker's *query* report
+    carries no ``build_s`` because that cost was paid once at attach
+    time, and its *attach* report carries no query counters because no
+    spectrum has been searched yet.
+    """
+    return RankStats(
+        rank=rank,
+        n_entries=int(report.get("n_entries", 0)),
+        n_ions=int(report.get("n_ions", 0)),
+        buckets_scanned=int(report.get("buckets_scanned", 0)),
+        ions_scanned=int(report.get("ions_scanned", 0)),
+        candidates_scored=int(report.get("candidates_scored", 0)),
+        residues_scored=int(report.get("residues_scored", 0)),
+        build_time=float(report.get("build_s", 0.0)),
+        query_time=float(report.get("query_s", 0.0)),
+        comm_time=float(report.get("open_s", 0.0)),
+        query_cpu_time=float(report.get("query_cpu_s", 0.0)),
+    )

@@ -1,0 +1,28 @@
+"""Persistent search service: resident workers, streaming query batches.
+
+The one-shot :class:`~repro.parallel.ParallelSearchEngine` pays spawn +
+import + arena attach on every ``run()`` and pickles the query peak
+arrays to every worker — fine for a single batch, fatal for serving
+sustained traffic.  This package amortizes all of it across a session:
+
+* :class:`~repro.service.service.SearchService` — the session API:
+  ``open()`` spawns a :class:`~repro.parallel.persistent.PersistentPool`,
+  spills the arena once (through the process-wide spill cache) and
+  attaches every worker; ``submit(spectra)`` preprocesses a batch,
+  spills it to a :class:`~repro.parallel.shared_spectra.SharedSpectraStore`
+  and dispatches an O(manifest) command to the resident workers;
+  ``close()`` shuts the pool down.  Results are bit-identical to the
+  serial engine for every policy × worker count — the workers run the
+  same :mod:`repro.search.rank` body as every other backend.
+* Per-batch :class:`~repro.service.service.BatchStats` record real
+  wall/CPU phase seconds and the actual pickled scatter bytes, so the
+  amortization claim is measurable, not aspirational
+  (``benchmarks/bench_service_throughput.py`` records it).
+
+``repro serve`` on the CLI drives a session over MS2 batch files or a
+stdin manifest of paths.
+"""
+
+from repro.service.service import BatchStats, SearchService, ServiceConfig
+
+__all__ = ["BatchStats", "SearchService", "ServiceConfig"]

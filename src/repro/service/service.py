@@ -1,0 +1,504 @@
+"""The persistent search service: one session, many query batches.
+
+Session lifecycle (the amortization structure)::
+
+    service = SearchService(database, ServiceConfig(n_workers=2))
+    service.open()            # spawn pool, spill arena, ATTACH workers
+    for batch in stream:
+        results, stats = service.submit(batch)   # QUERY round per batch
+    service.close()           # SHUTDOWN
+
+``open()`` pays every per-run cost the one-shot engine pays per batch
+— worker spawn + interpreter import, the arena spill (through the
+process-wide spill cache, so an engine over the same database shares
+it), and the per-rank partial-index build.  ``submit()`` then costs
+only: preprocess, spill the batch to a memmap-shared
+:class:`~repro.parallel.shared_spectra.SharedSpectraStore`, one
+O(manifest) pickled :class:`~repro.parallel.worker.QueryTask` per
+worker, the workers' query phase, and the master merge.  The pickled
+scatter volume per batch is recorded in :class:`BatchStats`
+(``scatter_bytes``) next to what pickling the peak arrays would have
+cost (``peak_bytes``) — the communication-lower-bounds story in
+numbers.
+
+Admission is bounded: at most ``max_pending`` ``submit()`` calls may
+be in flight (one dispatching, the rest queued on the dispatch lock);
+the next caller is rejected with
+:class:`~repro.errors.ServiceError` instead of growing an unbounded
+queue.
+
+Failure contract (inherited from
+:class:`~repro.parallel.persistent.PersistentPool` and test-enforced):
+a worker that raises or dies mid-batch fails *that* ``submit()`` with
+:class:`~repro.errors.WorkerError`; the pool respawns and re-attaches
+the rank automatically, so the session survives and the next
+``submit()`` returns correct results on the fresh worker.
+"""
+
+from __future__ import annotations
+
+import pickle
+import shutil
+import tempfile
+import threading
+import time
+import weakref
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.grouping import GroupingConfig
+from repro.core.planner import LBEPlan
+from repro.errors import ConfigurationError, ServiceError
+from repro.index.slm import SLMIndexSettings
+from repro.parallel.persistent import PersistentPool
+from repro.parallel.shared_arena import (
+    SharedSpill,
+    shared_spill_for,
+    write_owner_marker,
+)
+from repro.parallel.shared_spectra import SharedSpectraStore
+from repro.parallel.worker import (
+    AttachTask,
+    QueryTask,
+    service_attach_worker,
+    service_query_worker,
+)
+from repro.search.database import IndexedDatabase
+from repro.search.engine import make_lbe_plan
+from repro.search.psm import RankStats, SearchResults
+from repro.search.rank import merge_rank_payloads, rank_stats_from_report
+from repro.spectra.model import Spectrum
+from repro.spectra.preprocess import (
+    PreprocessConfig,
+    preprocess_batch,
+    spectra_peak_bytes,
+)
+
+__all__ = ["ServiceConfig", "BatchStats", "SearchService"]
+
+#: Most recent batches whose :class:`BatchStats` a session retains —
+#: enough for steady-state monitoring, O(1) for unbounded streams
+#: (:attr:`SearchService.n_batches` keeps the lifetime count).
+_STATS_RETENTION = 1024
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceConfig:
+    """Persistent-service configuration.
+
+    Attributes
+    ----------
+    n_workers:
+        Resident OS worker processes (the rank count).
+    policy:
+        Partition policy name: ``chunk`` / ``cyclic`` / ``random`` /
+        ``lpt``.
+    policy_seed:
+        Seed for the Random policy's shuffles.
+    grouping:
+        Algorithm 1 parameters.
+    index:
+        SLM index/query settings (shared by every batch — the resident
+        partial indexes are built against them at attach time).
+    preprocess:
+        Query peak-picking settings, applied per submitted batch.
+    top_k:
+        PSMs retained per spectrum.
+    start_method:
+        ``multiprocessing`` start method for the resident workers.
+    timeout:
+        Real-seconds deadline per pool round (attach or batch).
+    max_pending:
+        Bound on concurrently admitted ``submit()`` calls (one
+        dispatching + the rest waiting); further callers are rejected
+        with :class:`~repro.errors.ServiceError`.
+    """
+
+    n_workers: int = 2
+    policy: str = "cyclic"
+    policy_seed: int = 0
+    grouping: GroupingConfig = GroupingConfig()
+    index: SLMIndexSettings = field(default_factory=SLMIndexSettings)
+    preprocess: PreprocessConfig = PreprocessConfig()
+    top_k: int = 5
+    start_method: str = "spawn"
+    timeout: float = 600.0
+    max_pending: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ConfigurationError(
+                f"n_workers must be >= 1, got {self.n_workers}"
+            )
+        if self.top_k < 1:
+            raise ConfigurationError(f"top_k must be >= 1, got {self.top_k}")
+        if self.timeout <= 0:
+            raise ConfigurationError(f"timeout must be > 0, got {self.timeout}")
+        if self.max_pending < 1:
+            raise ConfigurationError(
+                f"max_pending must be >= 1, got {self.max_pending}"
+            )
+
+
+@dataclass(slots=True)
+class BatchStats:
+    """Real phase seconds and scatter accounting for one ``submit()``.
+
+    Attributes
+    ----------
+    batch_index:
+        0-based position of this batch within the session.
+    n_spectra:
+        Query spectra in the batch.
+    preprocess_s / spill_s / parallel_s / merge_s / total_s:
+        Master-observed wall seconds per phase (``parallel_s`` spans
+        dispatch → last worker report).
+    query_wall_max_s / query_cpu_max_s:
+        Slowest worker's query wall / process-CPU seconds (the
+        steady-state latency floor; CPU is the dedicated-core figure).
+    scatter_bytes:
+        Actual pickled command payload bytes summed over workers —
+        O(batch manifest) by construction.
+    peak_bytes:
+        What pickling the preprocessed peak arrays to every worker
+        would have cost (``n_workers ×`` the batch's peak bytes) — the
+        baseline ``scatter_bytes`` replaces.
+    respawned:
+        Workers respawned (and re-attached) to serve this batch.
+    """
+
+    batch_index: int
+    n_spectra: int
+    preprocess_s: float
+    spill_s: float
+    parallel_s: float
+    merge_s: float
+    total_s: float
+    query_wall_max_s: float
+    query_cpu_max_s: float
+    scatter_bytes: int
+    peak_bytes: int
+    respawned: int
+
+
+class SearchService:
+    """A long-lived search session over a resident worker pool.
+
+    Parameters
+    ----------
+    database:
+        The indexed database (the master's copy; resident workers see
+        only the memmap-shared arena plus their manifests).
+    config:
+        Service configuration.
+
+    Usable as a context manager (``with SearchService(db) as svc:``);
+    ``open()`` is idempotent, ``close()`` is idempotent, and
+    ``submit()`` after ``close()`` raises
+    :class:`~repro.errors.ServiceError`.
+    """
+
+    def __init__(
+        self, database: IndexedDatabase, config: ServiceConfig = ServiceConfig()
+    ) -> None:
+        self.database = database
+        self.config = config
+        self._plan: LBEPlan | None = None
+        self._spill: SharedSpill | None = None
+        self._pool: PersistentPool | None = None
+        self._session_dir: Path | None = None
+        self._session_cleanup: weakref.finalize | None = None
+        self._closed = False
+        self._n_batches = 0
+        self._attach_stats: List[RankStats] = []
+        self._attach_s = 0.0
+        self._open_s = 0.0
+        # Bounded retention: a session serves an unbounded stream, so
+        # per-batch stats must not grow master memory linearly with it.
+        self._stats: deque[BatchStats] = deque(maxlen=_STATS_RETENTION)
+        self._dispatch_lock = threading.Lock()
+        self._admission = threading.Semaphore(config.max_pending)
+
+    # -- planning --------------------------------------------------------
+
+    @property
+    def plan(self) -> LBEPlan:
+        """The LBE distribution plan (computed lazily, cached)."""
+        if self._plan is None:
+            cfg = self.config
+            self._plan = make_lbe_plan(
+                self.database,
+                n_ranks=cfg.n_workers,
+                policy=cfg.policy,
+                policy_seed=cfg.policy_seed,
+                grouping=cfg.grouping,
+            )
+        return self._plan
+
+    # -- lifecycle -------------------------------------------------------
+
+    def __enter__(self) -> "SearchService":
+        return self.open()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def is_open(self) -> bool:
+        """True between a successful :meth:`open` and :meth:`close`."""
+        return self._pool is not None and not self._closed
+
+    def open(self) -> "SearchService":
+        """Spawn the pool, spill the arena, attach every worker.
+
+        Everything here is the once-per-session cost the one-shot
+        engine pays per run; :attr:`open_s` records it.  Idempotent —
+        reopening an open session is a no-op; reopening a closed one
+        raises.  Serialized on the dispatch lock so concurrent
+        ``open()`` calls cannot double-spawn pools.
+        """
+        with self._dispatch_lock:
+            return self._open_locked()
+
+    def _open_locked(self) -> "SearchService":
+        if self._closed:
+            raise ServiceError("service is closed; sessions are not reusable")
+        if self._pool is not None:
+            return self
+        cfg = self.config
+        t_open = time.perf_counter()
+        plan = self.plan
+        arena = self.database.arena_for(cfg.index.fragmentation)
+        self._spill = shared_spill_for(arena, cfg.index.resolution)
+        self._session_dir = Path(tempfile.mkdtemp(prefix="repro-spectra-"))
+        # Finalizer registered before first use: a hard crash between
+        # here and close() still removes the session dir at GC.  The
+        # owner marker keeps sweep_stale_stores off the live session
+        # however long it idles.
+        self._session_cleanup = weakref.finalize(
+            self, shutil.rmtree, str(self._session_dir), ignore_errors=True
+        )
+        write_owner_marker(self._session_dir)
+        pool = PersistentPool(
+            cfg.n_workers,
+            start_method=cfg.start_method,
+            timeout=cfg.timeout,
+        )
+        try:
+            tasks = [
+                AttachTask(
+                    store_dir=str(self._spill.store.directory),
+                    entry_ids=np.asarray(
+                        plan.rank_global_ids(r), dtype=np.int64
+                    ),
+                    settings=cfg.index,
+                )
+                for r in range(cfg.n_workers)
+            ]
+            t0 = time.perf_counter()
+            attach = pool.attach(service_attach_worker, tasks)
+            self._attach_s = time.perf_counter() - t0
+        except BaseException:
+            pool.close()
+            raise
+        self._pool = pool
+        self._attach_stats = [
+            rank_stats_from_report(r, report)
+            for r, report in enumerate(attach.results)
+        ]
+        self._open_s = time.perf_counter() - t_open
+        return self
+
+    def close(self) -> None:
+        """Shut the resident workers down; idempotent.
+
+        New submits are rejected immediately; an in-flight submit is
+        waited for (the dispatch lock), so its caller gets a clean
+        result or error instead of torn worker pipes.
+        """
+        if self._closed:
+            return
+        self._closed = True  # reject new submits before taking the lock
+        with self._dispatch_lock:
+            if self._pool is not None:
+                self._pool.close()
+                self._pool = None
+            if self._session_cleanup is not None:
+                self._session_cleanup()  # remove the session dir now
+            self._spill = None
+
+    # -- submission ------------------------------------------------------
+
+    def submit(
+        self, spectra: Sequence[Spectrum]
+    ) -> Tuple[SearchResults, BatchStats]:
+        """Search one query batch on the resident workers.
+
+        Returns the merged :class:`SearchResults` — bit-identical to
+        the serial engine over the same batch — plus this batch's
+        :class:`BatchStats`.  Raises
+        :class:`~repro.errors.ServiceError` when the service is not
+        open or the admission bound is exceeded, and
+        :class:`~repro.errors.WorkerError` when a worker fails
+        mid-batch (the session itself survives).
+        """
+        if self._closed or self._pool is None:
+            raise ServiceError(
+                "submit() on a service that is not open "
+                "(call open() first; closed sessions are not reusable)"
+            )
+        spectra = list(spectra)
+        if not spectra:
+            raise ConfigurationError("cannot submit an empty spectra batch")
+        if not self._admission.acquire(blocking=False):
+            raise ServiceError(
+                f"admission queue full ({self.config.max_pending} batches "
+                "already pending); retry after a pending submit returns"
+            )
+        try:
+            with self._dispatch_lock:
+                return self._submit_locked(spectra)
+        finally:
+            self._admission.release()
+
+    def _submit_locked(
+        self, spectra: List[Spectrum]
+    ) -> Tuple[SearchResults, BatchStats]:
+        # Re-check under the lock: a concurrent close() that won the
+        # lock first has already shut the pool down.
+        if self._closed or self._pool is None:
+            raise ServiceError(
+                "service was closed while this submit was waiting for "
+                "dispatch"
+            )
+        cfg = self.config
+        wall = time.perf_counter
+        t_start = wall()
+        batch_index = self._n_batches
+
+        processed = preprocess_batch(spectra, cfg.preprocess)
+        prep_s = wall() - t_start
+
+        t0 = wall()
+        batch_dir = self._session_dir / f"batch_{batch_index:06d}"
+        SharedSpectraStore.spill(processed, batch_dir)
+        spill_s = wall() - t0
+
+        task = QueryTask(
+            spectra_dir=str(batch_dir),
+            n_spectra=len(processed),
+            top_k=cfg.top_k,
+        )
+        tasks = [task] * cfg.n_workers
+        scatter_bytes = len(pickle.dumps(task)) * cfg.n_workers
+        peak_bytes = spectra_peak_bytes(processed) * cfg.n_workers
+
+        t0 = wall()
+        try:
+            batch = self._pool.run_batch(service_query_worker, tasks)
+        finally:
+            # The workers hold no references to the batch store after
+            # the round; drop it (best-effort — pages may still be
+            # mapped briefly, which POSIX tolerates).
+            shutil.rmtree(batch_dir, ignore_errors=True)
+        parallel_s = wall() - t0
+
+        t0 = wall()
+        gathered = [
+            (report["counts"], report["local_psms"])
+            for report in batch.results
+        ]
+        merged, _n_psms = merge_rank_payloads(
+            gathered, spectra, self.plan.mapping, cfg.top_k
+        )
+        merge_s = wall() - t0
+
+        all_stats = [
+            rank_stats_from_report(r, report)
+            for r, report in enumerate(batch.results)
+        ]
+        # Attach-time build stats stay visible on every batch's result:
+        # the resident index was built once, at open().
+        for stats, attach in zip(all_stats, self._attach_stats):
+            stats.n_entries = attach.n_entries
+            stats.n_ions = attach.n_ions
+            stats.build_time = attach.build_time
+
+        total_s = wall() - t_start
+        worker_span = max(
+            report["open_s"] + report["query_s"] for report in batch.results
+        )
+        phase_times = {
+            "serial_prep": prep_s,
+            "spill": spill_s,
+            "build": 0.0,  # paid once at open(), not per batch
+            "query": max(s.query_time for s in all_stats),
+            "query_cpu": max(s.query_cpu_time for s in all_stats),
+            "gather": 0.0,
+            "merge": merge_s,
+            "parallel_wall": parallel_s,
+            "parallel_overhead": max(0.0, parallel_s - worker_span),
+            "total": total_s,
+        }
+        results = SearchResults(
+            spectra=merged,
+            rank_stats=all_stats,
+            phase_times=phase_times,
+            policy_name=cfg.policy,
+            n_ranks=cfg.n_workers,
+        )
+        stats = BatchStats(
+            batch_index=batch_index,
+            n_spectra=len(spectra),
+            preprocess_s=prep_s,
+            spill_s=spill_s,
+            parallel_s=parallel_s,
+            merge_s=merge_s,
+            total_s=total_s,
+            query_wall_max_s=max(s.query_time for s in all_stats),
+            query_cpu_max_s=max(s.query_cpu_time for s in all_stats),
+            scatter_bytes=scatter_bytes,
+            peak_bytes=peak_bytes,
+            respawned=batch.respawned,
+        )
+        self._n_batches += 1
+        self._stats.append(stats)
+        return results, stats
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def n_batches(self) -> int:
+        """Batches served so far this session."""
+        return self._n_batches
+
+    @property
+    def open_s(self) -> float:
+        """Wall seconds :meth:`open` took (the amortized session cost)."""
+        return self._open_s
+
+    @property
+    def attach_s(self) -> float:
+        """Wall seconds of the ATTACH round inside :meth:`open`."""
+        return self._attach_s
+
+    @property
+    def batch_stats(self) -> List[BatchStats]:
+        """Stats of the most recent batches (bounded retention), in
+        order; ``batch_index`` ties each entry to its lifetime position."""
+        return list(self._stats)
+
+    @property
+    def respawn_total(self) -> int:
+        """Workers respawned over the session's lifetime."""
+        return self._pool.respawn_total if self._pool is not None else 0
+
+    def worker_pids(self) -> List[int | None]:
+        """Current resident worker PIDs (for residency assertions)."""
+        if self._pool is None:
+            return []
+        return self._pool.worker_pids()

@@ -17,7 +17,12 @@ from repro.constants import DEFAULT_TOP_PEAKS
 from repro.errors import ConfigurationError
 from repro.spectra.model import Spectrum
 
-__all__ = ["PreprocessConfig", "preprocess_spectrum", "preprocess_batch"]
+__all__ = [
+    "PreprocessConfig",
+    "preprocess_spectrum",
+    "preprocess_batch",
+    "spectra_peak_bytes",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -83,3 +88,13 @@ def preprocess_batch(
 ) -> List[Spectrum]:
     """Preprocess every spectrum in ``spectra``."""
     return [preprocess_spectrum(s, config) for s in spectra]
+
+
+def spectra_peak_bytes(spectra: Sequence[Spectrum]) -> int:
+    """Total peak-array bytes (m/z + intensity) across ``spectra``.
+
+    The scatter-accounting baseline: what pickling a batch's peak
+    arrays to one worker would cost, against which the service's
+    O(manifest) command payloads are compared.
+    """
+    return int(sum(s.mzs.nbytes + s.intensities.nbytes for s in spectra))

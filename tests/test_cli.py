@@ -128,6 +128,49 @@ def test_search_compare_policies(workspace, capsys):
         assert policy in out
 
 
+def test_serve_command_matches_search(workspace, capsys):
+    """`serve` over three batches equals one-shot `search` per batch."""
+    report_dir = workspace / "serve_reports"
+    oneshot = workspace / "psms_oneshot.tsv"
+    rc = main([
+        "serve",
+        "--fasta", str(workspace / "proteome.fasta"),
+        "--batch", str(workspace / "run.ms2"),
+        "--batch", str(workspace / "run.ms2"),
+        "--batch", str(workspace / "run.ms2"),
+        "--ranks", "2", "--policy", "cyclic",
+        "--report-dir", str(report_dir),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "resident workers" in out and "steady-state batch latency" in out
+    assert main([
+        "search",
+        "--fasta", str(workspace / "proteome.fasta"),
+        "--ms2", str(workspace / "run.ms2"),
+        "--ranks", "2", "--policy", "cyclic",
+        "--report", str(oneshot),
+    ]) == 0
+    expected = [
+        (p.scan_id, p.entry_id, p.score) for p in read_psm_report(oneshot)
+    ]
+    for i in range(3):
+        got = [
+            (p.scan_id, p.entry_id, p.score)
+            for p in read_psm_report(report_dir / f"batch_{i:04d}.tsv")
+        ]
+        assert got == expected
+
+
+def test_serve_requires_batches(workspace, capsys, monkeypatch):
+    import io
+
+    monkeypatch.setattr("sys.stdin", io.StringIO(""))
+    rc = main(["serve", "--fasta", str(workspace / "proteome.fasta")])
+    assert rc == 2
+    assert "no batches" in capsys.readouterr().err
+
+
 def test_figures_command(capsys):
     rc = main(["figures", "--sizes", "0.7", "--spectra", "8", "--seed", "3"])
     assert rc == 0

@@ -134,3 +134,99 @@ def test_invalid_config_rejected():
         ParallelEngineConfig(top_k=0)
     with pytest.raises(ConfigurationError):
         ParallelEngineConfig(timeout=-1.0)
+
+
+# -- shared spill cache (one tmpdir spill per arena) -------------------
+
+
+def test_engines_over_same_database_share_one_spill(tiny_db, tiny_spectra):
+    """Two engines over one database attach to the same tmpdir spill
+    (no second spill), and results stay bit-identical."""
+    a = ParallelSearchEngine(
+        tiny_db, ParallelEngineConfig(n_workers=2, policy="cyclic")
+    )
+    b = ParallelSearchEngine(
+        tiny_db, ParallelEngineConfig(n_workers=3, policy="chunk")
+    )
+    res_a = a.run(tiny_spectra)
+    mtime = (a._store.directory / "mzs.npy").stat().st_mtime_ns
+    res_b = b.run(tiny_spectra)
+    assert b._store.directory == a._store.directory
+    # Attached, not re-spilled (rewriting could tear live memmaps).
+    assert (b._store.directory / "mzs.npy").stat().st_mtime_ns == mtime
+    assert_same_results(res_a, res_b)
+
+
+def test_first_engine_death_does_not_remove_shared_spill(tiny_db, tiny_spectra):
+    """The spill is refcounted: it outlives any single engine and is
+    removed only when the last holder is garbage-collected."""
+    import gc
+
+    a = ParallelSearchEngine(tiny_db, ParallelEngineConfig(n_workers=2))
+    b = ParallelSearchEngine(tiny_db, ParallelEngineConfig(n_workers=2))
+    a.run(tiny_spectra)
+    b._ensure_store()
+    directory = a._store.directory
+    del a
+    gc.collect()
+    assert directory.is_dir()  # b still maps it
+    assert_same_results(
+        ParallelSearchEngine(
+            tiny_db, ParallelEngineConfig(n_workers=2)
+        ).run(tiny_spectra),
+        b.run(tiny_spectra),
+    )
+    del b
+    gc.collect()
+    assert not directory.exists()  # last holder gone -> tmpdir gone
+
+
+# -- stale-store sweep (hard-crash leak window) ------------------------
+
+
+def test_sweep_removes_stale_dirs_and_keeps_live_ones(tmp_path):
+    from repro.parallel import sweep_stale_stores
+
+    torn = tmp_path / "repro-arena-torn"  # crashed between mkdtemp and spill
+    torn.mkdir()
+    orphan = tmp_path / "repro-spectra-orphan"  # complete but long dead
+    orphan.mkdir()
+    (orphan / "spectra_manifest.json").write_text("{}")
+    live = tmp_path / "repro-arena-live"  # complete and recent
+    live.mkdir()
+    (live / "arena_manifest.json").write_text("{}")
+    unrelated = tmp_path / "other-dir"
+    unrelated.mkdir()
+
+    removed = sweep_stale_stores(
+        tmp_path, incomplete_age_s=0.0, complete_age_s=0.0
+    )
+    assert removed == 3  # with age 0 even "live" qualifies ...
+    assert not torn.exists() and not orphan.exists() and not live.exists()
+    assert unrelated.is_dir()  # ... but foreign dirs are never touched
+
+    # With realistic thresholds a fresh complete store survives.
+    fresh = tmp_path / "repro-arena-fresh"
+    fresh.mkdir()
+    (fresh / "arena_manifest.json").write_text("{}")
+    assert sweep_stale_stores(tmp_path) == 0
+    assert fresh.is_dir()
+
+
+def test_sweep_never_touches_stores_with_a_live_owner(tmp_path):
+    """An owner.pid of a living process vetoes removal regardless of
+    age — an idle long-running session must survive any sweep."""
+    from repro.parallel import sweep_stale_stores, write_owner_marker
+
+    live = tmp_path / "repro-spectra-session"
+    live.mkdir()
+    write_owner_marker(live)  # this test process is the live owner
+    dead = tmp_path / "repro-spectra-orphan"
+    dead.mkdir()
+    (dead / "owner.pid").write_text("999999999\n")  # no such process
+
+    removed = sweep_stale_stores(
+        tmp_path, incomplete_age_s=0.0, complete_age_s=0.0
+    )
+    assert removed == 1
+    assert live.is_dir() and not dead.exists()

@@ -1,0 +1,171 @@
+"""Persistent-pool contract tests: residency, state, and failure modes.
+
+The resident pool must amortize spawn cost (same worker PIDs across
+batches, attach state intact) while keeping ``ProcessBackend``'s "no
+failure mode hangs" guarantee — plus session survival: any worker
+failure fails at most the in-flight batch, and the pool respawns and
+re-attaches dead ranks automatically before the next one.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError, ServiceError, WorkerError
+from repro.parallel import PersistentPool
+from repro.parallel.worker import (
+    resident_attach,
+    resident_crash,
+    resident_echo,
+    resident_exit,
+    resident_sleep,
+)
+
+
+@pytest.fixture()
+def pool():
+    p = PersistentPool(2, timeout=60.0)
+    p.attach(resident_attach, ["state-a", "state-b"])
+    yield p
+    p.close()
+
+
+def test_attach_reports_and_batches_in_rank_order(pool):
+    res = pool.run_batch(resident_echo, ["x", "y"])
+    assert [r[:3] for r in res.results] == [
+        (0, "state-a", "x"),
+        (1, "state-b", "y"),
+    ]
+    assert res.n_workers == 2
+    assert res.respawned == 0
+    assert res.makespan == max(res.wall_times)
+
+
+def test_workers_stay_resident_across_batches(pool):
+    """Same PIDs, same attach state, across three consecutive batches."""
+    pids = pool.worker_pids()
+    for i in range(3):
+        res = pool.run_batch(resident_echo, [f"p{i}", f"q{i}"])
+        # Echo carries (rank, state_payload, payload, attach_pid, now_pid):
+        # the attach-time PID equals the batch-time PID equals the
+        # master-visible PID — nobody was respawned.
+        for rank, report in enumerate(res.results):
+            assert report[1] == ("state-a", "state-b")[rank]
+            assert report[3] == report[4] == pids[rank]
+        assert res.respawned == 0
+    assert pool.worker_pids() == pids
+    assert pool.respawn_total == 0
+
+
+def test_raise_mid_batch_fails_batch_keeps_worker(pool):
+    """A raising batch surfaces WorkerError; the worker stays resident."""
+    pids = pool.worker_pids()
+    with pytest.raises(WorkerError, match="deliberate resident crash on rank 1"):
+        pool.run_batch(resident_crash, [1, 1])
+    res = pool.run_batch(resident_echo, ["x", "y"])
+    assert res.respawned == 0  # raising is not dying
+    assert pool.worker_pids() == pids
+    assert [r[:3] for r in res.results] == [
+        (0, "state-a", "x"),
+        (1, "state-b", "y"),
+    ]
+
+
+def test_death_mid_batch_surfaces_then_respawns(pool):
+    """os._exit mid-batch → WorkerError with the exit code; the next
+    batch runs on a respawned, re-attached worker."""
+    pids = pool.worker_pids()
+    with pytest.raises(WorkerError, match="exit code 21"):
+        pool.run_batch(resident_exit, [0, 0])
+    res = pool.run_batch(resident_echo, ["x", "y"])
+    assert res.respawned == 1
+    # Rank 0 is a fresh process with replayed attach state; rank 1 kept.
+    assert res.results[0][1] == "state-a"
+    assert res.results[0][3] != pids[0]
+    assert res.results[1][3] == pids[1]
+
+
+def test_death_between_batches_is_invisible_to_the_caller(pool):
+    """A worker killed while idle is respawned + re-attached before the
+    next batch — the batch succeeds, only the stats show the respawn."""
+    pool.run_batch(resident_echo, ["x", "y"])
+    victim = pool._procs[1]
+    victim.terminate()
+    victim.join()
+    res = pool.run_batch(resident_echo, ["p", "q"])
+    assert res.respawned == 1
+    assert [r[:3] for r in res.results] == [
+        (0, "state-a", "p"),
+        (1, "state-b", "q"),
+    ]
+
+
+def test_deadline_mid_batch_kills_straggler_session_survives():
+    pool = PersistentPool(2, timeout=3.0)
+    try:
+        pool.attach(resident_attach, ["a", "b"])
+        t0 = time.monotonic()
+        with pytest.raises(WorkerError, match="deadline"):
+            pool.run_batch(resident_sleep, [120.0, 0.0])
+        assert time.monotonic() - t0 < 60.0
+        res = pool.run_batch(resident_echo, ["x", "y"])
+        assert res.respawned == 1  # the killed straggler came back
+        assert [r[:3] for r in res.results] == [
+            (0, "a", "x"),
+            (1, "b", "y"),
+        ]
+    finally:
+        pool.close()
+
+
+def test_multi_worker_failure_surfaces_lowest_rank(pool):
+    """When every worker fails a batch, the surfaced error names the
+    lowest rank deterministically, not whichever reply arrived first."""
+    with pytest.raises(WorkerError, match="worker 0 raised"):
+        pool.run_batch(resident_crash, [0, 1])
+    res = pool.run_batch(resident_echo, ["x", "y"])
+    assert [r[:3] for r in res.results] == [
+        (0, "state-a", "x"),
+        (1, "state-b", "y"),
+    ]
+
+
+def test_unpicklable_payload_cannot_desync_the_pipes(pool):
+    """A send-time pickling failure aborts the scatter without leaving
+    already-dispatched workers' replies to poison the next round."""
+    with pytest.raises(Exception) as excinfo:
+        pool.run_batch(resident_echo, ["fine", lambda: None])
+    assert "pickle" in str(excinfo.value).lower()
+    # The next batch must see ITS payloads, not round-1 leftovers.
+    res = pool.run_batch(resident_echo, ["x", "y"])
+    assert [r[:3] for r in res.results] == [
+        (0, "state-a", "x"),
+        (1, "state-b", "y"),
+    ]
+
+
+def test_double_close_and_commands_after_close(pool):
+    pool.close()
+    pool.close()  # idempotent
+    assert pool.closed
+    with pytest.raises(ServiceError, match="closed"):
+        pool.run_batch(resident_echo, ["x", "y"])
+    with pytest.raises(ServiceError, match="closed"):
+        pool.attach(resident_attach, ["a", "b"])
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        PersistentPool(0)
+    with pytest.raises(ConfigurationError):
+        PersistentPool(1, timeout=0.0)
+    with pytest.raises(ConfigurationError):
+        PersistentPool(1, start_method="teleport")
+    pool = PersistentPool(2, timeout=30.0)
+    try:
+        with pytest.raises(ConfigurationError):
+            pool.attach(resident_attach, ["only-one"])
+        with pytest.raises(ConfigurationError):
+            pool.run_batch(resident_echo, ["only-one"])
+    finally:
+        pool.close()

@@ -1,0 +1,192 @@
+"""SearchService session tests: bit-identity, residency, failure modes.
+
+The acceptance bar from the issue: a session over a persistent pool
+returns bit-identical results to the serial engine for every policy ×
+{2,3} workers across >= 3 consecutive ``submit()`` calls on the *same
+resident workers*, and the worker-side batch payloads contain no
+pickled peak arrays (payload-size accounting).
+"""
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError, ServiceError, WorkerError
+from repro.parallel.worker import QueryTask
+from repro.search.serial import SerialSearchEngine
+from repro.service import BatchStats, SearchService, ServiceConfig
+from repro.spectra.preprocess import preprocess_batch, spectra_peak_bytes
+
+
+def assert_same_results(serial, service_results):
+    assert len(serial.spectra) == len(service_results.spectra)
+    for a, b in zip(serial.spectra, service_results.spectra):
+        assert a.scan_id == b.scan_id
+        assert a.n_candidates == b.n_candidates
+        assert [(p.entry_id, p.score, p.shared_peaks) for p in a.psms] == [
+            (p.entry_id, p.score, p.shared_peaks) for p in b.psms
+        ]
+
+
+@pytest.fixture(scope="module")
+def batches(tiny_spectra):
+    """Three distinct consecutive batches for one session."""
+    return [list(tiny_spectra), list(tiny_spectra[:7]), list(tiny_spectra[5:])]
+
+
+@pytest.fixture(scope="module")
+def serial_refs(tiny_db, batches):
+    engine = SerialSearchEngine(tiny_db)
+    return [engine.run(batch) for batch in batches]
+
+
+@pytest.mark.parametrize("policy", ["cyclic", "chunk"])
+@pytest.mark.parametrize("n_workers", [2, 3])
+def test_session_bit_identical_across_three_submits(
+    tiny_db, batches, serial_refs, policy, n_workers
+):
+    """The acceptance matrix: every policy × worker count, >= 3
+    consecutive submits on one resident pool, all bit-identical."""
+    config = ServiceConfig(n_workers=n_workers, policy=policy)
+    with SearchService(tiny_db, config) as service:
+        pids = service.worker_pids()
+        assert len(pids) == n_workers and all(p is not None for p in pids)
+        for batch, reference in zip(batches, serial_refs):
+            results, stats = service.submit(batch)
+            assert_same_results(reference, results)
+            assert results.policy_name == policy
+            assert results.n_ranks == n_workers
+            assert stats.respawned == 0
+        # The whole session ran on the original resident workers.
+        assert service.worker_pids() == pids
+        assert service.n_batches == len(batches)
+        assert service.respawn_total == 0
+
+
+def test_batch_payloads_carry_no_peak_arrays(tiny_db, batches):
+    """Payload-size accounting: the per-worker pickled command is
+    O(manifest) — orders of magnitude under the batch's peak bytes,
+    and independent of the batch's peak count."""
+    with SearchService(tiny_db, ServiceConfig(n_workers=2)) as service:
+        _, stats_big = service.submit(batches[0])
+        _, stats_small = service.submit(batches[1])
+    processed = preprocess_batch(batches[0])
+    peak_bytes = spectra_peak_bytes(processed)
+    assert stats_big.peak_bytes == 2 * peak_bytes
+    # The actual scatter is manifest-sized: a path + scalars per worker.
+    assert stats_big.scatter_bytes < 2048
+    assert stats_big.scatter_bytes < stats_big.peak_bytes / 10
+    # ... and does not scale with the batch's peak payload.
+    assert abs(stats_big.scatter_bytes - stats_small.scatter_bytes) < 64
+    # Belt and braces: a QueryTask pickle really is free of peak data.
+    task = QueryTask(spectra_dir="/tmp/somewhere", n_spectra=1000, top_k=5)
+    assert len(pickle.dumps(task)) < 512
+
+
+def test_batch_stats_phases_are_real(tiny_db, tiny_spectra):
+    with SearchService(tiny_db, ServiceConfig(n_workers=2)) as service:
+        results, stats = service.submit(tiny_spectra)
+    assert isinstance(stats, BatchStats)
+    assert stats.n_spectra == len(tiny_spectra)
+    for name in ("preprocess_s", "spill_s", "parallel_s", "total_s"):
+        assert getattr(stats, name) > 0.0
+    assert stats.query_wall_max_s > 0.0
+    assert stats.query_cpu_max_s > 0.0
+    assert stats.total_s >= stats.parallel_s
+    # The per-batch result phases mirror the engine's keys; build is
+    # 0.0 by design (paid once at open), but the rank stats still
+    # carry the attach-time build for observability.
+    assert results.phase_times["build"] == 0.0
+    assert all(s.build_time > 0.0 for s in results.rank_stats)
+    assert sum(s.n_entries for s in results.rank_stats) == tiny_db.n_entries
+    assert service.open_s > 0.0 and service.attach_s > 0.0
+
+
+def test_worker_death_mid_batch_respawns_and_session_survives(
+    tiny_db, batches, serial_refs
+):
+    with SearchService(tiny_db, ServiceConfig(n_workers=2)) as service:
+        results, _ = service.submit(batches[0])
+        assert_same_results(serial_refs[0], results)
+        pids = service.worker_pids()
+        # Kill a resident worker out from under the session.
+        service._pool._procs[1].terminate()
+        service._pool._procs[1].join()
+        # The very next submit transparently respawns + re-attaches —
+        # and still returns bit-identical results.
+        results, stats = service.submit(batches[1])
+        assert_same_results(serial_refs[1], results)
+        assert stats.respawned == 1
+        fresh = service.worker_pids()
+        assert fresh[0] == pids[0] and fresh[1] != pids[1]
+        # Steady state again afterwards.
+        results, stats = service.submit(batches[2])
+        assert_same_results(serial_refs[2], results)
+        assert stats.respawned == 0
+
+
+def test_submit_after_close_and_double_close(tiny_db, tiny_spectra):
+    service = SearchService(tiny_db, ServiceConfig(n_workers=2))
+    service.open()
+    service.open()  # idempotent while open
+    service.submit(tiny_spectra)
+    service.close()
+    service.close()  # idempotent
+    assert not service.is_open
+    with pytest.raises(ServiceError, match="not open"):
+        service.submit(tiny_spectra)
+    with pytest.raises(ServiceError, match="not reusable"):
+        service.open()
+
+
+def test_submit_requires_open_session(tiny_db, tiny_spectra):
+    service = SearchService(tiny_db, ServiceConfig(n_workers=2))
+    with pytest.raises(ServiceError, match="not open"):
+        service.submit(tiny_spectra)
+
+
+def test_empty_batch_rejected(tiny_db):
+    with SearchService(tiny_db, ServiceConfig(n_workers=2)) as service:
+        with pytest.raises(ConfigurationError, match="empty"):
+            service.submit([])
+
+
+def test_session_dir_removed_on_close(tiny_db, tiny_spectra):
+    service = SearchService(tiny_db, ServiceConfig(n_workers=2))
+    service.open()
+    session_dir = service._session_dir
+    service.submit(tiny_spectra)
+    assert session_dir.is_dir()
+    service.close()
+    assert not session_dir.exists()
+
+
+def test_worker_raise_mid_batch_fails_batch_not_session(
+    tiny_db, batches, serial_refs
+):
+    """A raising batch surfaces WorkerError; the resident workers and
+    the session both survive, and the next submit is correct."""
+    from repro.parallel import worker as worker_mod
+
+    with SearchService(tiny_db, ServiceConfig(n_workers=2)) as service:
+        pids = service.worker_pids()
+        # Point the batch at a store path that does not exist: every
+        # worker raises (FormatError) and reports the remote traceback.
+        bad = QueryTask(spectra_dir="/nonexistent/store", n_spectra=1, top_k=5)
+        with pytest.raises(WorkerError, match="worker 0 raised"):
+            service._pool.run_batch(worker_mod.service_query_worker, [bad, bad])
+        results, stats = service.submit(batches[0])
+        assert_same_results(serial_refs[0], results)
+        assert stats.respawned == 0
+        assert service.worker_pids() == pids
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        ServiceConfig(n_workers=0)
+    with pytest.raises(ConfigurationError):
+        ServiceConfig(top_k=0)
+    with pytest.raises(ConfigurationError):
+        ServiceConfig(timeout=0.0)
+    with pytest.raises(ConfigurationError):
+        ServiceConfig(max_pending=0)
