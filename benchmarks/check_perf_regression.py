@@ -39,7 +39,12 @@ Service checks (``--service-baseline``/``--service-fresh``):
 3. the resident pickled scatter per batch stays <=
    ``--scatter-ceiling`` of the one-shot pickled spectra payload
    (peak arrays sneaking back into the command pickle is a
-   regression even when latency looks fine).
+   regression even when latency looks fine),
+4. pipelined-vs-sequential steady-state throughput >=
+   ``--pipeline-floor`` (the overlapped session must never be a real
+   loss against sequential submits on the same resident pool; the
+   floor sits below 1.0 for the timing noise of quick CI workloads —
+   the committed full-workload figure is the trajectory to beat).
 
 Any pair of reports may be supplied alone; at least one is required.
 
@@ -192,6 +197,20 @@ def check_service(args, failures: list) -> None:
             "into the per-batch command payload"
         )
 
+    pipelined = float(
+        fresh["speedup"].get("pipelined_vs_sequential", float("nan"))
+    )
+    print(
+        f"service pipelined-vs-sequential steady throughput: "
+        f"{pipelined:.2f}x (required >= {args.pipeline_floor:.2f}x)"
+    )
+    if not pipelined >= args.pipeline_floor:  # catches NaN too
+        failures.append(
+            f"pipelined-vs-sequential steady throughput {pipelined:.2f}x "
+            f"below floor {args.pipeline_floor:.2f}x — the overlapped "
+            "session is losing to sequential submits"
+        )
+
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -239,6 +258,17 @@ def main() -> int:
         "1.2 — the committed figure is ~16x on a 1-CPU container; the "
         "floor only catches the service degenerating into per-batch "
         "re-attach, with a wide margin for slow shared runners)",
+    )
+    parser.add_argument(
+        "--pipeline-floor",
+        type=float,
+        default=0.9,
+        help="minimum pipelined-vs-sequential steady-state throughput "
+        "ratio (default: 0.9 — the pipelined session must at least "
+        "match sequential submits; the floor sits below 1.0 only for "
+        "the sub-100ms timing noise of quick CI workloads on shared "
+        "1-to-2-core runners, where the master/worker overlap window "
+        "is thin)",
     )
     parser.add_argument(
         "--scatter-ceiling",

@@ -7,6 +7,7 @@ Subcommands mirror the paper's toolchain stages::
     python -m repro group    --fasta data/peptides.fasta --out data/clustered.fasta
     python -m repro search   --fasta data/proteome.fasta --ms2 data/run.ms2 \\
                              --ranks 8 --policy cyclic --report data/psms.tsv
+    python -m repro index    --fasta data/proteome.fasta --out data/index.npz
     python -m repro serve    --fasta data/proteome.fasta --ranks 2 \\
                              --batch data/run.ms2 --batch data/run2.ms2
     python -m repro figures --sizes 18 30 --spectra 60  # quick figure tables
@@ -18,7 +19,11 @@ worker processes over a memmap-shared arena (real wall-clock times,
 identical results) with ``--backend process``.  ``serve`` keeps those
 workers *resident* across an unbounded stream of query batches (MS2
 paths via ``--batch``, or newline-separated on stdin) and prints
-per-batch latency and scatter accounting.
+per-batch latency and scatter accounting; ``--pipeline`` drives the
+stream through the service's overlapped session (preprocess batch N+1
+while the workers query batch N — identical results, higher
+throughput), and ``--index`` starts the session from a serialized
+archive (``repro index``) instead of re-digesting the FASTA.
 """
 
 from __future__ import annotations
@@ -36,6 +41,8 @@ from repro.db.digest import DigestionConfig, digest_proteome
 from repro.db.fasta import FastaRecord, read_fasta, write_fasta, write_grouped_fasta
 from repro.db.proteome import ProteomeConfig, generate_proteome
 from repro.chem.peptide import Peptide
+from repro.index.serialize import load_index, save_index
+from repro.index.slm import SLMIndex, SLMIndexSettings
 from repro.parallel import ParallelEngineConfig, ParallelSearchEngine
 from repro.search.database import IndexedDatabase
 from repro.search.engine import DistributedSearchEngine, EngineConfig
@@ -97,12 +104,32 @@ def build_parser() -> argparse.ArgumentParser:
     srch.add_argument("--compare-policies", action="store_true")
     srch.add_argument("--seed", type=int, default=0)
 
+    idx = sub.add_parser(
+        "index",
+        help="build an SLM index and serialize it (memmap-ready archive)",
+    )
+    idx.add_argument("--fasta", type=Path, required=True,
+                     help="protein FASTA to digest and index")
+    idx.add_argument("--out", type=Path, required=True,
+                     help="output .npz archive (uncompressed, so serve "
+                     "--index can memory-map it)")
+    idx.add_argument("--max-variants", type=int, default=8)
+
     srv = sub.add_parser(
         "serve",
         help="persistent search service over a stream of MS2 batches",
     )
-    srv.add_argument("--fasta", type=Path, required=True,
+    srv.add_argument("--fasta", type=Path, default=None,
                      help="protein FASTA to digest and index")
+    srv.add_argument("--index", type=Path, default=None,
+                     help="serialized index archive (repro index); starts "
+                     "the session from the archive's peptide table — no "
+                     "FASTA parse/digestion/variant enumeration (the "
+                     "fragment arena is still built at open())")
+    srv.add_argument("--pipeline", action="store_true",
+                     help="drive the batches through the overlapped "
+                     "pipelined session (preprocess batch N+1 while the "
+                     "workers query batch N); identical results")
     srv.add_argument("--batch", type=Path, action="append", default=None,
                      help="MS2 file to submit as one batch (repeatable); "
                      "omitted = read newline-separated MS2 paths from stdin")
@@ -124,6 +151,16 @@ def build_parser() -> argparse.ArgumentParser:
     figs.add_argument("--seed", type=int, default=29)
 
     return parser
+
+
+def _build_database(fasta: Path, max_variants: int) -> IndexedDatabase:
+    """The FASTA → digest → dedup → variant-expansion build, shared by
+    every command that indexes a proteome (`search`, `index`, `serve`)."""
+    records = list(read_fasta(fasta))
+    peptides = deduplicate_peptides(digest_proteome(records))
+    return IndexedDatabase.from_peptides(
+        peptides, max_variants_per_peptide=max_variants
+    )
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -208,11 +245,7 @@ def _search_once(
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
-    records = list(read_fasta(args.fasta))
-    peptides = deduplicate_peptides(digest_proteome(records))
-    db = IndexedDatabase.from_peptides(
-        peptides, max_variants_per_peptide=args.max_variants
-    )
+    db = _build_database(args.fasta, args.max_variants)
     spectra = list(read_ms2(args.ms2))
     clock = "real" if args.backend == "process" else "virtual"
     print(f"index: {db.n_entries} entries from {db.n_bases} peptides; "
@@ -254,12 +287,40 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    records = list(read_fasta(args.fasta))
-    peptides = deduplicate_peptides(digest_proteome(records))
-    db = IndexedDatabase.from_peptides(
-        peptides, max_variants_per_peptide=args.max_variants
+def _cmd_index(args: argparse.Namespace) -> int:
+    db = _build_database(args.fasta, args.max_variants)
+    settings = SLMIndexSettings()
+    index = SLMIndex(
+        db.entries, settings, arena=db.arena_for(settings.fragmentation)
     )
+    save_index(args.out, index, compress=False)
+    print(
+        f"indexed {db.n_entries} entries ({index.n_ions} ions) from "
+        f"{db.n_bases} peptides -> {args.out} (uncompressed, memmap-ready)"
+    )
+    return 0
+
+
+def _serve_database(args: argparse.Namespace):
+    """Resolve the serve session's database + index settings source."""
+    if (args.fasta is None) == (args.index is None):
+        raise SystemExit(
+            "serve: supply exactly one of --fasta or --index"
+        )
+    if args.index is not None:
+        # mmap_mode="r" keeps the archive's flat index arrays out of
+        # private memory while the peptide table is materialized; the
+        # session skips FASTA parsing, digestion, deduplication and
+        # variant enumeration.  The fragment arena is still generated
+        # from the peptide table at open() — the archive stores the
+        # built index's CSR, not the arena (see the ROADMAP open item).
+        index = load_index(args.index, mmap_mode="r")
+        return IndexedDatabase.from_index_entries(index.peptides), index.settings
+    return _build_database(args.fasta, args.max_variants), SLMIndexSettings()
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    db, index_settings = _serve_database(args)
     batch_paths = (
         list(args.batch)
         if args.batch
@@ -277,18 +338,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         policy=args.policy,
         policy_seed=args.seed,
         top_k=args.top_k,
+        index=index_settings,
     )
+    source = "index archive" if args.index is not None else "FASTA"
+    mode = "pipelined" if args.pipeline else "sequential"
     with SearchService(db, config) as service:
         print(
-            f"session: {db.n_entries} entries, {args.ranks} resident "
-            f"workers, policy {args.policy}, backend {args.backend}; "
+            f"session: {db.n_entries} entries (from {source}), "
+            f"{args.ranks} resident workers, policy {args.policy}, "
+            f"backend {args.backend}, {mode} submits; "
             f"open {service.open_s:.2f} s "
             f"(spawn + arena spill + attach, paid once)"
         )
+        if args.pipeline:
+            # The streaming driver keeps up to max_pending batches in
+            # the pipeline; MS2 parsing of batch N+1 also overlaps the
+            # workers' round for batch N through the lazy generator.
+            outcomes = service.stream(
+                list(read_ms2(path)) for path in batch_paths
+            )
+        else:
+            outcomes = (
+                service.submit(list(read_ms2(path))) for path in batch_paths
+            )
         rows = []
-        for i, path in enumerate(batch_paths):
-            spectra = list(read_ms2(path))
-            results, stats = service.submit(spectra)
+        for i, (path, (results, stats)) in enumerate(
+            zip(batch_paths, outcomes)
+        ):
             rows.append(
                 (
                     i,
@@ -297,6 +373,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     results.total_cpsms,
                     f"{stats.total_s * 1e3:.1f}",
                     f"{stats.query_wall_max_s * 1e3:.1f}",
+                    f"{stats.overlap_s * 1e3:.1f}",
                     stats.scatter_bytes,
                 )
             )
@@ -305,16 +382,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 write_psm_report(report_path, results, db.entries)
         print(format_table(
             ["batch", "file", "spectra", "cPSMs", "total ms", "query ms",
-             "scatter B"],
+             "overlap ms", "scatter B"],
             rows,
             title=f"session: {len(batch_paths)} batches on resident workers",
         ))
-        steady = [s.total_s for s in service.batch_stats[1:]]
+        all_stats = service.batch_stats
+        steady = [s.total_s for s in all_stats[1:]]
         if steady:
             print(
                 f"steady-state batch latency: {1e3 * min(steady):.1f} ms "
                 f"(vs open cost {service.open_s * 1e3:.1f} ms, amortized "
                 f"over {service.n_batches} batches)"
+            )
+        if args.pipeline and all_stats:
+            hidden = sum(s.overlap_s for s in all_stats)
+            print(
+                f"pipeline: depth up to "
+                f"{max(s.pipeline_depth for s in all_stats)}, "
+                f"{1e3 * hidden:.1f} ms of master work hidden behind "
+                f"worker rounds"
             )
     return 0
 
@@ -348,6 +434,7 @@ _COMMANDS = {
     "digest": _cmd_digest,
     "group": _cmd_group,
     "search": _cmd_search,
+    "index": _cmd_index,
     "serve": _cmd_serve,
     "figures": _cmd_figures,
 }

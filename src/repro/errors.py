@@ -57,6 +57,13 @@ class ServiceError(ReproError, RuntimeError):
     pool that was never attached, ...)."""
 
 
+class PipelineError(ServiceError):
+    """Misuse of the split dispatch/collect round protocol of the
+    resident pool (a second dispatch while a round is still on the
+    pipe, collecting a round twice, collecting a stale handle) or of
+    the service's pipelined session built on top of it."""
+
+
 class SearchError(ReproError, RuntimeError):
     """The search engine reached an inconsistent state (e.g. a partial
     index references a peptide the mapping table does not know)."""

@@ -24,7 +24,12 @@ same rank program (:mod:`repro.search.rank`) on real OS processes:
   :class:`~repro.parallel.persistent.PersistentPool` of *resident*
   spawn workers looping on a command pipe (ATTACH once, QUERY per
   batch, SHUTDOWN), with automatic respawn + re-attach on worker
-  death — the substrate of :mod:`repro.service`,
+  death — the substrate of :mod:`repro.service`.  Its blocking
+  ``run_batch`` splits into non-blocking
+  :meth:`~repro.parallel.persistent.PersistentPool.dispatch` →
+  :class:`~repro.parallel.persistent.RoundHandle` ``.collect()``
+  halves, the primitive the service's pipelined session overlaps
+  master-side work with,
 * :mod:`repro.parallel.shared_spectra` — the
   :class:`~repro.parallel.shared_spectra.SharedSpectraStore` giving
   preprocessed query batches the same memmap-shared treatment, so the
@@ -32,7 +37,7 @@ same rank program (:mod:`repro.search.rank`) on real OS processes:
 """
 
 from repro.parallel.engine import ParallelEngineConfig, ParallelSearchEngine
-from repro.parallel.persistent import PersistentPool, PoolBatchResult
+from repro.parallel.persistent import PersistentPool, PoolBatchResult, RoundHandle
 from repro.parallel.pool import ProcessBackend, ProcessResult
 from repro.parallel.shared_arena import (
     SharedArenaStore,
@@ -49,6 +54,7 @@ __all__ = [
     "PersistentPool",
     "PoolBatchResult",
     "ProcessBackend",
+    "RoundHandle",
     "ProcessResult",
     "SharedArenaStore",
     "SharedSpectraStore",

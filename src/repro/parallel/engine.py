@@ -53,7 +53,7 @@ from repro.search.engine import make_lbe_plan
 from repro.search.psm import RankStats, SearchResults
 from repro.search.rank import merge_rank_payloads, rank_stats_from_report
 from repro.spectra.model import Spectrum
-from repro.spectra.preprocess import PreprocessConfig, preprocess_spectrum
+from repro.spectra.preprocess import PreprocessConfig, preprocess_batch
 
 __all__ = ["ParallelEngineConfig", "ParallelSearchEngine"]
 
@@ -204,7 +204,7 @@ class ParallelSearchEngine:
 
         t_start = wall()
         plan = self.plan
-        processed = [preprocess_spectrum(s, cfg.preprocess) for s in spectra]
+        processed = preprocess_batch(spectra, cfg.preprocess)
         manifests = [
             np.asarray(plan.rank_global_ids(r), dtype=np.int64)
             for r in range(cfg.n_workers)

@@ -25,6 +25,26 @@ mode may hang, every failure surfaces as
   stuck worker cannot be resynchronized) and raises; the stragglers
   are respawned + re-attached on the next batch.
 
+Split rounds (the pipelining substrate)
+---------------------------------------
+:meth:`PersistentPool.run_batch` is the blocking convenience; the
+primitive underneath is the **non-blocking half-pair**
+:meth:`PersistentPool.dispatch` → :class:`RoundHandle` →
+:meth:`RoundHandle.collect`.  ``dispatch`` scatters the command (the
+workers start computing immediately) and returns; the master is free
+to do other work — preprocess the next batch, merge the previous one —
+until ``collect`` gathers the replies.  At most **one round may be on
+the pipe at a time** (a second ``dispatch`` before ``collect`` raises
+:class:`~repro.errors.PipelineError`): the pipe protocol is strict
+request/response per worker, and a single in-flight round is exactly
+what keeps the crash/respawn/deadline contract per round unchanged.
+The round's deadline starts at ``dispatch`` time.
+
+The scatter pickles each **distinct payload object once** — when every
+rank receives the same task object (the service's per-batch command),
+one pickle serves all workers, and the actual bytes written to the
+pipes are reported on the result (``scatter_bytes``).
+
 Command callables must be module-level (picklable by reference).  The
 attach callable runs ``fn(rank, size, payload) -> (state, report)``;
 the worker keeps ``state`` and returns ``report``.  Batch callables
@@ -40,11 +60,12 @@ import traceback
 import weakref
 from dataclasses import dataclass
 from multiprocessing import connection
+from multiprocessing.reduction import ForkingPickler
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
-from repro.errors import ConfigurationError, ServiceError, WorkerError
+from repro.errors import ConfigurationError, PipelineError, ServiceError, WorkerError
 
-__all__ = ["PersistentPool", "PoolBatchResult"]
+__all__ = ["PersistentPool", "PoolBatchResult", "RoundHandle"]
 
 _ATTACH = "attach"
 _QUERY = "query"
@@ -65,12 +86,17 @@ class PoolBatchResult:
     respawned:
         Workers that had to be respawned (and re-attached) before this
         round could run — 0 in steady state.
+    scatter_bytes:
+        Actual command bytes written to the worker pipes for this
+        round (each distinct payload object pickled once, its buffer
+        reused for every rank that receives it).
     """
 
     results: List[Any]
     wall_times: List[float]
     cpu_times: List[float]
     respawned: int = 0
+    scatter_bytes: int = 0
 
     @property
     def n_workers(self) -> int:
@@ -81,6 +107,59 @@ class PoolBatchResult:
     def makespan(self) -> float:
         """The slowest worker's elapsed seconds."""
         return max(self.wall_times) if self.wall_times else 0.0
+
+
+class RoundHandle:
+    """One dispatched command round awaiting :meth:`collect`.
+
+    Returned by :meth:`PersistentPool.dispatch` after the command was
+    scattered — the workers are already computing.  ``collect`` blocks
+    until every worker replied (or the round's deadline, which started
+    at dispatch time, expires) and returns the same
+    :class:`PoolBatchResult` the blocking :meth:`~PersistentPool.run_batch`
+    would have.  A handle is single-use: collecting twice, collecting
+    a stale handle, or dispatching again while this round is still on
+    the pipe raises :class:`~repro.errors.PipelineError`.
+
+    Attributes
+    ----------
+    command:
+        The pipe command that was scattered (attach or query).
+    deadline:
+        ``time.monotonic()`` instant the round must finish by.
+    respawned:
+        Workers respawned (and re-attached) to scatter this round.
+    scatter_bytes:
+        Actual pickled command bytes written to the pipes.
+    """
+
+    __slots__ = ("_pool", "command", "deadline", "respawned", "scatter_bytes",
+                 "_collected", "_aborted")
+
+    def __init__(
+        self,
+        pool: "PersistentPool",
+        command: str,
+        deadline: float,
+        respawned: int,
+        scatter_bytes: int,
+    ) -> None:
+        self._pool = pool
+        self.command = command
+        self.deadline = deadline
+        self.respawned = respawned
+        self.scatter_bytes = scatter_bytes
+        self._collected = False
+        self._aborted = False
+
+    @property
+    def pending(self) -> bool:
+        """True while the round is on the pipe (dispatched, not collected)."""
+        return not self._collected and not self._aborted
+
+    def collect(self) -> PoolBatchResult:
+        """Await every worker's reply; see :class:`RoundHandle`."""
+        return self._pool._collect(self)
 
 
 def _persistent_worker_entry(conn, rank: int, size: int) -> None:
@@ -184,9 +263,13 @@ class PersistentPool:
         self._attach: Optional[Tuple[Callable, List[Any]]] = None
         self._closed = False
         self._respawn_total = 0
-        # Serializes command rounds against each other and against
-        # close(): a concurrent close waits for the in-flight round
-        # (bounded by the deadline) instead of tearing its pipes away.
+        self._inflight: Optional[RoundHandle] = None
+        # Serializes the scatter and gather halves of a round against
+        # each other and against close(): a close() racing a collect()
+        # waits for it (bounded by the round deadline) instead of
+        # tearing its pipes away.  The lock is *not* held between
+        # dispatch and collect — that window is what the pipelined
+        # service overlaps with master-side work.
         self._round_lock = threading.Lock()
         for rank in range(n_workers):
             self._spawn(rank)
@@ -208,10 +291,14 @@ class PersistentPool:
     def close(self) -> None:
         """Shut every worker down; idempotent (double-close is a no-op).
 
-        New rounds are rejected immediately; an in-flight round is
-        waited for (it ends by its own deadline at the latest) so its
-        caller sees a clean result or :class:`WorkerError`, never torn
-        pipes.
+        New rounds are rejected immediately.  A round whose
+        :meth:`RoundHandle.collect` is executing is waited for (it ends
+        by its own deadline at the latest) so its caller sees a clean
+        result or :class:`WorkerError`, never torn pipes.  A round that
+        was dispatched but whose collect has not started is **aborted**:
+        its workers are terminated (their replies can never be drained
+        once the pipes close) and a later ``collect`` raises
+        :class:`~repro.errors.PipelineError` instead of hanging.
         """
         if self._closed:
             return
@@ -220,6 +307,14 @@ class PersistentPool:
             self._close_locked()
 
     def _close_locked(self) -> None:
+        if self._inflight is not None and self._inflight.pending:
+            # Dispatched but nobody is collecting: kill the workers so
+            # teardown cannot block on their unread replies.
+            for proc in self._procs:
+                if proc is not None:
+                    _terminate_quietly(proc)
+            self._inflight._aborted = True
+            self._inflight = None
         deadline = time.monotonic() + min(self.timeout, 10.0)
         for rank in range(self.n_workers):
             pipe, proc = self._pipes[rank], self._procs[rank]
@@ -321,46 +416,83 @@ class PersistentPool:
                 f"{len(payloads)} payloads for {self.n_workers} workers"
             )
         self._attach = (fn, list(payloads))
-        return self._round(_ATTACH, fn, self._attach[1])
+        return self._dispatch(_ATTACH, fn, self._attach[1]).collect()
 
     def run_batch(
         self, fn: Callable[[int, int, Any, Any], Any], payloads: Sequence[Any]
     ) -> PoolBatchResult:
-        """One batch round: ``fn(rank, size, state, payload)`` per rank."""
-        self._check_open()
-        if len(payloads) != self.n_workers:
-            raise ConfigurationError(
-                f"{len(payloads)} payloads for {self.n_workers} workers"
-            )
-        return self._round(_QUERY, fn, list(payloads))
+        """One blocking batch round: ``fn(rank, size, state, payload)``
+        per rank — :meth:`dispatch` and :meth:`RoundHandle.collect`
+        back to back."""
+        return self.dispatch(fn, payloads).collect()
+
+    def dispatch(
+        self, fn: Callable[[int, int, Any, Any], Any], payloads: Sequence[Any]
+    ) -> RoundHandle:
+        """Scatter one batch command and return without waiting.
+
+        The workers start computing as soon as their pipe delivers the
+        command; the caller overlaps master-side work with the round
+        and gathers the replies with :meth:`RoundHandle.collect`.  At
+        most one round may be on the pipe — dispatching while a
+        previous handle is still pending raises
+        :class:`~repro.errors.PipelineError`.
+        """
+        return self._dispatch(_QUERY, fn, list(payloads))
 
     def _check_open(self) -> None:
         if self._closed:
             raise ServiceError("pool is closed; no further commands accepted")
 
-    def _round(self, command: str, fn: Callable, payloads: List[Any]) -> PoolBatchResult:
+    def _dispatch(
+        self, command: str, fn: Callable, payloads: Sequence[Any]
+    ) -> RoundHandle:
+        self._check_open()
+        if len(payloads) != self.n_workers:
+            raise ConfigurationError(
+                f"{len(payloads)} payloads for {self.n_workers} workers"
+            )
+        payloads = list(payloads)
         with self._round_lock:
-            return self._round_locked(command, fn, payloads)
+            return self._dispatch_locked(command, fn, payloads)
 
-    def _round_locked(
+    def _dispatch_locked(
         self, command: str, fn: Callable, payloads: List[Any]
-    ) -> PoolBatchResult:
+    ) -> RoundHandle:
         # Re-check under the lock: a concurrent close() that won the
         # lock first has already torn the pipes down.
         self._check_open()
+        if self._inflight is not None and self._inflight.pending:
+            raise PipelineError(
+                "a round is already on the pipe; collect() its handle "
+                "before dispatching the next one"
+            )
         deadline = time.monotonic() + self.timeout
         respawned = self._ensure_alive(deadline)
         dispatched: List[int] = []
+        # Each distinct payload object is pickled once and its buffer
+        # reused for every rank that receives it — for the service's
+        # shared per-batch command that is one pickle for the whole
+        # scatter, and the measured bytes are the actual pipe traffic.
+        buffers: dict[int, bytes] = {}
+        scatter_bytes = 0
         for rank in range(self.n_workers):
             try:
-                self._pipes[rank].send((command, fn, payloads[rank]))
+                payload = payloads[rank]
+                buf = buffers.get(id(payload))
+                if buf is None:
+                    buf = bytes(ForkingPickler.dumps((command, fn, payload)))
+                    buffers[id(payload)] = buf
+                self._pipes[rank].send_bytes(buf)
+                scatter_bytes += len(buf)
             except (BrokenPipeError, OSError):
                 # Died between the liveness check and the send: one
                 # respawn attempt, then give up on the round.
                 try:
                     self._respawn(rank, deadline)
                     respawned += 1
-                    self._pipes[rank].send((command, fn, payloads[rank]))
+                    self._pipes[rank].send_bytes(buf)
+                    scatter_bytes += len(buf)
                 except (WorkerError, BrokenPipeError, OSError) as exc:
                     # Aborting mid-scatter would leave the ranks already
                     # dispatched with undrained replies — stale messages
@@ -375,13 +507,41 @@ class PersistentPool:
                     self._abort_dispatched(dispatched)
                     raise
             except BaseException:
-                # Any other send failure (e.g. an unpicklable payload
-                # raising TypeError) aborts the scatter the same way —
-                # dispatched ranks must never be left with undrained
-                # replies.
+                # Any other scatter failure (e.g. an unpicklable payload
+                # raising TypeError in ForkingPickler.dumps) aborts the
+                # scatter the same way — dispatched ranks must never be
+                # left with undrained replies.
                 self._abort_dispatched(dispatched)
                 raise
             dispatched.append(rank)
+        handle = RoundHandle(self, command, deadline, respawned, scatter_bytes)
+        self._inflight = handle
+        return handle
+
+    def _collect(self, handle: RoundHandle) -> PoolBatchResult:
+        with self._round_lock:
+            if handle._collected:
+                raise PipelineError("this round was already collected")
+            if handle._aborted:
+                raise PipelineError(
+                    "the pool was closed while this round was on the pipe; "
+                    "its workers were terminated and the replies are gone"
+                )
+            if self._inflight is not handle:
+                raise PipelineError(
+                    "stale round handle: a newer round has been dispatched"
+                )
+            try:
+                return self._collect_locked(handle)
+            finally:
+                # Success or WorkerError, the round is off the pipe:
+                # healthy workers were drained, dead ones respawn on
+                # the next dispatch.
+                handle._collected = True
+                self._inflight = None
+
+    def _collect_locked(self, handle: RoundHandle) -> PoolBatchResult:
+        deadline = handle.deadline
         results: List[Any] = [None] * self.n_workers
         walls = [0.0] * self.n_workers
         cpus = [0.0] * self.n_workers
@@ -434,7 +594,11 @@ class PersistentPool:
         if deadline_failure is not None:
             raise deadline_failure
         return PoolBatchResult(
-            results=results, wall_times=walls, cpu_times=cpus, respawned=respawned
+            results=results,
+            wall_times=walls,
+            cpu_times=cpus,
+            respawned=handle.respawned,
+            scatter_bytes=handle.scatter_bytes,
         )
 
     def _abort_dispatched(self, dispatched: List[int]) -> None:

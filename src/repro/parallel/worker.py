@@ -138,12 +138,16 @@ class QueryTask:
     spectra-store path plus scalars — O(batch manifest).  The peak
     arrays are never pickled; workers reach them zero-copy through
     ``spectra_dir``.  The payload-accounting assertions in the service
-    suite pin this down.
+    suite pin this down.  ``batch_index`` is echoed back in the report
+    so the pipelined session can assert that the replies it collects
+    belong to the batch it dispatched (a torn round could otherwise be
+    merged silently into the wrong future).
     """
 
     spectra_dir: str
     n_spectra: int
     top_k: int
+    batch_index: int = -1
 
 
 def service_attach_worker(rank: int, size: int, task: AttachTask) -> tuple:
@@ -218,6 +222,7 @@ def service_query_worker(rank: int, size: int, state: dict, task: QueryTask) -> 
     report = summarize_rank_output(out)
     report.update(
         rank=rank,
+        batch_index=task.batch_index,
         n_entries=len(state["index"]),
         n_ions=state["index"].n_ions,
         open_s=open_wall,

@@ -108,6 +108,36 @@ class IndexedDatabase:
         return cls(list(base_peptides), entries, offsets)
 
     @classmethod
+    def from_index_entries(
+        cls, entries: Sequence[Peptide]
+    ) -> "IndexedDatabase":
+        """Rebuild a database from a serialized index's peptide table.
+
+        A :func:`~repro.index.serialize.save_index` archive stores the
+        index's *entries* — every base peptide followed by its modified
+        variants, base-major, unmodified first (the layout
+        :meth:`from_peptides` produces).  This inverts that layout:
+        entry offsets are recovered from the unmodified-entry
+        boundaries, so a service started from an archive plans, groups,
+        and partitions identically to one built from the source FASTA
+        (grouping runs on the same base sequences, the manifests cover
+        the same entry-id space).  No digestion, deduplication, or
+        variant enumeration happens — that is the whole point of the
+        ``repro serve --index`` start path.
+        """
+        entries = list(entries)
+        if not entries:
+            raise ConfigurationError("cannot rebuild a database from 0 entries")
+        base_positions = [i for i, p in enumerate(entries) if not p.mods]
+        if not base_positions or base_positions[0] != 0:
+            raise ConfigurationError(
+                "entry table does not start with an unmodified base "
+                "peptide; this is not a base-major index archive"
+            )
+        offsets = np.asarray(base_positions + [len(entries)], dtype=np.int64)
+        return cls([entries[i] for i in base_positions], entries, offsets)
+
+    @classmethod
     def build(
         cls,
         config: DatabaseConfig = DatabaseConfig(),

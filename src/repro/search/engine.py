@@ -50,7 +50,7 @@ from repro.search.rank import (
     run_rank_queries,
 )
 from repro.spectra.model import Spectrum
-from repro.spectra.preprocess import PreprocessConfig, preprocess_spectrum
+from repro.spectra.preprocess import PreprocessConfig, preprocess_batch
 from repro.util.rng import rng_from
 
 __all__ = ["EngineConfig", "DistributedSearchEngine", "make_lbe_plan"]
@@ -272,9 +272,7 @@ class DistributedSearchEngine:
         # Every rank preprocesses every query (charged to its clock);
         # the computation is deterministic and rank-independent, so the
         # real work is hoisted out of the rank program and shared.
-        processed_spectra = [
-            preprocess_spectrum(s, cfg.preprocess) for s in spectra
-        ]
+        processed_spectra = preprocess_batch(spectra, cfg.preprocess)
 
         def rank_program(comm: Communicator):
             stats = RankStats(rank=comm.rank)

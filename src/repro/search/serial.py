@@ -21,7 +21,7 @@ from repro.search.database import IndexedDatabase
 from repro.search.psm import PSM, RankStats, SearchResults, SpectrumResult
 from repro.search.scoring import score_many
 from repro.spectra.model import Spectrum
-from repro.spectra.preprocess import PreprocessConfig, preprocess_spectrum
+from repro.spectra.preprocess import PreprocessConfig, preprocess_batch
 from repro.errors import ConfigurationError
 
 __all__ = ["SerialSearchEngine"]
@@ -112,7 +112,7 @@ class SerialSearchEngine:
         build_time = self.query_costs.build_cost(len(index), index.n_ions)
         stats.build_time = build_time
 
-        processed = [preprocess_spectrum(s, preprocess) for s in spectra]
+        processed = preprocess_batch(spectra, preprocess)
         # One scratch workspace threads through the batched filtration
         # and scoring kernels (same warm buffers for the whole run).
         ws = thread_workspace()

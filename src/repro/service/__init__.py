@@ -11,9 +11,16 @@ sustained traffic.  This package amortizes all of it across a session:
   attaches every worker; ``submit(spectra)`` preprocesses a batch,
   spills it to a :class:`~repro.parallel.shared_spectra.SharedSpectraStore`
   and dispatches an O(manifest) command to the resident workers;
-  ``close()`` shuts the pool down.  Results are bit-identical to the
-  serial engine for every policy × worker count — the workers run the
-  same :mod:`repro.search.rank` body as every other backend.
+  ``close()`` drains the pipeline and shuts the pool down.  The
+  session is a **software pipeline** over the batch stream:
+  ``submit_async(spectra)`` returns a future, ``stream(batches)``
+  drives an iterable with up to ``max_pending`` batches in flight, and
+  the master preprocesses/spills batch N+1 and merges batch N while
+  the workers query — ``submit()`` is the blocking wrapper.  Results
+  are bit-identical to the serial engine for every policy × worker
+  count — the workers run the same :mod:`repro.search.rank` body as
+  every other backend, and the pipeline reorders when stages run,
+  never what they compute.
 * Per-batch :class:`~repro.service.service.BatchStats` record real
   wall/CPU phase seconds and the actual pickled scatter bytes, so the
   amortization claim is measurable, not aspirational

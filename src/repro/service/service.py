@@ -21,40 +21,82 @@ scatter volume per batch is recorded in :class:`BatchStats`
 cost (``peak_bytes``) — the communication-lower-bounds story in
 numbers.
 
-Admission is bounded: at most ``max_pending`` ``submit()`` calls may
-be in flight (one dispatching, the rest queued on the dispatch lock);
-the next caller is rejected with
-:class:`~repro.errors.ServiceError` instead of growing an unbounded
-queue.
+The pipelined session
+---------------------
+Every batch still runs the same five stages, but the session is a
+**software pipeline over the batch stream** (HiCOPS overlaps its
+serial master phases with parallel compute the same way): a single
+master-side pipeline thread drives the stages so that the master works
+on neighbouring batches while the workers query the current one::
+
+    batch N   :  prep+spill ──▶ dispatch ═══ workers query ═══▶ collect ──▶ merge
+    batch N+1 :               prep+spill ──────────────▲              dispatch ═══ ...
+                              (runs while N's round          (N+1 scatters before
+                               is on the pipe)                N's merge runs)
+
+* the **prepare stage** (preprocess + spectra spill) of batch N+1 runs
+  on the pipeline thread while the workers are busy with batch N's
+  round (between :meth:`~repro.parallel.persistent.PersistentPool.dispatch`
+  and :meth:`~repro.parallel.persistent.RoundHandle.collect`),
+* the **merge** of batch N's payloads runs after batch N+1's round has
+  already been dispatched, so the master's merge overlaps the workers'
+  next query phase,
+* the pool still serializes the pipe protocol: at most **one round is
+  on the pipe at a time** (the dispatch lock inside the pool), so the
+  crash/respawn/deadline contract is per-round, exactly as before,
+* batch N+1's spilled spectra store lives from its prepare until its
+  own collect — at most two batch directories exist at once (the
+  in-flight batch's and the prepared successor's), and each is removed
+  as soon as its round is collected.
+
+``submit_async(spectra)`` returns a
+:class:`concurrent.futures.Future` resolving to ``(SearchResults,
+BatchStats)``; futures complete strictly in submission order, and a
+batch that fails (a worker raised or died mid-round) fails **only its
+own future** — later queued batches still return correct results on
+the respawned workers.  ``submit()`` is a thin blocking wrapper;
+``stream(batches)`` drives an iterable through the pipeline with at
+most ``max_pending`` batches in flight, yielding results in order.
+Results are bit-identical to the sequential path and the serial
+engine: the pipeline reorders *when* stages run, never *what* they
+compute.
+
+Admission is bounded: at most ``max_pending`` batches may be admitted
+(queued or in flight) at once; the next ``submit_async()`` is rejected
+with :class:`~repro.errors.ServiceError` instead of growing an
+unbounded queue.
 
 Failure contract (inherited from
 :class:`~repro.parallel.persistent.PersistentPool` and test-enforced):
-a worker that raises or dies mid-batch fails *that* ``submit()`` with
-:class:`~repro.errors.WorkerError`; the pool respawns and re-attaches
-the rank automatically, so the session survives and the next
-``submit()`` returns correct results on the fresh worker.
+a worker that raises or dies mid-batch fails *that* batch's future
+with :class:`~repro.errors.WorkerError`; the pool respawns and
+re-attaches the rank automatically, so the session survives and the
+next batch returns correct results on the fresh worker.  ``close()``
+drains: every already-admitted batch completes (each stage bounded by
+the pool deadline) before the workers shut down, so in-flight futures
+resolve deterministically — never hang, never leak.
 """
 
 from __future__ import annotations
 
-import pickle
 import shutil
 import tempfile
 import threading
 import time
 import weakref
 from collections import deque
+from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.grouping import GroupingConfig
 from repro.core.planner import LBEPlan
-from repro.errors import ConfigurationError, ServiceError
+from repro.errors import ConfigurationError, PipelineError, ServiceError
 from repro.index.slm import SLMIndexSettings
-from repro.parallel.persistent import PersistentPool
+from repro.parallel.persistent import PersistentPool, PoolBatchResult
 from repro.parallel.shared_arena import (
     SharedSpill,
     shared_spill_for,
@@ -85,6 +127,12 @@ __all__ = ["ServiceConfig", "BatchStats", "SearchService"]
 #: (:attr:`SearchService.n_batches` keeps the lifetime count).
 _STATS_RETENTION = 1024
 
+#: Idle poll period of the pipeline thread: how often it re-checks,
+#: while *waiting for work*, that its service is still alive (the
+#: thread holds only a weak reference, so a session dropped without
+#: ``close()`` can still be garbage-collected).
+_IDLE_POLL_S = 0.5
+
 
 @dataclass(frozen=True, slots=True)
 class ServiceConfig:
@@ -113,9 +161,9 @@ class ServiceConfig:
     timeout:
         Real-seconds deadline per pool round (attach or batch).
     max_pending:
-        Bound on concurrently admitted ``submit()`` calls (one
-        dispatching + the rest waiting); further callers are rejected
-        with :class:`~repro.errors.ServiceError`.
+        Bound on concurrently admitted batches (queued + in flight
+        through the pipeline); further ``submit_async()`` callers are
+        rejected with :class:`~repro.errors.ServiceError`.
     """
 
     n_workers: int = 2
@@ -146,7 +194,7 @@ class ServiceConfig:
 
 @dataclass(slots=True)
 class BatchStats:
-    """Real phase seconds and scatter accounting for one ``submit()``.
+    """Real phase seconds and scatter accounting for one batch.
 
     Attributes
     ----------
@@ -156,19 +204,39 @@ class BatchStats:
         Query spectra in the batch.
     preprocess_s / spill_s / parallel_s / merge_s / total_s:
         Master-observed wall seconds per phase (``parallel_s`` spans
-        dispatch → last worker report).
+        dispatch → collect return; ``total_s`` spans prepare start →
+        merge end, including any time the master overlapped other
+        batches' stages with this batch's round).
     query_wall_max_s / query_cpu_max_s:
         Slowest worker's query wall / process-CPU seconds (the
         steady-state latency floor; CPU is the dedicated-core figure).
     scatter_bytes:
-        Actual pickled command payload bytes summed over workers —
-        O(batch manifest) by construction.
+        Actual command bytes written to the worker pipes for this
+        batch — the shared :class:`~repro.parallel.worker.QueryTask`
+        is pickled once and its buffer reused for every worker, so
+        this is O(batch manifest) by construction.
     peak_bytes:
         What pickling the preprocessed peak arrays to every worker
         would have cost (``n_workers ×`` the batch's peak bytes) — the
         baseline ``scatter_bytes`` replaces.
     respawned:
         Workers respawned (and re-attached) to serve this batch.
+    wait_s:
+        Seconds this batch waited in the admission queue before its
+        prepare stage started (0 when the pipeline was idle).
+    pipeline_depth:
+        Batches admitted (queued + in flight, including this one) at
+        the moment this batch was accepted — 1 for a sequential
+        ``submit()`` caller, up to ``max_pending`` under streaming.
+    collect_wait_s:
+        Seconds the master spent blocked in ``collect()`` waiting for
+        the workers *after* finishing its overlapped work — the
+        residual master-idle gap the pipeline could not fill.
+    overlap_s:
+        Master-side seconds of this batch's stages that ran while a
+        worker round was on the pipe (its prepare under the previous
+        batch's round + its merge under the next batch's round) — the
+        wall time the pipeline hid behind worker compute.
     """
 
     batch_index: int
@@ -183,6 +251,159 @@ class BatchStats:
     scatter_bytes: int
     peak_bytes: int
     respawned: int
+    wait_s: float = 0.0
+    pipeline_depth: int = 1
+    collect_wait_s: float = 0.0
+    overlap_s: float = 0.0
+
+
+class _PendingBatch:
+    """One admitted batch's mutable trip through the pipeline stages."""
+
+    __slots__ = (
+        "spectra", "future", "batch_index", "enqueued_at", "depth",
+        "batch_dir", "n_processed", "peak_bytes", "handle",
+        "dispatched_at", "round", "error", "t_start", "wait_s",
+        "prep_s", "spill_s", "collect_wait_s", "parallel_s",
+        "prepared_overlapped", "released",
+    )
+
+    def __init__(
+        self, spectra: List[Spectrum], future: Future, batch_index: int,
+        enqueued_at: float, depth: int,
+    ) -> None:
+        self.spectra = spectra
+        self.future = future
+        self.batch_index = batch_index
+        self.enqueued_at = enqueued_at
+        self.depth = depth
+        self.batch_dir: Optional[Path] = None
+        self.n_processed = 0
+        self.peak_bytes = 0
+        self.handle = None
+        self.dispatched_at = 0.0
+        self.round: Optional[PoolBatchResult] = None
+        self.error: Optional[BaseException] = None
+        self.t_start = 0.0
+        self.wait_s = 0.0
+        self.prep_s = 0.0
+        self.spill_s = 0.0
+        self.collect_wait_s = 0.0
+        self.parallel_s = 0.0
+        self.prepared_overlapped = False
+        self.released = False
+
+
+class _PipelineState:
+    """The pipeline thread's shared mailbox (owned by the service).
+
+    Kept on a separate object so the thread's target needs no strong
+    reference to the service while it waits for work.
+    """
+
+    __slots__ = ("cond", "items", "stopping", "broken")
+
+    def __init__(self) -> None:
+        self.cond = threading.Condition()
+        self.items: deque[_PendingBatch] = deque()
+        self.stopping = False
+        self.broken = False
+
+    def dequeue(self, *, block: bool):
+        """Next admitted batch, or ``None`` (empty, non-blocking),
+        ``_STOP`` (drained and stopping), or ``_TICK`` (idle poll)."""
+        with self.cond:
+            while True:
+                if self.items:
+                    return self.items.popleft()
+                if self.stopping:
+                    return _STOP
+                if not block:
+                    return None
+                if not self.cond.wait(_IDLE_POLL_S):
+                    return _TICK
+
+
+_STOP = object()
+_TICK = object()
+
+
+def _pipeline_main(state: _PipelineState, service_ref) -> None:
+    """Pipeline thread body: one cycle per batch, one overlap window.
+
+    Holds the service only through ``service_ref`` while idle, so a
+    session dropped without ``close()`` stays collectable; its
+    finalizers then reap the workers and the session directory.
+    """
+    inflight: Optional[_PendingBatch] = None
+    while True:
+        item = state.dequeue(block=inflight is None)
+        if item is _TICK:
+            if service_ref() is None:
+                return  # orphaned session: nothing left to serve
+            continue
+        service = service_ref()
+        if service is None:
+            # Orphaned with work in hand: nothing can be merged any
+            # more (the pool is gone with the service), but every
+            # admitted future must still resolve — the dequeued batch,
+            # the dispatched in-flight one, and the whole queue.  The
+            # service's own finalizers reap the workers and spill dirs.
+            orphans = [
+                b
+                for b in (inflight, item if isinstance(item, _PendingBatch) else None)
+                if b is not None
+            ]
+            with state.cond:
+                state.broken = True
+                orphans += list(state.items)
+                state.items.clear()
+            exc = ServiceError("service was garbage-collected mid-stream")
+            for batch in orphans:
+                try:
+                    if not batch.future.done():
+                        batch.future.set_exception(exc)
+                except InvalidStateError:  # pragma: no cover - cancel race
+                    pass
+            return
+        nxt = item if isinstance(item, _PendingBatch) else None
+        try:
+            # Stage 1 — prepare N+1 (preprocess + spill) while N's
+            # round, if any, is still on the pipe.
+            if nxt is not None and not service._stage_prepare(
+                nxt, overlapped=inflight is not None
+            ):
+                nxt = None
+            # Stage 2 — gather N's worker payloads.
+            if inflight is not None:
+                service._stage_collect(inflight)
+            # Stage 3 — scatter N+1 before merging N, so the merge
+            # overlaps the workers' next query phase.
+            if nxt is not None and not service._stage_dispatch(nxt):
+                nxt = None
+            # Stage 4 — merge N and resolve its future.
+            if inflight is not None:
+                service._stage_finalize(inflight, merged_overlapped=nxt is not None)
+            inflight = nxt
+            if item is _STOP and inflight is None:
+                return
+        except BaseException as exc:  # noqa: BLE001 - must never die silently
+            # A stage bug must not strand futures: fail everything this
+            # cycle touched (the collected batch AND the just-dispatched
+            # successor) plus the whole queue, and mark the pipeline
+            # broken.  _fail_batch tolerates already-settled batches.
+            with state.cond:
+                state.broken = True
+                leftovers = list(state.items)
+                state.items.clear()
+            victims = [b for b in (inflight, nxt) if b is not None]
+            for batch in dict.fromkeys(victims + leftovers):
+                service._fail_batch(batch, PipelineError(
+                    f"service pipeline thread crashed: {exc!r}"
+                ))
+            raise
+        finally:
+            del service  # drop the strong reference between cycles
 
 
 class SearchService:
@@ -214,6 +435,8 @@ class SearchService:
         self._session_cleanup: weakref.finalize | None = None
         self._closed = False
         self._n_batches = 0
+        self._n_submitted = 0
+        self._n_pending = 0
         self._attach_stats: List[RankStats] = []
         self._attach_s = 0.0
         self._open_s = 0.0
@@ -222,6 +445,8 @@ class SearchService:
         self._stats: deque[BatchStats] = deque(maxlen=_STATS_RETENTION)
         self._dispatch_lock = threading.Lock()
         self._admission = threading.Semaphore(config.max_pending)
+        self._state: _PipelineState | None = None
+        self._thread: threading.Thread | None = None
 
     # -- planning --------------------------------------------------------
 
@@ -310,19 +535,36 @@ class SearchService:
             rank_stats_from_report(r, report)
             for r, report in enumerate(attach.results)
         ]
+        self._state = _PipelineState()
+        self._thread = threading.Thread(
+            target=_pipeline_main,
+            args=(self._state, weakref.ref(self)),
+            name="repro-service-pipeline",
+            daemon=True,
+        )
+        self._thread.start()
         self._open_s = time.perf_counter() - t_open
         return self
 
     def close(self) -> None:
-        """Shut the resident workers down; idempotent.
+        """Drain the pipeline, then shut the resident workers down.
 
-        New submits are rejected immediately; an in-flight submit is
-        waited for (the dispatch lock), so its caller gets a clean
-        result or error instead of torn worker pipes.
+        Idempotent.  New submits are rejected immediately; every
+        already-admitted batch **completes** (its future resolves with
+        a result or the batch's own error) before the pool shuts down
+        — each stage is bounded by the pool deadline, so draining
+        terminates deterministically and never hangs.
         """
         if self._closed:
             return
-        self._closed = True  # reject new submits before taking the lock
+        self._closed = True  # reject new submits before draining
+        state, thread = self._state, self._thread
+        if state is not None:
+            with state.cond:
+                state.stopping = True
+                state.cond.notify_all()
+        if thread is not None and thread is not threading.current_thread():
+            thread.join()
         with self._dispatch_lock:
             if self._pool is not None:
                 self._pool.close()
@@ -336,8 +578,10 @@ class SearchService:
     def submit(
         self, spectra: Sequence[Spectrum]
     ) -> Tuple[SearchResults, BatchStats]:
-        """Search one query batch on the resident workers.
+        """Search one query batch on the resident workers (blocking).
 
+        A thin wrapper over :meth:`submit_async` — the batch rides the
+        same pipeline and the call blocks until its future resolves.
         Returns the merged :class:`SearchResults` — bit-identical to
         the serial engine over the same batch — plus this batch's
         :class:`BatchStats`.  Raises
@@ -346,10 +590,30 @@ class SearchService:
         :class:`~repro.errors.WorkerError` when a worker fails
         mid-batch (the session itself survives).
         """
-        if self._closed or self._pool is None:
+        return self.submit_async(spectra).result()
+
+    def submit_async(
+        self, spectra: Sequence[Spectrum]
+    ) -> "Future[Tuple[SearchResults, BatchStats]]":
+        """Admit one query batch into the pipeline; return its future.
+
+        The future resolves to ``(SearchResults, BatchStats)`` —
+        futures of one session resolve strictly in submission order,
+        and a failing batch (e.g. :class:`~repro.errors.WorkerError`)
+        fails only its own future.  Raises
+        :class:`~repro.errors.ServiceError` synchronously when the
+        service is not open or ``max_pending`` batches are already
+        admitted.
+        """
+        state = self._state
+        if self._closed or self._pool is None or state is None:
             raise ServiceError(
                 "submit() on a service that is not open "
                 "(call open() first; closed sessions are not reusable)"
+            )
+        if state.broken:
+            raise ServiceError(
+                "service pipeline has crashed; close() and open a new session"
             )
         spectra = list(spectra)
         if not spectra:
@@ -357,69 +621,166 @@ class SearchService:
         if not self._admission.acquire(blocking=False):
             raise ServiceError(
                 f"admission queue full ({self.config.max_pending} batches "
-                "already pending); retry after a pending submit returns"
+                "already pending); retry after a pending batch completes"
             )
-        try:
-            with self._dispatch_lock:
-                return self._submit_locked(spectra)
-        finally:
-            self._admission.release()
+        future: Future = Future()
+        with state.cond:
+            if self._closed or state.stopping:
+                self._admission.release()
+                raise ServiceError(
+                    "service was closed while this submit was being admitted"
+                )
+            self._n_pending += 1
+            batch = _PendingBatch(
+                spectra=spectra,
+                future=future,
+                batch_index=self._n_submitted,
+                enqueued_at=time.perf_counter(),
+                depth=self._n_pending,
+            )
+            self._n_submitted += 1
+            state.items.append(batch)
+            state.cond.notify_all()
+        return future
 
-    def _submit_locked(
-        self, spectra: List[Spectrum]
-    ) -> Tuple[SearchResults, BatchStats]:
-        # Re-check under the lock: a concurrent close() that won the
-        # lock first has already shut the pool down.
-        if self._closed or self._pool is None:
-            raise ServiceError(
-                "service was closed while this submit was waiting for "
-                "dispatch"
-            )
-        cfg = self.config
+    def stream(
+        self, batches: Iterable[Sequence[Spectrum]]
+    ) -> Iterator[Tuple[SearchResults, BatchStats]]:
+        """Drive an iterable of batches through the pipeline, in order.
+
+        Keeps up to ``max_pending`` batches admitted at once (the
+        overlap window) and yields each batch's ``(results, stats)``
+        in submission order — the streaming driver for sustained
+        workloads.  A failing batch raises its error from the yield
+        that would have produced it; later batches are unaffected.
+        """
+        pending: deque[Future] = deque()
+        limit = self.config.max_pending
+        for spectra in batches:
+            while len(pending) >= limit:
+                yield pending.popleft().result()
+            pending.append(self.submit_async(spectra))
+        while pending:
+            yield pending.popleft().result()
+
+    # -- pipeline stages (run on the pipeline thread) --------------------
+
+    def _stage_prepare(self, batch: _PendingBatch, *, overlapped: bool) -> bool:
+        """Preprocess + spill one batch; False (and a failed future) on error."""
+        if not batch.future.set_running_or_notify_cancel():
+            # The caller cancelled the future while the batch was still
+            # queued: honour it, skip every stage, free the slot.  Once
+            # a batch is running, cancel() returns False to the caller
+            # and the future always resolves — set_result/set_exception
+            # can never hit a CANCELLED future.
+            self._release(batch)
+            return False
         wall = time.perf_counter
-        t_start = wall()
-        batch_index = self._n_batches
-
-        processed = preprocess_batch(spectra, cfg.preprocess)
-        prep_s = wall() - t_start
-
-        t0 = wall()
-        batch_dir = self._session_dir / f"batch_{batch_index:06d}"
-        SharedSpectraStore.spill(processed, batch_dir)
-        spill_s = wall() - t0
-
-        task = QueryTask(
-            spectra_dir=str(batch_dir),
-            n_spectra=len(processed),
-            top_k=cfg.top_k,
-        )
-        tasks = [task] * cfg.n_workers
-        scatter_bytes = len(pickle.dumps(task)) * cfg.n_workers
-        peak_bytes = spectra_peak_bytes(processed) * cfg.n_workers
-
-        t0 = wall()
+        batch.t_start = wall()
+        batch.wait_s = batch.t_start - batch.enqueued_at
+        batch.prepared_overlapped = overlapped
         try:
-            batch = self._pool.run_batch(service_query_worker, tasks)
+            processed = preprocess_batch(batch.spectra, self.config.preprocess)
+            batch.prep_s = wall() - batch.t_start
+            t0 = wall()
+            batch.batch_dir = self._session_dir / f"batch_{batch.batch_index:06d}"
+            SharedSpectraStore.spill(processed, batch.batch_dir)
+            batch.spill_s = wall() - t0
+            batch.n_processed = len(processed)
+            batch.peak_bytes = (
+                spectra_peak_bytes(processed) * self.config.n_workers
+            )
+            return True
+        except BaseException as exc:  # noqa: BLE001 - routed to the future
+            if batch.batch_dir is not None:
+                shutil.rmtree(batch.batch_dir, ignore_errors=True)
+            self._fail_batch(batch, exc)
+            return False
+
+    def _stage_dispatch(self, batch: _PendingBatch) -> bool:
+        """Scatter one batch's round; False (and a failed future) on error."""
+        cfg = self.config
+        task = QueryTask(
+            spectra_dir=str(batch.batch_dir),
+            n_spectra=batch.n_processed,
+            top_k=cfg.top_k,
+            batch_index=batch.batch_index,
+        )
+        # The same task object for every rank: the pool pickles it once
+        # and reuses the buffer (measured in the round's scatter_bytes).
+        try:
+            batch.dispatched_at = time.perf_counter()
+            batch.handle = self._pool.dispatch(
+                service_query_worker, [task] * cfg.n_workers
+            )
+            return True
+        except BaseException as exc:  # noqa: BLE001 - routed to the future
+            shutil.rmtree(batch.batch_dir, ignore_errors=True)
+            self._fail_batch(batch, exc)
+            return False
+
+    def _stage_collect(self, batch: _PendingBatch) -> None:
+        """Gather one round's replies; errors are parked on the batch."""
+        t0 = time.perf_counter()
+        try:
+            batch.round = batch.handle.collect()
+        except BaseException as exc:  # noqa: BLE001 - surfaced in finalize
+            batch.error = exc
         finally:
+            now = time.perf_counter()
+            batch.collect_wait_s = now - t0
+            batch.parallel_s = now - batch.dispatched_at
             # The workers hold no references to the batch store after
             # the round; drop it (best-effort — pages may still be
             # mapped briefly, which POSIX tolerates).
-            shutil.rmtree(batch_dir, ignore_errors=True)
-        parallel_s = wall() - t0
+            shutil.rmtree(batch.batch_dir, ignore_errors=True)
 
+    def _stage_finalize(
+        self, batch: _PendingBatch, *, merged_overlapped: bool
+    ) -> None:
+        """Merge one collected batch and resolve its future."""
+        if batch.error is not None:
+            self._fail_batch(batch, batch.error)
+            return
+        try:
+            results, stats = self._merge_batch(batch, merged_overlapped)
+        except BaseException as exc:  # noqa: BLE001 - routed to the future
+            self._fail_batch(batch, exc)
+            return
+        self._n_batches += 1
+        self._stats.append(stats)
+        self._release(batch)
+        try:
+            batch.future.set_result((results, stats))
+        except InvalidStateError:  # pragma: no cover - cancel()/resolve race
+            pass
+
+    def _merge_batch(
+        self, batch: _PendingBatch, merged_overlapped: bool
+    ) -> Tuple[SearchResults, BatchStats]:
+        cfg = self.config
+        wall = time.perf_counter
+        pool_round = batch.round
+        for report in pool_round.results:
+            if report.get("batch_index", -1) != batch.batch_index:
+                raise PipelineError(
+                    f"collected a worker report for batch "
+                    f"{report.get('batch_index')} while merging batch "
+                    f"{batch.batch_index}; the round protocol is desynced"
+                )
         t0 = wall()
         gathered = [
             (report["counts"], report["local_psms"])
-            for report in batch.results
+            for report in pool_round.results
         ]
         merged, _n_psms = merge_rank_payloads(
-            gathered, spectra, self.plan.mapping, cfg.top_k
+            gathered, batch.spectra, self.plan.mapping, cfg.top_k
         )
         merge_s = wall() - t0
 
         all_stats = [
             rank_stats_from_report(r, report)
-            for r, report in enumerate(batch.results)
+            for r, report in enumerate(pool_round.results)
         ]
         # Attach-time build stats stay visible on every batch's result:
         # the resident index was built once, at open().
@@ -428,20 +789,21 @@ class SearchService:
             stats.n_ions = attach.n_ions
             stats.build_time = attach.build_time
 
-        total_s = wall() - t_start
+        total_s = wall() - batch.t_start
         worker_span = max(
-            report["open_s"] + report["query_s"] for report in batch.results
+            report["open_s"] + report["query_s"]
+            for report in pool_round.results
         )
         phase_times = {
-            "serial_prep": prep_s,
-            "spill": spill_s,
+            "serial_prep": batch.prep_s,
+            "spill": batch.spill_s,
             "build": 0.0,  # paid once at open(), not per batch
             "query": max(s.query_time for s in all_stats),
             "query_cpu": max(s.query_cpu_time for s in all_stats),
             "gather": 0.0,
             "merge": merge_s,
-            "parallel_wall": parallel_s,
-            "parallel_overhead": max(0.0, parallel_s - worker_span),
+            "parallel_wall": batch.parallel_s,
+            "parallel_overhead": max(0.0, batch.parallel_s - worker_span),
             "total": total_s,
         }
         results = SearchResults(
@@ -451,23 +813,48 @@ class SearchService:
             policy_name=cfg.policy,
             n_ranks=cfg.n_workers,
         )
+        overlap_s = merge_s if merged_overlapped else 0.0
+        if batch.prepared_overlapped:
+            overlap_s += batch.prep_s + batch.spill_s
         stats = BatchStats(
-            batch_index=batch_index,
-            n_spectra=len(spectra),
-            preprocess_s=prep_s,
-            spill_s=spill_s,
-            parallel_s=parallel_s,
+            batch_index=batch.batch_index,
+            n_spectra=len(batch.spectra),
+            preprocess_s=batch.prep_s,
+            spill_s=batch.spill_s,
+            parallel_s=batch.parallel_s,
             merge_s=merge_s,
             total_s=total_s,
             query_wall_max_s=max(s.query_time for s in all_stats),
             query_cpu_max_s=max(s.query_cpu_time for s in all_stats),
-            scatter_bytes=scatter_bytes,
-            peak_bytes=peak_bytes,
-            respawned=batch.respawned,
+            scatter_bytes=pool_round.scatter_bytes,
+            peak_bytes=batch.peak_bytes,
+            respawned=pool_round.respawned,
+            wait_s=batch.wait_s,
+            pipeline_depth=batch.depth,
+            collect_wait_s=batch.collect_wait_s,
+            overlap_s=overlap_s,
         )
-        self._n_batches += 1
-        self._stats.append(stats)
         return results, stats
+
+    def _fail_batch(self, batch: _PendingBatch, exc: BaseException) -> None:
+        self._release(batch)
+        try:
+            if not batch.future.done():
+                batch.future.set_exception(exc)
+        except InvalidStateError:  # pragma: no cover - cancel()/fail race
+            pass
+
+    def _release(self, batch: _PendingBatch) -> None:
+        """Give the batch's admission slot back (exactly once per batch —
+        the crash handler may reach a batch a stage already settled)."""
+        if batch.released:
+            return
+        batch.released = True
+        state = self._state
+        if state is not None:
+            with state.cond:
+                self._n_pending -= 1
+        self._admission.release()
 
     # -- introspection ---------------------------------------------------
 

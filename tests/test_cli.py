@@ -171,6 +171,83 @@ def test_serve_requires_batches(workspace, capsys, monkeypatch):
     assert "no batches" in capsys.readouterr().err
 
 
+def test_serve_requires_exactly_one_database_source(workspace):
+    with pytest.raises(SystemExit, match="exactly one"):
+        main(["serve", "--batch", str(workspace / "run.ms2")])
+    with pytest.raises(SystemExit, match="exactly one"):
+        main([
+            "serve", "--fasta", str(workspace / "proteome.fasta"),
+            "--index", str(workspace / "nope.npz"),
+            "--batch", str(workspace / "run.ms2"),
+        ])
+
+
+def test_serve_pipeline_matches_sequential(workspace, capsys):
+    """--pipeline streams the same batches and writes identical PSMs."""
+    seq_dir = workspace / "serve_seq"
+    pipe_dir = workspace / "serve_pipe"
+    common = [
+        "serve",
+        "--fasta", str(workspace / "proteome.fasta"),
+        "--batch", str(workspace / "run.ms2"),
+        "--batch", str(workspace / "run.ms2"),
+        "--batch", str(workspace / "run.ms2"),
+        "--ranks", "2", "--policy", "cyclic",
+    ]
+    assert main(common + ["--report-dir", str(seq_dir)]) == 0
+    assert main(common + ["--pipeline", "--report-dir", str(pipe_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "pipelined submits" in out and "pipeline: depth up to" in out
+    for i in range(3):
+        seq = [
+            (p.scan_id, p.entry_id, p.score)
+            for p in read_psm_report(seq_dir / f"batch_{i:04d}.tsv")
+        ]
+        pipe = [
+            (p.scan_id, p.entry_id, p.score)
+            for p in read_psm_report(pipe_dir / f"batch_{i:04d}.tsv")
+        ]
+        assert seq == pipe and seq
+
+
+def test_index_then_serve_from_archive_matches_fasta_start(workspace, capsys):
+    """`repro index` + `serve --index` equals `serve --fasta` exactly:
+    the archive start path plans and searches identically."""
+    archive = workspace / "saved_index.npz"
+    rc = main([
+        "index", "--fasta", str(workspace / "proteome.fasta"),
+        "--out", str(archive),
+    ])
+    assert rc == 0
+    assert "memmap-ready" in capsys.readouterr().out
+    fasta_dir = workspace / "serve_from_fasta"
+    index_dir = workspace / "serve_from_index"
+    tail = [
+        "--batch", str(workspace / "run.ms2"),
+        "--batch", str(workspace / "run.ms2"),
+        "--ranks", "2", "--policy", "cyclic",
+    ]
+    assert main(
+        ["serve", "--fasta", str(workspace / "proteome.fasta")]
+        + tail + ["--report-dir", str(fasta_dir)]
+    ) == 0
+    assert main(
+        ["serve", "--index", str(archive)]
+        + tail + ["--report-dir", str(index_dir)]
+    ) == 0
+    assert "from index archive" in capsys.readouterr().out
+    for i in range(2):
+        from_fasta = [
+            (p.scan_id, p.entry_id, p.score)
+            for p in read_psm_report(fasta_dir / f"batch_{i:04d}.tsv")
+        ]
+        from_index = [
+            (p.scan_id, p.entry_id, p.score)
+            for p in read_psm_report(index_dir / f"batch_{i:04d}.tsv")
+        ]
+        assert from_fasta == from_index and from_fasta
+
+
 def test_figures_command(capsys):
     rc = main(["figures", "--sizes", "0.7", "--spectra", "8", "--seed", "3"])
     assert rc == 0

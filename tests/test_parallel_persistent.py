@@ -11,7 +11,7 @@ import time
 
 import pytest
 
-from repro.errors import ConfigurationError, ServiceError, WorkerError
+from repro.errors import ConfigurationError, PipelineError, ServiceError, WorkerError
 from repro.parallel import PersistentPool
 from repro.parallel.worker import (
     resident_attach,
@@ -152,6 +152,89 @@ def test_double_close_and_commands_after_close(pool):
         pool.run_batch(resident_echo, ["x", "y"])
     with pytest.raises(ServiceError, match="closed"):
         pool.attach(resident_attach, ["a", "b"])
+
+
+def test_dispatch_collect_split_round(pool):
+    """The non-blocking halves compose to exactly run_batch's result,
+    and the master can work between them while the workers compute."""
+    handle = pool.dispatch(resident_sleep, [0.2, 0.2])
+    assert handle.pending
+    assert handle.scatter_bytes > 0
+    overlap_work = sum(range(1000))  # master-side work during the round
+    res = handle.collect()
+    assert not handle.pending
+    assert res.results == [0.2, 0.2]
+    assert res.scatter_bytes == handle.scatter_bytes
+    assert overlap_work == 499500
+    # The pipe is free again for ordinary blocking rounds.
+    res = pool.run_batch(resident_echo, ["x", "y"])
+    assert [r[:3] for r in res.results] == [
+        (0, "state-a", "x"),
+        (1, "state-b", "y"),
+    ]
+    assert res.scatter_bytes > 0
+
+
+def test_single_round_on_the_pipe(pool):
+    """A second dispatch before collect raises PipelineError and leaves
+    the in-flight round collectable."""
+    handle = pool.dispatch(resident_echo, ["x", "y"])
+    with pytest.raises(PipelineError, match="already on the pipe"):
+        pool.dispatch(resident_echo, ["p", "q"])
+    res = handle.collect()
+    assert [r[:3] for r in res.results] == [
+        (0, "state-a", "x"),
+        (1, "state-b", "y"),
+    ]
+    with pytest.raises(PipelineError, match="already collected"):
+        handle.collect()
+
+
+def test_shared_payload_pickled_once(pool):
+    """One payload object for every rank costs one pickle: the scatter
+    bytes equal n_workers x a single buffer, so a batch with a shared
+    command is half the bytes of one with two distinct-but-equal
+    payloads plus exactly the same results."""
+    shared = {"task": "t", "blob": "x" * 4096}
+    res_shared = pool.run_batch(resident_echo, [shared, shared])
+    distinct = [{"task": "t", "blob": "x" * 4096} for _ in range(2)]
+    res_distinct = pool.run_batch(resident_echo, distinct)
+    assert [r[2] for r in res_shared.results] == [shared, shared]
+    assert res_shared.scatter_bytes == res_distinct.scatter_bytes
+    assert res_shared.scatter_bytes % 2 == 0  # two sends of one buffer
+    # ... and the per-send buffer really carries the payload.
+    assert res_shared.scatter_bytes > 2 * 4096
+
+
+def test_death_between_dispatch_and_collect(pool):
+    """A worker killed while its round is on the pipe fails collect()
+    with WorkerError; the next round respawns and is correct."""
+    handle = pool.dispatch(resident_sleep, [30.0, 0.0])
+    pool._procs[0].terminate()
+    with pytest.raises(WorkerError, match="died mid-batch"):
+        handle.collect()
+    res = pool.run_batch(resident_echo, ["x", "y"])
+    assert res.respawned == 1
+    assert [r[:3] for r in res.results] == [
+        (0, "state-a", "x"),
+        (1, "state-b", "y"),
+    ]
+
+
+def test_close_with_uncollected_round_never_hangs():
+    """close() while a round is dispatched but not being collected
+    aborts it: close returns promptly and collect() raises instead of
+    hanging on terminated workers."""
+    pool = PersistentPool(2, timeout=60.0)
+    pool.attach(resident_attach, ["a", "b"])
+    handle = pool.dispatch(resident_sleep, [30.0, 30.0])
+    t0 = time.monotonic()
+    pool.close()
+    assert time.monotonic() - t0 < 30.0
+    with pytest.raises(PipelineError, match="closed while this round"):
+        handle.collect()
+    with pytest.raises(ServiceError, match="closed"):
+        pool.dispatch(resident_echo, ["x", "y"])
 
 
 def test_config_validation():

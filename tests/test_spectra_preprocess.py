@@ -86,6 +86,94 @@ def test_batch():
     assert all(s.n_peaks == 1 for s in out)
 
 
+def _assert_batch_matches_per_spectrum(spectra, config):
+    ref = [preprocess_spectrum(s, config) for s in spectra]
+    got = preprocess_batch(spectra, config)
+    assert len(ref) == len(got)
+    for a, b in zip(ref, got):
+        assert a.scan_id == b.scan_id
+        assert np.array_equal(a.mzs, b.mzs)
+        assert np.array_equal(a.intensities, b.intensities)
+
+
+def test_batch_kernel_bit_identical_mixed_shapes():
+    """The argpartition kernel must match the sort-based reference for
+    mixed row widths, empties, and both batch branches at once."""
+    rng = np.random.default_rng(3)
+    spectra = []
+    for i, n in enumerate([0, 1, 3, 7, 40, 120, 5, 250]):
+        spectra.append(
+            Spectrum(
+                scan_id=i, precursor_mz=500.0, charge=2,
+                mzs=rng.uniform(50.0, 2000.0, n),
+                intensities=rng.uniform(0.0, 10.0, n),
+            )
+        )
+    for config in (
+        PreprocessConfig(top_peaks=10),
+        PreprocessConfig(top_peaks=100, normalize=False),
+        PreprocessConfig(top_peaks=3, min_mz=400.0),
+        PreprocessConfig(top_peaks=1),
+    ):
+        _assert_batch_matches_per_spectrum(spectra, config)
+
+
+def test_batch_kernel_bit_identical_under_heavy_ties():
+    """Quantized m/z and intensity grids force boundary ties in both
+    sort keys — the tie-resolution path must match exactly."""
+    rng = np.random.default_rng(11)
+    for trial in range(30):
+        spectra = []
+        for i in range(int(rng.integers(1, 9))):
+            n = int(rng.integers(0, 30))
+            spectra.append(
+                Spectrum(
+                    scan_id=i, precursor_mz=500.0, charge=2,
+                    mzs=rng.integers(1, 12, n).astype(float) * 75.0,
+                    intensities=rng.integers(0, 4, n).astype(float),
+                )
+            )
+        config = PreprocessConfig(
+            top_peaks=int(rng.integers(1, 10)),
+            min_mz=float(rng.choice([0.0, 150.0])),
+            normalize=bool(rng.integers(0, 2)),
+        )
+        _assert_batch_matches_per_spectrum(spectra, config)
+
+
+def test_batch_outputs_own_their_arrays():
+    """Batched outputs never alias the inputs (mutating one must not
+    touch the other), exactly like the per-spectrum path."""
+    s = make([100, 200], [1.0, 0.5])
+    (out,) = preprocess_batch([s], PreprocessConfig(top_peaks=10, normalize=False))
+    out.mzs[0] = 1.0
+    out.intensities[0] = 99.0
+    assert s.mzs[0] == 100.0 and s.intensities[0] == 1.0
+
+
+@given(
+    st.lists(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=50.0, max_value=2000.0),
+                st.floats(min_value=0.0, max_value=10.0),
+            ),
+            min_size=0,
+            max_size=30,
+        ),
+        min_size=1,
+        max_size=6,
+    ),
+    st.integers(min_value=1, max_value=12),
+)
+def test_batch_property_bit_identical(rows, n):
+    spectra = [
+        make([p[0] for p in row], [p[1] for p in row])
+        for i, row in enumerate(rows)
+    ]
+    _assert_batch_matches_per_spectrum(spectra, PreprocessConfig(top_peaks=n))
+
+
 @pytest.mark.parametrize("kwargs", [{"top_peaks": 0}, {"min_mz": -1.0}])
 def test_invalid_config_rejected(kwargs):
     with pytest.raises(ConfigurationError):
