@@ -32,7 +32,13 @@ Metrics written to ``BENCH_service.json``:
 * ``resident.open_s`` vs ``resident.steady_batch_s`` — the amortized
   session cost against the steady-state latency floor,
 * ``scatter.*`` — pickled bytes per batch before (peak arrays to every
-  worker) and after (manifest commands): O(peaks) → O(manifest).
+  worker) and after (manifest commands): O(peaks) → O(manifest),
+* ``resilience.*`` — the supervision layer's per-session totals
+  (``retries`` re-dispatches, ``hedged`` speculative duplicates,
+  ``respawns`` worker replacements) summed over the resident and
+  pipelined sessions.  A fault-free benchmark run **must** report all
+  zeros — the supervision fast path adds no work when nothing fails —
+  and the results are refused otherwise.
 
 Every batch's merged results — one-shot, resident, every batch — are
 checked bit-identical to the serial engine before anything is
@@ -134,6 +140,8 @@ def run(quick: bool = False) -> dict:
     resident_totals = []
     resident_scatter = 0
     peak_bytes = 0
+    retries_total = 0
+    hedged_total = 0
     with SearchService(
         db, ServiceConfig(n_workers=N_WORKERS, index=settings)
     ) as service:
@@ -145,6 +153,8 @@ def run(quick: bool = False) -> dict:
             resident_totals.append(stats.total_s)
             resident_scatter = max(resident_scatter, stats.scatter_bytes)
             peak_bytes = max(peak_bytes, stats.peak_bytes)
+            retries_total += stats.retries
+            hedged_total += stats.hedged
         respawns = service.respawn_total
     identical = identical and respawns == 0
 
@@ -163,6 +173,8 @@ def run(quick: bool = False) -> dict:
             completions.append(time.perf_counter())
             overlap_total += stats.overlap_s
             depth_max = max(depth_max, stats.pipeline_depth)
+            retries_total += stats.retries
+            hedged_total += stats.hedged
         pipe_wall = completions[-1] - t_stream
         respawns_pipe = service.respawn_total
     identical = identical and respawns_pipe == 0
@@ -171,6 +183,9 @@ def run(quick: bool = False) -> dict:
         b - a for a, b in zip(completions, completions[1:])
     ]
     pipe_steady = min(gaps[1:]) if len(gaps) > 1 else gaps[0]
+    # Fault-free supervision must be invisible: any retry, hedge, or
+    # respawn in a clean benchmark run invalidates the numbers.
+    identical = identical and retries_total == 0 and hedged_total == 0
 
     steady = min(resident_totals[1:]) if len(resident_totals) > 1 else resident_totals[0]
     mean_oneshot = sum(oneshot_totals) / len(oneshot_totals)
@@ -226,6 +241,13 @@ def run(quick: bool = False) -> dict:
             # The pipeline headline: master stages hidden behind the
             # workers' rounds shrink the per-batch completion interval.
             "pipelined_vs_sequential": steady / pipe_steady,
+        },
+        "resilience": {
+            # Supervision-layer accounting over both sessions; a clean
+            # run reports zeros (the retry/hedge paths are dormant).
+            "retries": retries_total,
+            "hedged": hedged_total,
+            "respawns": respawns + respawns_pipe,
         },
         "identical_results": bool(identical),
         "note": (

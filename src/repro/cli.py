@@ -41,6 +41,7 @@ from repro.db.digest import DigestionConfig, digest_proteome
 from repro.db.fasta import FastaRecord, read_fasta, write_fasta, write_grouped_fasta
 from repro.db.proteome import ProteomeConfig, generate_proteome
 from repro.chem.peptide import Peptide
+from repro.errors import ServiceError, WorkerError
 from repro.index.serialize import load_index, save_index
 from repro.index.slm import SLMIndex, SLMIndexSettings
 from repro.parallel import ParallelEngineConfig, ParallelSearchEngine
@@ -144,6 +145,22 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--max-variants", type=int, default=8)
     srv.add_argument("--top-k", type=int, default=5)
     srv.add_argument("--seed", type=int, default=0)
+    srv.add_argument("--max-retries", type=int, default=1,
+                     help="per-rank retry budget: respawn + re-dispatch a "
+                     "crashed/hung rank's task up to this many times per "
+                     "batch before the batch fails (0 = fail on first "
+                     "fault, the library default)")
+    srv.add_argument("--degraded-ok", action="store_true",
+                     help="after a rank's retries are exhausted, return "
+                     "the batch's partial results (explicit "
+                     "degraded-coverage mask in the report) instead of "
+                     "failing the batch")
+    srv.add_argument("--hedge-after", type=float, default=None,
+                     metavar="SECONDS",
+                     help="straggler hedging: if a rank's query round "
+                     "exceeds this soft deadline, speculatively re-run "
+                     "its task on a fresh worker and take the first "
+                     "answer (default: off)")
 
     figs = sub.add_parser("figures", help="print quick figure tables")
     figs.add_argument("--sizes", type=float, nargs="+", default=[18.0, 49.45])
@@ -339,6 +356,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         policy_seed=args.seed,
         top_k=args.top_k,
         index=index_settings,
+        max_retries=args.max_retries,
+        degraded_ok=args.degraded_ok,
+        hedge_after=args.hedge_after,
     )
     source = "index archive" if args.index is not None else "FASTA"
     mode = "pipelined" if args.pipeline else "sequential"
@@ -375,6 +395,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     f"{stats.query_wall_max_s * 1e3:.1f}",
                     f"{stats.overlap_s * 1e3:.1f}",
                     stats.scatter_bytes,
+                    stats.retries,
+                    stats.hedged,
+                    stats.respawned,
+                    ",".join(map(str, stats.degraded_ranks)) or "-",
                 )
             )
             if args.report_dir is not None:
@@ -382,7 +406,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 write_psm_report(report_path, results, db.entries)
         print(format_table(
             ["batch", "file", "spectra", "cPSMs", "total ms", "query ms",
-             "overlap ms", "scatter B"],
+             "overlap ms", "scatter B", "retries", "hedged", "respawn",
+             "degraded"],
             rows,
             title=f"session: {len(batch_paths)} batches on resident workers",
         ))
@@ -441,9 +466,24 @@ _COMMANDS = {
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Worker and service failures reaching this level are user-facing
+    operational faults, not programming errors: they print a one-line
+    diagnosis (rank, exit code, retry count) to stderr and exit
+    nonzero instead of dumping a traceback.  Everything else — actual
+    bugs — still propagates with a full traceback.
+    """
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except WorkerError as exc:
+        print(f"repro {args.command}: {exc.brief}", file=sys.stderr)
+        return 1
+    except ServiceError as exc:
+        summary = str(exc).splitlines()[0] if str(exc) else type(exc).__name__
+        print(f"repro {args.command}: {summary}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()

@@ -47,8 +47,51 @@ class CommunicatorError(ReproError, RuntimeError):
 class WorkerError(ReproError, RuntimeError):
     """A real-OS-process worker of the parallel backend failed: it
     raised (the message carries the remote traceback), died without
-    reporting (the message carries the exit code), or the whole pool
-    exceeded its deadline."""
+    reporting (the message carries the exit code), or exceeded the
+    round deadline.
+
+    Structured fields for supervision and one-line CLI diagnosis:
+
+    Attributes
+    ----------
+    rank:
+        Failing rank, or ``None`` when the failure is not per-rank.
+    exit_code:
+        The dead worker's exit code, or ``None`` when it raised or
+        exceeded the deadline.
+    retries:
+        Retries the supervision layer spent on this rank before
+        giving up (0 with retries disabled).
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        rank: "int | None" = None,
+        exit_code: "int | None" = None,
+        retries: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.rank = rank
+        self.exit_code = exit_code
+        self.retries = retries
+
+    @property
+    def brief(self) -> str:
+        """One-line diagnosis (rank, exit code, retry count) — what the
+        CLI prints instead of a raw traceback."""
+        parts = []
+        if self.rank is not None:
+            parts.append(f"rank {self.rank}")
+        if self.exit_code is not None:
+            parts.append(f"exit code {self.exit_code}")
+        if self.retries:
+            parts.append(f"after {self.retries} retr"
+                         + ("y" if self.retries == 1 else "ies"))
+        summary = str(self).splitlines()[0] if str(self) else "worker failure"
+        suffix = f" ({', '.join(parts)})" if parts else ""
+        return f"{summary}{suffix}"
 
 
 class ServiceError(ReproError, RuntimeError):

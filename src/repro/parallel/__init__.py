@@ -30,6 +30,11 @@ same rank program (:mod:`repro.search.rank`) on real OS processes:
   :class:`~repro.parallel.persistent.RoundHandle` ``.collect()``
   halves, the primitive the service's pipelined session overlaps
   master-side work with,
+* :mod:`repro.parallel.faults` — deterministic fault injection
+  (crash / raise / hang / slow at any worker stage, once-only across
+  respawns via an on-disk ledger), the substrate of the chaos suite
+  that proves the supervision layer heals every fault class
+  bit-identically,
 * :mod:`repro.parallel.shared_spectra` — the
   :class:`~repro.parallel.shared_spectra.SharedSpectraStore` giving
   preprocessed query batches the same memmap-shared treatment, so the
@@ -37,6 +42,7 @@ same rank program (:mod:`repro.search.rank`) on real OS processes:
 """
 
 from repro.parallel.engine import ParallelEngineConfig, ParallelSearchEngine
+from repro.parallel.faults import FaultInjected, FaultPlan, FaultSpec, maybe_inject
 from repro.parallel.persistent import PersistentPool, PoolBatchResult, RoundHandle
 from repro.parallel.pool import ProcessBackend, ProcessResult
 from repro.parallel.shared_arena import (
@@ -49,6 +55,10 @@ from repro.parallel.shared_arena import (
 from repro.parallel.shared_spectra import SharedSpectraStore
 
 __all__ = [
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "maybe_inject",
     "ParallelEngineConfig",
     "ParallelSearchEngine",
     "PersistentPool",

@@ -10,20 +10,54 @@ partial index), then answers any number of ``QUERY`` commands against
 that state until ``SHUTDOWN``.  HiCOPS keeps its parallel machinery
 resident across query batches for exactly this amortization.
 
-The crash/deadline contract mirrors ``ProcessBackend`` — no failure
-mode may hang, every failure surfaces as
-:class:`~repro.errors.WorkerError` — but with session survival on top:
+Failure semantics
+-----------------
+The contract is "never hangs, heals fast": no failure mode may block
+forever, and with ``max_retries > 0`` a round *survives* its workers —
+the failing rank's payload is replayed on a respawned worker and the
+round completes bit-identically to the fault-free run.  The matrix
+(fault × stage → observed behavior, with R = ``max_retries``):
 
-* a worker that *raises* during a batch reports the remote traceback
-  and **keeps looping**; the batch fails with :class:`WorkerError`,
-  the session does not,
-* a worker that *dies* (segfault, ``os._exit``, kill) fails the
-  in-flight batch with :class:`WorkerError` carrying its exit code;
-  the pool **respawns and re-attaches** the rank automatically before
-  the next batch, so the service survives,
-* a batch that exceeds the deadline terminates the stragglers (a
-  stuck worker cannot be resynchronized) and raises; the stragglers
-  are respawned + re-attached on the next batch.
+=====================  ==================================================
+fault at stage         observed behavior
+=====================  ==================================================
+crash before attach    ATTACH round fails for the rank; supervision
+(spawn / attach)       respawns it, the replayed attach IS the retry —
+                       heals for R >= 1, else :class:`WorkerError` with
+                       the exit code.
+raise during attach    error reply, worker stays resident; retry
+                       re-sends the attach payload — heals for R >= 1.
+crash mid-query        death detected via the process sentinel; retry
+                       respawns + re-attaches the rank and re-dispatches
+                       **only its payload** with exponential backoff —
+                       heals for R >= 1, else fails the batch (session
+                       survives either way, next round respawns).
+crash before reply     same as crash mid-query (work computed but never
+                       reported is indistinguishable from never run).
+raise mid-query        error reply carrying the remote traceback; the
+                       worker keeps looping (pipe stays synchronized);
+                       retry re-sends the payload to the same worker.
+hang                   the per-rank round deadline expires, the stuck
+                       worker is terminated (it cannot be
+                       resynchronized) and the rank retried as a death.
+slow (straggler)       not a failure: with ``hedge_after`` set, the
+                       soft deadline launches a speculative duplicate
+                       of each still-outstanding rank's task on a
+                       fresh attached worker; first answer wins, keyed
+                       per (round, rank), the loser is terminated so a
+                       late duplicate can never double-merge.
+retries exhausted      default: the round raises the lowest failing
+                       rank's :class:`WorkerError` (structured with
+                       ``rank`` / ``exit_code`` / ``retries``).  With
+                       ``degraded_ok=True`` a QUERY round instead
+                       returns a partial :class:`PoolBatchResult` whose
+                       ``failed_ranks`` mask names the missing ranks
+                       (their ``results`` entries are ``None``).
+=====================  ==================================================
+
+Fault injection for the chaos suite lives in
+:mod:`repro.parallel.faults`; the plan reaches every worker (and every
+hedge) as a spawn argument, or via the ``REPRO_FAULT_PLAN`` env var.
 
 Split rounds (the pipelining substrate)
 ---------------------------------------
@@ -38,7 +72,8 @@ the pipe at a time** (a second ``dispatch`` before ``collect`` raises
 :class:`~repro.errors.PipelineError`): the pipe protocol is strict
 request/response per worker, and a single in-flight round is exactly
 what keeps the crash/respawn/deadline contract per round unchanged.
-The round's deadline starts at ``dispatch`` time.
+The round's deadline starts at ``dispatch`` time; a retry resets the
+retried rank's deadline only.
 
 The scatter pickles each **distinct payload object once** — when every
 rank receives the same task object (the service's per-batch command),
@@ -64,6 +99,7 @@ from multiprocessing.reduction import ForkingPickler
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, PipelineError, ServiceError, WorkerError
+from repro.parallel.faults import FaultPlan, maybe_inject
 
 __all__ = ["PersistentPool", "PoolBatchResult", "RoundHandle"]
 
@@ -79,17 +115,29 @@ class PoolBatchResult:
     Attributes
     ----------
     results:
-        Per-rank return values of the command callable.
+        Per-rank return values of the command callable (``None`` at
+        the positions named by ``failed_ranks`` in a degraded round).
     wall_times / cpu_times:
         Per-rank real elapsed / process-CPU seconds inside the
         callable (excludes pipe transfer).
     respawned:
-        Workers that had to be respawned (and re-attached) before this
-        round could run — 0 in steady state.
+        Workers that had to be respawned (and re-attached) for this
+        round — before it (death between rounds) or during it (retry
+        after a mid-round death).  0 in steady state.
     scatter_bytes:
         Actual command bytes written to the worker pipes for this
         round (each distinct payload object pickled once, its buffer
         reused for every rank that receives it).
+    retries:
+        Per-rank re-dispatches the supervision layer performed to
+        finish this round (0 in steady state).
+    hedged:
+        Speculative straggler duplicates launched by the soft
+        ``hedge_after`` deadline (0 in steady state).
+    failed_ranks:
+        Ranks with no result after retries exhausted — non-empty only
+        in ``degraded_ok`` mode, where it is the per-rank coverage
+        mask's complement.
     """
 
     results: List[Any]
@@ -97,10 +145,13 @@ class PoolBatchResult:
     cpu_times: List[float]
     respawned: int = 0
     scatter_bytes: int = 0
+    retries: int = 0
+    hedged: int = 0
+    failed_ranks: Tuple[int, ...] = ()
 
     @property
     def n_workers(self) -> int:
-        """Number of workers that answered."""
+        """Number of worker slots in the round (including failed ones)."""
         return len(self.results)
 
     @property
@@ -114,8 +165,8 @@ class RoundHandle:
 
     Returned by :meth:`PersistentPool.dispatch` after the command was
     scattered — the workers are already computing.  ``collect`` blocks
-    until every worker replied (or the round's deadline, which started
-    at dispatch time, expires) and returns the same
+    until every worker replied (or retries/hedges resolved it, or the
+    per-rank deadlines expired) and returns the same
     :class:`PoolBatchResult` the blocking :meth:`~PersistentPool.run_batch`
     would have.  A handle is single-use: collecting twice, collecting
     a stale handle, or dispatching again while this round is still on
@@ -126,7 +177,8 @@ class RoundHandle:
     command:
         The pipe command that was scattered (attach or query).
     deadline:
-        ``time.monotonic()`` instant the round must finish by.
+        ``time.monotonic()`` instant the round (initially) must finish
+        by; a retried rank gets a fresh deadline of its own.
     respawned:
         Workers respawned (and re-attached) to scatter this round.
     scatter_bytes:
@@ -134,7 +186,7 @@ class RoundHandle:
     """
 
     __slots__ = ("_pool", "command", "deadline", "respawned", "scatter_bytes",
-                 "_collected", "_aborted")
+                 "fn", "payloads", "dispatched_at", "_collected", "_aborted")
 
     def __init__(
         self,
@@ -143,12 +195,18 @@ class RoundHandle:
         deadline: float,
         respawned: int,
         scatter_bytes: int,
+        fn: Callable,
+        payloads: List[Any],
+        dispatched_at: float,
     ) -> None:
         self._pool = pool
         self.command = command
         self.deadline = deadline
         self.respawned = respawned
         self.scatter_bytes = scatter_bytes
+        self.fn = fn
+        self.payloads = payloads
+        self.dispatched_at = dispatched_at
         self._collected = False
         self._aborted = False
 
@@ -162,9 +220,18 @@ class RoundHandle:
         return self._pool._collect(self)
 
 
-def _persistent_worker_entry(conn, rank: int, size: int) -> None:
-    """Worker-side command loop: ATTACH once, QUERY forever, SHUTDOWN."""
+def _persistent_worker_entry(
+    conn, rank: int, size: int, fault_plan: Optional[FaultPlan] = None
+) -> None:
+    """Worker-side command loop: ATTACH once, QUERY forever, SHUTDOWN.
+
+    ``fault_plan`` is the chaos harness's injection schedule (see
+    :mod:`repro.parallel.faults`); ``None`` — the production case — is
+    a single no-op check per command.
+    """
+    maybe_inject(fault_plan, rank, "spawn")
     state: Any = None
+    query_ordinal = 0
     while True:
         try:
             message = conn.recv()
@@ -178,7 +245,19 @@ def _persistent_worker_entry(conn, rank: int, size: int) -> None:
                 pass
             break
         fn, payload = message[1], message[2]
+        if command == _ATTACH:
+            stage, batch = "attach", None
+        else:
+            # Batch coordinate for fault scheduling: the payload's own
+            # batch_index when it carries one (the service's QueryTask
+            # echoes it), else this worker's query ordinal.
+            stage = "query"
+            batch = getattr(payload, "batch_index", None)
+            if not isinstance(batch, int) or batch < 0:
+                batch = query_ordinal
+            query_ordinal += 1
         try:
+            maybe_inject(fault_plan, rank, stage, batch)
             t0 = time.perf_counter()
             c0 = time.process_time()
             if command == _ATTACH:
@@ -187,6 +266,7 @@ def _persistent_worker_entry(conn, rank: int, size: int) -> None:
                 result = fn(rank, size, state, payload)
             wall = time.perf_counter() - t0
             cpu = time.process_time() - c0
+            maybe_inject(fault_plan, rank, "reply", batch)
         except BaseException as exc:  # noqa: BLE001 - reported to the master
             try:
                 conn.send(
@@ -221,6 +301,19 @@ def _terminate_quietly(proc) -> None:
         pass
 
 
+class _Hedge:
+    """One speculative straggler duplicate: a fresh attached worker
+    racing the original rank, first answer wins."""
+
+    __slots__ = ("proc", "pipe", "attach_done", "deadline")
+
+    def __init__(self, proc, pipe, deadline: float) -> None:
+        self.proc = proc
+        self.pipe = pipe
+        self.attach_done = False
+        self.deadline = deadline
+
+
 class PersistentPool:
     """``n_workers`` resident OS processes answering command rounds.
 
@@ -232,7 +325,31 @@ class PersistentPool:
         ``multiprocessing`` start method; ``spawn`` (default) for a
         fresh interpreter per worker on every platform.
     timeout:
-        Real-seconds deadline per command round (attach or batch).
+        Real-seconds deadline per command round (attach or batch);
+        per-rank, reset by a retry.
+    max_retries:
+        Per-rank re-dispatch budget per round.  0 (default) keeps the
+        historical fail-fast contract; >= 1 makes a round survive
+        crashes, raises, and deadline kills of its workers.
+    backoff_s:
+        Base of the exponential retry backoff: attempt *k* sleeps
+        ``backoff_s * 2**(k-1)`` before re-dispatching.
+    hedge_after:
+        Soft per-round deadline in seconds; when a QUERY round is
+        still incomplete this long after dispatch, every outstanding
+        rank's task is speculatively duplicated on a fresh attached
+        worker (at most one hedge per rank per round; first answer
+        wins).  ``None`` (default) disables hedging — the idle path
+        then adds no syscalls beyond the plain deadline wait.
+    degraded_ok:
+        When True, a QUERY round whose retries are exhausted returns a
+        partial :class:`PoolBatchResult` (``failed_ranks`` mask,
+        ``None`` results) instead of raising.  Attach rounds always
+        fail loud.
+    fault_plan:
+        Chaos-testing injection schedule handed to every spawned
+        worker; defaults to :meth:`FaultPlan.from_env` so a plan in
+        ``REPRO_FAULT_PLAN`` reaches a whole CLI session.
 
     Use as a context manager, or call :meth:`close` explicitly; a
     dropped pool terminates its workers through a finalizer.
@@ -244,6 +361,11 @@ class PersistentPool:
         *,
         start_method: str = "spawn",
         timeout: float = 600.0,
+        max_retries: int = 0,
+        backoff_s: float = 0.05,
+        hedge_after: Optional[float] = None,
+        degraded_ok: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if n_workers < 1:
             raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
@@ -254,9 +376,26 @@ class PersistentPool:
                 f"start method {start_method!r} not available "
                 f"(have {mp.get_all_start_methods()})"
             )
+        if max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {max_retries}"
+            )
+        if backoff_s < 0:
+            raise ConfigurationError(f"backoff_s must be >= 0, got {backoff_s}")
+        if hedge_after is not None and hedge_after <= 0:
+            raise ConfigurationError(
+                f"hedge_after must be > 0 or None, got {hedge_after}"
+            )
         self.n_workers = n_workers
         self.start_method = start_method
         self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.hedge_after = hedge_after
+        self.degraded_ok = degraded_ok
+        self._fault_plan = (
+            fault_plan if fault_plan is not None else FaultPlan.from_env()
+        )
         self._ctx = mp.get_context(start_method)
         self._procs: List[Optional[Any]] = [None] * n_workers
         self._pipes: List[Optional[Any]] = [None] * n_workers
@@ -361,7 +500,7 @@ class PersistentPool:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         proc = self._ctx.Process(
             target=_persistent_worker_entry,
-            args=(child_conn, rank, self.n_workers),
+            args=(child_conn, rank, self.n_workers, self._fault_plan),
             name=f"repro-resident-{rank}",
             daemon=True,
         )
@@ -372,8 +511,13 @@ class PersistentPool:
         self._procs[rank] = proc
         self._pipes[rank] = parent_conn
 
-    def _respawn(self, rank: int, deadline: float) -> None:
-        """Replace a dead worker and replay its ATTACH."""
+    def _respawn(self, rank: int, deadline: float) -> Optional[Tuple[Any, float, float]]:
+        """Replace a dead worker and replay its ATTACH.
+
+        Returns the replayed attach's ``(report, wall, cpu)`` — an
+        ATTACH-round retry uses it directly as the rank's result — or
+        ``None`` when no attach has been recorded yet.
+        """
         proc = self._procs[rank]
         if proc is not None:
             _terminate_quietly(proc)
@@ -385,7 +529,8 @@ class PersistentPool:
         if self._attach is not None:
             fn, payloads = self._attach
             self._pipes[rank].send((_ATTACH, fn, payloads[rank]))
-            self._receive(rank, deadline)
+            return self._receive(rank, deadline)
+        return None
 
     def _ensure_alive(self, deadline: float) -> int:
         """Respawn (and re-attach) any rank that died between rounds."""
@@ -467,7 +612,8 @@ class PersistentPool:
                 "a round is already on the pipe; collect() its handle "
                 "before dispatching the next one"
             )
-        deadline = time.monotonic() + self.timeout
+        dispatched_at = time.monotonic()
+        deadline = dispatched_at + self.timeout
         respawned = self._ensure_alive(deadline)
         dispatched: List[int] = []
         # Each distinct payload object is pickled once and its buffer
@@ -501,7 +647,8 @@ class PersistentPool:
                     # respawns everything with clean pipes.
                     self._abort_dispatched(dispatched)
                     raise WorkerError(
-                        f"worker {rank} died immediately after respawn: {exc}"
+                        f"worker {rank} died immediately after respawn: {exc}",
+                        rank=rank,
                     ) from None
                 except BaseException:
                     self._abort_dispatched(dispatched)
@@ -514,7 +661,10 @@ class PersistentPool:
                 self._abort_dispatched(dispatched)
                 raise
             dispatched.append(rank)
-        handle = RoundHandle(self, command, deadline, respawned, scatter_bytes)
+        handle = RoundHandle(
+            self, command, deadline, respawned, scatter_bytes,
+            fn, payloads, dispatched_at,
+        )
         self._inflight = handle
         return handle
 
@@ -541,64 +691,305 @@ class PersistentPool:
                 self._inflight = None
 
     def _collect_locked(self, handle: RoundHandle) -> PoolBatchResult:
-        deadline = handle.deadline
+        """Supervised gather: drain replies, retry failed ranks, hedge
+        stragglers, and finish the round one way — full result, partial
+        (degraded) result, or the lowest failing rank's error."""
         results: List[Any] = [None] * self.n_workers
         walls = [0.0] * self.n_workers
         cpus = [0.0] * self.n_workers
         pending = set(range(self.n_workers))
+        deadlines = {rank: handle.deadline for rank in pending}
+        attempts = {rank: 0 for rank in pending}
         failures: dict[int, WorkerError] = {}
-        deadline_failure: Optional[WorkerError] = None
-        while pending:
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                # Stuck workers cannot be resynchronized — kill them;
-                # the next round respawns and re-attaches.
-                for rank in sorted(pending):
-                    _terminate_quietly(self._procs[rank])
-                stuck = sorted(pending)
-                pending.clear()
-                deadline_failure = WorkerError(
-                    f"resident pool deadline ({self.timeout:.0f}s) expired "
-                    f"with workers {stuck} still running"
+        provisional: dict[int, WorkerError] = {}  # awaiting an outstanding hedge
+        resolved: set[int] = set()
+        hedges: dict[int, _Hedge] = {}
+        counters = {"retries": 0, "respawns": 0, "hedged": 0}
+        # The soft straggler deadline arms once per round, QUERY only,
+        # and needs attach state to clone (a hedge must re-attach).
+        hedge_at: Optional[float] = None
+        if (
+            self.hedge_after is not None
+            and handle.command == _QUERY
+            and self._attach is not None
+        ):
+            hedge_at = handle.dispatched_at + self.hedge_after
+
+        def rank_resolved(rank: int) -> None:
+            """The original worker answered: first answer wins — a
+            still-racing hedge is terminated so its late duplicate can
+            never merge."""
+            resolved.add(rank)
+            hedge = hedges.pop(rank, None)
+            if hedge is not None:
+                _terminate_quietly(hedge.proc)
+                try:
+                    hedge.pipe.close()
+                except OSError:
+                    pass
+
+        def promote_hedge(rank: int, hedge: _Hedge, message) -> None:
+            """The hedge answered first: take its result and install it
+            as the rank's resident worker (it holds full attach state);
+            the superseded original is terminated."""
+            _, result, wall, cpu = message
+            orig_proc, orig_pipe = self._procs[rank], self._pipes[rank]
+            if orig_proc is not None:
+                _terminate_quietly(orig_proc)
+            if orig_pipe is not None:
+                try:
+                    orig_pipe.close()
+                except OSError:
+                    pass
+            self._procs[rank] = hedge.proc
+            self._pipes[rank] = hedge.pipe
+            self._respawn_total += 1
+            counters["respawns"] += 1
+            results[rank], walls[rank], cpus[rank] = result, wall, cpu
+            resolved.add(rank)
+            pending.discard(rank)
+            provisional.pop(rank, None)
+            failures.pop(rank, None)
+            del hedges[rank]
+
+        def launch_hedge(rank: int) -> None:
+            fn_attach, attach_payloads = self._attach
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            proc = self._ctx.Process(
+                target=_persistent_worker_entry,
+                args=(child_conn, rank, self.n_workers, self._fault_plan),
+                name=f"repro-hedge-{rank}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            try:
+                # Attach and query back-to-back; the worker answers the
+                # attach report first, then the query result.
+                parent_conn.send((_ATTACH, fn_attach, attach_payloads[rank]))
+                parent_conn.send_bytes(
+                    bytes(
+                        ForkingPickler.dumps(
+                            (handle.command, handle.fn, handle.payloads[rank])
+                        )
+                    )
                 )
-                break
-            waitees = [self._pipes[r] for r in pending] + [
-                self._procs[r].sentinel for r in pending
-            ]
-            connection.wait(waitees, timeout=remaining)
-            for rank in sorted(pending):
-                if self._pipes[rank].poll():
-                    failure = self._consume(rank, results, walls, cpus)
-                    pending.discard(rank)
-                    if failure is not None:
-                        failures[rank] = failure
-                elif not self._procs[rank].is_alive():
-                    self._procs[rank].join()
+            except (BrokenPipeError, OSError):
+                _terminate_quietly(proc)
+                parent_conn.close()
+                return
+            hedges[rank] = _Hedge(
+                proc, parent_conn, time.monotonic() + self.timeout
+            )
+            counters["hedged"] += 1
+
+        def hedge_failed(rank: int) -> None:
+            """A hedge crashed, raised, or timed out: discard it; the
+            rank keeps riding its original worker unless that already
+            failed permanently, in which case the failure lands now."""
+            hedge = hedges.pop(rank)
+            _terminate_quietly(hedge.proc)
+            try:
+                hedge.pipe.close()
+            except OSError:
+                pass
+            if rank in provisional:
+                failures[rank] = provisional.pop(rank)
+
+        def fail_rank(rank: int, exc: WorkerError, dead: bool) -> None:
+            """Retry the rank with exponential backoff, or record its
+            permanent failure (deferred while a hedge still races)."""
+            while True:
+                # Trust liveness over the caller's flag: a dead worker's
+                # pipe polls readable (EOF), so its failure arrives via
+                # _consume like a raise — re-sending to it would burn a
+                # retry on a broken pipe.
+                proc = self._procs[rank]
+                if proc is None or not proc.is_alive():
+                    dead = True
+                attempts[rank] += 1
+                if attempts[rank] > self.max_retries:
+                    exc.rank = rank
+                    exc.retries = attempts[rank] - 1
+                    if rank in hedges:
+                        provisional[rank] = exc
+                    else:
+                        failures[rank] = exc
+                    return
+                counters["retries"] += 1
+                delay = self.backoff_s * (2 ** (attempts[rank] - 1))
+                if delay > 0:
+                    time.sleep(delay)
+                try:
+                    if dead:
+                        report = self._respawn(
+                            rank, time.monotonic() + self.timeout
+                        )
+                        counters["respawns"] += 1
+                        if handle.command == _ATTACH and report is not None:
+                            # The replayed attach IS the retried work.
+                            results[rank], walls[rank], cpus[rank] = report
+                            rank_resolved(rank)
+                            return
+                    self._pipes[rank].send_bytes(
+                        bytes(
+                            ForkingPickler.dumps(
+                                (handle.command, handle.fn, handle.payloads[rank])
+                            )
+                        )
+                    )
+                    deadlines[rank] = time.monotonic() + self.timeout
+                    pending.add(rank)
+                    return
+                except WorkerError as retry_exc:
+                    exc, dead = retry_exc, True
+                except (BrokenPipeError, OSError) as pipe_exc:
+                    exc = WorkerError(
+                        f"worker {rank} died during retry re-dispatch: "
+                        f"{pipe_exc}",
+                        rank=rank,
+                    )
+                    dead = True
+
+        try:
+            while pending or hedges:
+                now = time.monotonic()
+                # Hard per-rank deadlines: a stuck worker cannot be
+                # resynchronized — kill it, then retry as a death.
+                for rank in sorted(pending):
+                    if now >= deadlines[rank]:
+                        _terminate_quietly(self._procs[rank])
+                        pending.discard(rank)
+                        fail_rank(
+                            rank,
+                            WorkerError(
+                                f"worker {rank} exceeded the resident round "
+                                f"deadline ({self.timeout:.0f}s) and was "
+                                f"terminated",
+                                rank=rank,
+                            ),
+                            dead=True,
+                        )
+                for rank in sorted(hedges):
+                    if now >= hedges[rank].deadline:
+                        hedge_failed(rank)
+                # Soft straggler deadline: one speculative duplicate
+                # per still-outstanding rank, once per round.
+                if hedge_at is not None and now >= hedge_at:
+                    for rank in sorted(pending - set(hedges)):
+                        launch_hedge(rank)
+                    hedge_at = None
+                if not pending and not hedges:
+                    break
+                wakeups = [deadlines[rank] for rank in pending]
+                wakeups.extend(hedge.deadline for hedge in hedges.values())
+                if hedge_at is not None:
+                    wakeups.append(hedge_at)
+                waitees: List[Any] = []
+                for rank in pending:
+                    waitees.append(self._pipes[rank])
+                    waitees.append(self._procs[rank].sentinel)
+                for hedge in hedges.values():
+                    waitees.append(hedge.pipe)
+                    waitees.append(hedge.proc.sentinel)
+                connection.wait(
+                    waitees, timeout=max(0.0, min(wakeups) - time.monotonic())
+                )
+                for rank in sorted(pending):
                     if self._pipes[rank].poll():
                         failure = self._consume(rank, results, walls, cpus)
                         pending.discard(rank)
-                        if failure is not None:
-                            failures[rank] = failure
-                    else:
-                        pending.discard(rank)
-                        failures[rank] = WorkerError(
-                            f"worker {rank} died mid-batch without reporting "
-                            f"(exit code {self._procs[rank].exitcode})"
-                        )
+                        if failure is None:
+                            rank_resolved(rank)
+                        else:
+                            fail_rank(rank, failure, dead=False)
+                    elif not self._procs[rank].is_alive():
+                        self._procs[rank].join()
+                        if self._pipes[rank].poll():
+                            failure = self._consume(rank, results, walls, cpus)
+                            pending.discard(rank)
+                            if failure is None:
+                                rank_resolved(rank)
+                            else:
+                                fail_rank(rank, failure, dead=False)
+                        else:
+                            pending.discard(rank)
+                            fail_rank(
+                                rank,
+                                WorkerError(
+                                    f"worker {rank} died mid-batch without "
+                                    f"reporting (exit code "
+                                    f"{self._procs[rank].exitcode})",
+                                    rank=rank,
+                                    exit_code=self._procs[rank].exitcode,
+                                ),
+                                dead=True,
+                            )
+                for rank in sorted(hedges):
+                    hedge = hedges.get(rank)
+                    while hedge is not None and rank in hedges:
+                        if hedge.pipe.poll():
+                            try:
+                                message = hedge.pipe.recv()
+                            except (EOFError, OSError):
+                                hedge_failed(rank)
+                                break
+                            if message[0] == "error":
+                                hedge_failed(rank)
+                                break
+                            if not hedge.attach_done:
+                                hedge.attach_done = True
+                                continue  # the query reply may follow
+                            if rank in resolved:
+                                # First answer already won; the hedge's
+                                # late duplicate must never merge.
+                                hedge_failed(rank)
+                                break
+                            promote_hedge(rank, hedge, message)
+                            break
+                        if not hedge.proc.is_alive():
+                            hedge.proc.join()
+                            if hedge.pipe.poll():
+                                continue
+                            hedge_failed(rank)
+                            break
+                        break
+        finally:
+            # No hedge may outlive its round, whatever path exits it.
+            for rank in list(hedges):
+                hedge = hedges.pop(rank)
+                _terminate_quietly(hedge.proc)
+                try:
+                    hedge.pipe.close()
+                except OSError:
+                    pass
+        failures.update(provisional)
+        respawned = handle.respawned + counters["respawns"]
         if failures:
+            if self.degraded_ok and handle.command == _QUERY:
+                return PoolBatchResult(
+                    results=results,
+                    wall_times=walls,
+                    cpu_times=cpus,
+                    respawned=respawned,
+                    scatter_bytes=handle.scatter_bytes,
+                    retries=counters["retries"],
+                    hedged=counters["hedged"],
+                    failed_ranks=tuple(sorted(failures)),
+                )
             # Healthy workers have been drained, so the pipes stay in
             # request/response sync; dead ones respawn next round.  The
             # lowest failing rank is surfaced deterministically, not
             # whichever reply happened to arrive first.
             raise failures[min(failures)]
-        if deadline_failure is not None:
-            raise deadline_failure
         return PoolBatchResult(
             results=results,
             wall_times=walls,
             cpu_times=cpus,
-            respawned=handle.respawned,
+            respawned=respawned,
             scatter_bytes=handle.scatter_bytes,
+            retries=counters["retries"],
+            hedged=counters["hedged"],
         )
 
     def _abort_dispatched(self, dispatched: List[int]) -> None:
@@ -619,13 +1010,16 @@ class PersistentPool:
             proc.join()
             return WorkerError(
                 f"worker {rank} died mid-batch without reporting "
-                f"(exit code {proc.exitcode})"
+                f"(exit code {proc.exitcode})",
+                rank=rank,
+                exit_code=proc.exitcode,
             )
         if message[0] == "error":
             _, summary, remote_tb = message
             return WorkerError(
                 f"worker {rank} raised {summary}\n"
-                f"--- remote traceback ---\n{remote_tb}"
+                f"--- remote traceback ---\n{remote_tb}",
+                rank=rank,
             )
         _, result, wall, cpu = message
         results[rank] = result
@@ -633,14 +1027,16 @@ class PersistentPool:
         cpus[rank] = cpu
         return None
 
-    def _receive(self, rank: int, deadline: float) -> Any:
-        """Await one rank's reply (used for replayed ATTACH rounds)."""
+    def _receive(self, rank: int, deadline: float) -> Tuple[Any, float, float]:
+        """Await one rank's reply (used for replayed ATTACH rounds);
+        returns ``(result, wall, cpu)``."""
         while True:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 _terminate_quietly(self._procs[rank])
                 raise WorkerError(
-                    f"worker {rank} exceeded the deadline while re-attaching"
+                    f"worker {rank} exceeded the deadline while re-attaching",
+                    rank=rank,
                 )
             connection.wait(
                 [self._pipes[rank], self._procs[rank].sentinel], timeout=remaining
@@ -652,14 +1048,16 @@ class PersistentPool:
                 failure = self._consume(rank, results, walls, cpus)
                 if failure is not None:
                     raise failure
-                return results[rank]
+                return results[rank], walls[rank], cpus[rank]
             if not self._procs[rank].is_alive():
                 self._procs[rank].join()
                 if self._pipes[rank].poll():
                     continue
                 raise WorkerError(
                     f"worker {rank} died while re-attaching "
-                    f"(exit code {self._procs[rank].exitcode})"
+                    f"(exit code {self._procs[rank].exitcode})",
+                    rank=rank,
+                    exit_code=self._procs[rank].exitcode,
                 )
 
 

@@ -36,6 +36,7 @@ from multiprocessing import connection
 from typing import Any, Callable, List, Sequence
 
 from repro.errors import ConfigurationError, WorkerError
+from repro.parallel.faults import FaultPlan, maybe_inject
 
 __all__ = ["ProcessBackend", "ProcessResult"]
 
@@ -73,14 +74,17 @@ class ProcessResult:
         return max(self.wall_times) if self.wall_times else 0.0
 
 
-def _worker_entry(conn, fn, rank: int, size: int, payload) -> None:
+def _worker_entry(conn, fn, rank: int, size: int, payload, fault_plan=None) -> None:
     """Worker-side wrapper: run ``fn``, report result or traceback."""
     try:
+        maybe_inject(fault_plan, rank, "spawn")
+        maybe_inject(fault_plan, rank, "query", 0)
         t0 = time.perf_counter()
         c0 = time.process_time()
         result = fn(rank, size, payload)
         wall = time.perf_counter() - t0
         cpu = time.process_time() - c0
+        maybe_inject(fault_plan, rank, "reply", 0)
     except BaseException as exc:  # noqa: BLE001 - reported to the master
         try:
             conn.send(
@@ -124,6 +128,11 @@ class ProcessBackend:
     timeout:
         Real-seconds deadline for the whole pool; exceeding it
         terminates every worker and raises :class:`WorkerError`.
+    fault_plan:
+        Chaos-testing injection schedule (see
+        :mod:`repro.parallel.faults`) handed to every worker; defaults
+        to :meth:`FaultPlan.from_env`, i.e. production runs with the
+        env var unset get a no-op.
     """
 
     def __init__(
@@ -132,6 +141,7 @@ class ProcessBackend:
         *,
         start_method: str = "spawn",
         timeout: float = 600.0,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if n_workers < 1:
             raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
@@ -145,6 +155,9 @@ class ProcessBackend:
         self.n_workers = n_workers
         self.start_method = start_method
         self.timeout = timeout
+        self._fault_plan = (
+            fault_plan if fault_plan is not None else FaultPlan.from_env()
+        )
 
     def run(
         self,
@@ -172,7 +185,7 @@ class ProcessBackend:
             parent_conn, child_conn = ctx.Pipe(duplex=False)
             proc = ctx.Process(
                 target=_worker_entry,
-                args=(child_conn, fn, rank, size, payloads[rank]),
+                args=(child_conn, fn, rank, size, payloads[rank], self._fault_plan),
                 name=f"repro-worker-{rank}",
                 daemon=True,
             )

@@ -9,7 +9,7 @@ feed the metrics module and the benchmark harness.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 __all__ = ["PSM", "SpectrumResult", "RankStats", "SearchResults"]
 
@@ -125,6 +125,12 @@ class SearchResults:
         Partition policy used (``"shared"`` for the serial engine).
     n_ranks:
         Ranks that executed the search.
+    degraded_ranks:
+        Ranks whose partition contributed **nothing** to these results
+        (the service's opt-in ``degraded_ok`` mode after a rank's
+        retries were exhausted).  Empty — full coverage — everywhere
+        else; a non-empty mask means every candidate count and PSM
+        list excludes those ranks' database partitions.
     """
 
     spectra: List[SpectrumResult]
@@ -132,6 +138,12 @@ class SearchResults:
     phase_times: Dict[str, float]
     policy_name: str
     n_ranks: int
+    degraded_ranks: Tuple[int, ...] = ()
+
+    @property
+    def is_degraded(self) -> bool:
+        """True when these results cover only part of the database."""
+        return bool(self.degraded_ranks)
 
     @property
     def total_cpsms(self) -> int:

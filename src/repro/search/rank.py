@@ -184,6 +184,12 @@ def merge_rank_payloads(
     up; top-k lists merge by (score desc, entry id asc).  Returns the
     per-spectrum results and the total PSM count (the merge-cost
     basis).
+
+    A ``None`` entry in ``gathered`` is a **degraded rank** (the
+    service's ``degraded_ok`` mode after retries exhausted): it
+    contributes no candidates and no PSMs — the caller carries the
+    coverage mask (:attr:`~repro.search.psm.SearchResults.degraded_ranks`)
+    so partial results are always explicit, never silent.
     """
     results: List[SpectrumResult] = []
     total_psms = 0
@@ -192,7 +198,10 @@ def merge_rank_payloads(
         scores_parts: List[np.ndarray] = []
         shared_parts: List[np.ndarray] = []
         n_candidates = 0
-        for rank, (counts, local_psms) in enumerate(gathered):
+        for rank, payload in enumerate(gathered):
+            if payload is None:
+                continue
+            counts, local_psms = payload
             n_candidates += int(counts[si])
             local_ids, scores, shared = local_psms[si]
             if local_ids.size:

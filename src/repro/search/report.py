@@ -47,10 +47,18 @@ def write_psm_report(
     ``peptides`` is the entry universe (``database.entries``) used to
     annotate each PSM with its peptide string (mods rendered in
     bracket notation, e.g. ``PEPT[+15.995]IDEK``).
+
+    Degraded results (``results.degraded_ranks`` non-empty — partial
+    database coverage) are annotated with a leading
+    ``# degraded_ranks: ...`` comment so a partial report can never be
+    mistaken for a full one downstream.
     """
     handle, owned = _open(target, "w")
     rows = 0
     try:
+        if getattr(results, "degraded_ranks", ()):
+            mask = ",".join(str(r) for r in results.degraded_ranks)
+            handle.write(f"# degraded_ranks: {mask}\n")
         handle.write("\t".join(_COLUMNS) + "\n")
         for sr in results.spectra:
             for rank, psm in enumerate(sr.psms, start=1):
@@ -85,7 +93,11 @@ def read_psm_report(source: PathOrHandle) -> List[PSM]:
     """
     handle, owned = _open(source, "r")
     try:
+        # Leading "#" lines are annotations (e.g. the degraded-coverage
+        # mask the writer emits for partial results).
         header = handle.readline().rstrip("\n")
+        while header.startswith("#"):
+            header = handle.readline().rstrip("\n")
         if header.split("\t") != _COLUMNS:
             raise FormatError(f"unexpected PSM report header: {header!r}")
         psms: List[PSM] = []

@@ -66,15 +66,48 @@ Admission is bounded: at most ``max_pending`` batches may be admitted
 with :class:`~repro.errors.ServiceError` instead of growing an
 unbounded queue.
 
-Failure contract (inherited from
-:class:`~repro.parallel.persistent.PersistentPool` and test-enforced):
-a worker that raises or dies mid-batch fails *that* batch's future
-with :class:`~repro.errors.WorkerError`; the pool respawns and
-re-attaches the rank automatically, so the session survives and the
-next batch returns correct results on the fresh worker.  ``close()``
-drains: every already-admitted batch completes (each stage bounded by
-the pool deadline) before the workers shut down, so in-flight futures
-resolve deterministically — never hang, never leak.
+Failure semantics (inherited from
+:class:`~repro.parallel.persistent.PersistentPool` and test-enforced
+by the chaos suite).  The matrix, with R = ``max_retries``:
+
+=======================  ================================================
+fault × stage            observed behavior
+=======================  ================================================
+crash before attach      ``open()`` heals for R >= 1 (the respawned
+                         worker's replayed attach is the retry), else
+                         raises :class:`~repro.errors.WorkerError`.
+crash / raise / hang     the batch's future succeeds **bit-identically**
+mid-query (any batch)    to the fault-free run for R >= 1 (only the
+                         failing rank's payload is re-dispatched, with
+                         exponential backoff); for R = 0 it fails with
+                         :class:`WorkerError` while the session
+                         survives — the next batch runs on respawned,
+                         re-attached workers.  A hang is bounded by the
+                         per-rank round deadline (never hangs).
+crash before reply       identical to crash mid-query: computed but
+                         unreported work is re-run.
+slow straggler           with ``hedge_after`` set, a speculative
+                         duplicate of every still-outstanding rank's
+                         task races the original on a fresh attached
+                         worker; first answer wins per (batch, rank),
+                         the loser is terminated (a late duplicate can
+                         never double-merge).
+retries exhausted        default: the batch's future fails loud.  With
+                         ``degraded_ok=True`` it resolves to partial
+                         results whose ``degraded_ranks`` mask (on
+                         :class:`SearchResults` *and* :class:`BatchStats`)
+                         names the uncovered partitions explicitly.
+pipeline-thread bug      every admitted future fails with
+                         :class:`~repro.errors.PipelineError`; the
+                         session must be closed.
+=======================  ================================================
+
+``close()`` drains: every already-admitted batch completes (each stage
+bounded by the pool deadline) before the workers shut down, so
+in-flight futures resolve deterministically — never hang, never leak.
+``open()`` also sweeps stale spill/spectra stores left behind by
+earlier crashed sessions (see
+:func:`~repro.parallel.shared_arena.sweep_stale_stores`).
 """
 
 from __future__ import annotations
@@ -96,10 +129,12 @@ from repro.core.grouping import GroupingConfig
 from repro.core.planner import LBEPlan
 from repro.errors import ConfigurationError, PipelineError, ServiceError
 from repro.index.slm import SLMIndexSettings
+from repro.parallel.faults import FaultPlan
 from repro.parallel.persistent import PersistentPool, PoolBatchResult
 from repro.parallel.shared_arena import (
     SharedSpill,
     shared_spill_for,
+    sweep_stale_stores,
     write_owner_marker,
 )
 from repro.parallel.shared_spectra import SharedSpectraStore
@@ -164,6 +199,21 @@ class ServiceConfig:
         Bound on concurrently admitted batches (queued + in flight
         through the pipeline); further ``submit_async()`` callers are
         rejected with :class:`~repro.errors.ServiceError`.
+    max_retries:
+        Per-rank re-dispatch budget per batch (see the failure matrix
+        above).  0 (default) keeps the historical fail-fast contract.
+    retry_backoff_s:
+        Base of the exponential retry backoff.
+    hedge_after:
+        Soft straggler deadline in seconds (``None`` disables
+        hedging — the default, zero idle-path overhead).
+    degraded_ok:
+        Opt into partial results after retries exhaust (default:
+        fail loud).
+    fault_plan:
+        Chaos-testing fault schedule for the workers (tests only;
+        production sessions leave it ``None`` and may use the
+        ``REPRO_FAULT_PLAN`` env var instead).
     """
 
     n_workers: int = 2
@@ -176,6 +226,11 @@ class ServiceConfig:
     start_method: str = "spawn"
     timeout: float = 600.0
     max_pending: int = 4
+    max_retries: int = 0
+    retry_backoff_s: float = 0.05
+    hedge_after: Optional[float] = None
+    degraded_ok: bool = False
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -189,6 +244,18 @@ class ServiceConfig:
         if self.max_pending < 1:
             raise ConfigurationError(
                 f"max_pending must be >= 1, got {self.max_pending}"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.retry_backoff_s < 0:
+            raise ConfigurationError(
+                f"retry_backoff_s must be >= 0, got {self.retry_backoff_s}"
+            )
+        if self.hedge_after is not None and self.hedge_after <= 0:
+            raise ConfigurationError(
+                f"hedge_after must be > 0 or None, got {self.hedge_after}"
             )
 
 
@@ -237,6 +304,15 @@ class BatchStats:
         worker round was on the pipe (its prepare under the previous
         batch's round + its merge under the next batch's round) — the
         wall time the pipeline hid behind worker compute.
+    retries:
+        Per-rank re-dispatches the supervision layer performed to
+        finish this batch (0 in steady state).
+    hedged:
+        Speculative straggler duplicates launched for this batch (0
+        without ``hedge_after`` or when no rank straggled).
+    degraded_ranks:
+        Ranks whose partition is missing from this batch's results —
+        non-empty only in ``degraded_ok`` mode after retries exhaust.
     """
 
     batch_index: int
@@ -255,6 +331,9 @@ class BatchStats:
     pipeline_depth: int = 1
     collect_wait_s: float = 0.0
     overlap_s: float = 0.0
+    retries: int = 0
+    hedged: int = 0
+    degraded_ranks: Tuple[int, ...] = ()
 
 
 class _PendingBatch:
@@ -496,6 +575,13 @@ class SearchService:
             return self
         cfg = self.config
         t_open = time.perf_counter()
+        # Reap spill/spectra stores orphaned by earlier crashed
+        # sessions before creating our own — best-effort, a reaper
+        # hiccup must never block a session from opening.
+        try:
+            sweep_stale_stores()
+        except OSError:
+            pass
         plan = self.plan
         arena = self.database.arena_for(cfg.index.fragmentation)
         self._spill = shared_spill_for(arena, cfg.index.resolution)
@@ -512,6 +598,11 @@ class SearchService:
             cfg.n_workers,
             start_method=cfg.start_method,
             timeout=cfg.timeout,
+            max_retries=cfg.max_retries,
+            backoff_s=cfg.retry_backoff_s,
+            hedge_after=cfg.hedge_after,
+            degraded_ok=cfg.degraded_ok,
+            fault_plan=cfg.fault_plan,
         )
         try:
             tasks = [
@@ -761,7 +852,13 @@ class SearchService:
         cfg = self.config
         wall = time.perf_counter
         pool_round = batch.round
+        # A degraded round (degraded_ok after retries exhausted) has
+        # None at the failed ranks' slots; everything below skips them
+        # and the coverage mask travels on the results and the stats.
+        degraded = pool_round.failed_ranks
         for report in pool_round.results:
+            if report is None:
+                continue
             if report.get("batch_index", -1) != batch.batch_index:
                 raise PipelineError(
                     f"collected a worker report for batch "
@@ -771,6 +868,8 @@ class SearchService:
         t0 = wall()
         gathered = [
             (report["counts"], report["local_psms"])
+            if report is not None
+            else None
             for report in pool_round.results
         ]
         merged, _n_psms = merge_rank_payloads(
@@ -779,11 +878,13 @@ class SearchService:
         merge_s = wall() - t0
 
         all_stats = [
-            rank_stats_from_report(r, report)
+            rank_stats_from_report(r, report if report is not None else {})
             for r, report in enumerate(pool_round.results)
         ]
         # Attach-time build stats stay visible on every batch's result:
-        # the resident index was built once, at open().
+        # the resident index was built once, at open().  A degraded
+        # rank keeps them too — its partition is known, its query
+        # counters stay zero.
         for stats, attach in zip(all_stats, self._attach_stats):
             stats.n_entries = attach.n_entries
             stats.n_ions = attach.n_ions
@@ -791,8 +892,12 @@ class SearchService:
 
         total_s = wall() - batch.t_start
         worker_span = max(
-            report["open_s"] + report["query_s"]
-            for report in pool_round.results
+            (
+                report["open_s"] + report["query_s"]
+                for report in pool_round.results
+                if report is not None
+            ),
+            default=0.0,
         )
         phase_times = {
             "serial_prep": batch.prep_s,
@@ -812,6 +917,7 @@ class SearchService:
             phase_times=phase_times,
             policy_name=cfg.policy,
             n_ranks=cfg.n_workers,
+            degraded_ranks=degraded,
         )
         overlap_s = merge_s if merged_overlapped else 0.0
         if batch.prepared_overlapped:
@@ -833,6 +939,9 @@ class SearchService:
             pipeline_depth=batch.depth,
             collect_wait_s=batch.collect_wait_s,
             overlap_s=overlap_s,
+            retries=pool_round.retries,
+            hedged=pool_round.hedged,
+            degraded_ranks=degraded,
         )
         return results, stats
 

@@ -254,3 +254,58 @@ def test_figures_command(capsys):
     out = capsys.readouterr().out
     assert "Fig. 6" in out and "Fig. 8" in out and "Fig. 11" in out
     assert "chunk" in out and "cyclic" in out
+
+
+def test_serve_resilience_flags_parse():
+    args = build_parser().parse_args([
+        "serve", "--fasta", "x", "--batch", "y",
+        "--max-retries", "3", "--degraded-ok", "--hedge-after", "0.5",
+    ])
+    assert args.max_retries == 3
+    assert args.degraded_ok is True
+    assert args.hedge_after == 0.5
+    # Defaults: one retry, fail loud, no hedging.
+    args = build_parser().parse_args(["serve", "--fasta", "x", "--batch", "y"])
+    assert args.max_retries == 1
+    assert args.degraded_ok is False
+    assert args.hedge_after is None
+
+
+def test_serve_table_has_resilience_columns(workspace, capsys):
+    rc = main([
+        "serve", "--fasta", str(workspace / "proteome.fasta"),
+        "--ranks", "2", "--batch", str(workspace / "run.ms2"),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    header = next(line for line in out.splitlines() if "retries" in line)
+    for column in ("retries", "hedged", "respawn", "degraded"):
+        assert column in header
+
+
+def test_worker_error_prints_one_line_diagnosis(capsys, monkeypatch):
+    """A WorkerError reaching main() becomes a one-line stderr
+    diagnosis (rank, exit code, retry count) + exit 1 — no traceback."""
+    import repro.cli as cli
+    from repro.errors import ServiceError, WorkerError
+
+    def boom(args):
+        raise WorkerError(
+            "worker 1 died mid-batch without reporting (exit code 23)",
+            rank=1, exit_code=23, retries=2,
+        )
+
+    monkeypatch.setitem(cli._COMMANDS, "figures", boom)
+    assert main(["figures"]) == 1
+    err = capsys.readouterr().err
+    assert err.count("\n") == 1
+    assert "repro figures:" in err
+    assert "rank 1" in err and "exit code 23" in err and "2 retries" in err
+
+    def misuse(args):
+        raise ServiceError("submit on a closed service")
+
+    monkeypatch.setitem(cli._COMMANDS, "figures", misuse)
+    assert main(["figures"]) == 1
+    err = capsys.readouterr().err
+    assert err.strip() == "repro figures: submit on a closed service"

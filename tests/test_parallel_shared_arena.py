@@ -126,3 +126,85 @@ def test_peptide_free_index_requires_masses(tiny_db):
         SLMIndex(None, SLMIndexSettings(), arena=bare)
     with pytest.raises(ConfigurationError):
         SLMIndex(None, SLMIndexSettings())
+
+
+# -- the stale-store reaper --------------------------------------------
+
+
+def _make_store_dir(root, name, *, owner_pid=None, complete=True, age_s=0.0):
+    """A fake on-disk store: optionally owned, complete, and aged."""
+    import os
+    import time as _time
+
+    d = root / name
+    d.mkdir()
+    if complete:
+        (d / "arena_manifest.json").write_text("{}", encoding="ascii")
+    if owner_pid is not None:
+        (d / "owner.pid").write_text(f"{owner_pid}\n", encoding="ascii")
+    if age_s:
+        old = _time.time() - age_s
+        os.utime(d, (old, old))
+    return d
+
+
+def _dead_pid():
+    """A PID that certainly belonged to an exited process."""
+    import subprocess
+
+    proc = subprocess.Popen(["sleep", "0"])
+    proc.wait()
+    return proc.pid
+
+
+def test_sweep_reaps_orphans_with_dead_owner(tmp_path):
+    from repro.parallel.shared_arena import sweep_stale_stores
+
+    dead = _dead_pid()
+    gone_complete = _make_store_dir(
+        tmp_path, "repro-arena-dead", owner_pid=dead, age_s=4 * 86400.0
+    )
+    gone_husk = _make_store_dir(  # torn spill: no manifest, short age bar
+        tmp_path, "repro-spectra-husk", owner_pid=dead,
+        complete=False, age_s=2 * 3600.0,
+    )
+    fresh = _make_store_dir(  # dead owner but too young to reap
+        tmp_path, "repro-arena-fresh", owner_pid=dead, age_s=60.0
+    )
+    unrelated = _make_store_dir(  # wrong prefix: never touched
+        tmp_path, "someone-elses-dir", owner_pid=dead, age_s=4 * 86400.0
+    )
+    assert sweep_stale_stores(root=tmp_path) == 2
+    assert not gone_complete.exists() and not gone_husk.exists()
+    assert fresh.exists() and unrelated.exists()
+
+
+def test_sweep_never_touches_live_owner(tmp_path):
+    import os
+
+    from repro.parallel.shared_arena import sweep_stale_stores
+
+    live = _make_store_dir(  # ancient, but its owner (this test) lives
+        tmp_path, "repro-arena-live", owner_pid=os.getpid(),
+        age_s=30 * 86400.0,
+    )
+    assert sweep_stale_stores(root=tmp_path) == 0
+    assert live.exists()
+
+
+def test_service_open_runs_the_sweep(tiny_db, tmp_path, monkeypatch):
+    """``SearchService.open()`` reaps stale stores automatically: a
+    dead-owner orphan in the temp root disappears during open."""
+    import tempfile
+
+    from repro.service import SearchService, ServiceConfig
+
+    monkeypatch.setattr(tempfile, "gettempdir", lambda: str(tmp_path))
+    orphan = _make_store_dir(
+        tmp_path, "repro-arena-orphan", owner_pid=_dead_pid(),
+        age_s=4 * 86400.0,
+    )
+    with SearchService(tiny_db, ServiceConfig(n_workers=2)) as service:
+        assert not orphan.exists()
+        # The session itself is unaffected by the sweep.
+        assert all(pid is not None for pid in service.worker_pids())
