@@ -64,7 +64,7 @@ from repro.index.slm import SLMIndexSettings
 from repro.parallel import ParallelEngineConfig, ParallelSearchEngine
 from repro.search.database import DatabaseConfig, IndexedDatabase
 from repro.search.serial import SerialSearchEngine
-from repro.service import SearchService, ServiceConfig
+from repro.service import SearchService, ServiceConfig, aggregate_batch_stats
 from repro.spectra.preprocess import (
     PreprocessConfig,
     preprocess_batch,
@@ -138,10 +138,7 @@ def run(quick: bool = False) -> dict:
 
     # -- resident: one session, the same stream ------------------------
     resident_totals = []
-    resident_scatter = 0
     peak_bytes = 0
-    retries_total = 0
-    hedged_total = 0
     with SearchService(
         db, ServiceConfig(n_workers=N_WORKERS, index=settings)
     ) as service:
@@ -151,16 +148,13 @@ def run(quick: bool = False) -> dict:
             res, stats = service.submit(batch)
             identical = identical and same_results(references[i], res)
             resident_totals.append(stats.total_s)
-            resident_scatter = max(resident_scatter, stats.scatter_bytes)
             peak_bytes = max(peak_bytes, stats.peak_bytes)
-            retries_total += stats.retries
-            hedged_total += stats.hedged
+        resident_session = aggregate_batch_stats(service.batch_stats)
         respawns = service.respawn_total
+    resident_scatter = resident_session.scatter_bytes_max
     identical = identical and respawns == 0
 
     # -- pipelined: the same stream through the overlapped session ------
-    overlap_total = 0.0
-    depth_max = 0
     completions = []
     with SearchService(
         db,
@@ -171,13 +165,12 @@ def run(quick: bool = False) -> dict:
         for i, (res, stats) in enumerate(service.stream(iter(batches))):
             identical = identical and same_results(references[i], res)
             completions.append(time.perf_counter())
-            overlap_total += stats.overlap_s
-            depth_max = max(depth_max, stats.pipeline_depth)
-            retries_total += stats.retries
-            hedged_total += stats.hedged
         pipe_wall = completions[-1] - t_stream
+        pipe_session = aggregate_batch_stats(service.batch_stats)
         respawns_pipe = service.respawn_total
     identical = identical and respawns_pipe == 0
+    overlap_total = pipe_session.overlap_s_total
+    depth_max = pipe_session.pipeline_depth_max
     # Throughput view: per-batch completion intervals of the stream.
     gaps = [completions[0] - t_stream] + [
         b - a for a, b in zip(completions, completions[1:])
@@ -185,9 +178,11 @@ def run(quick: bool = False) -> dict:
     pipe_steady = min(gaps[1:]) if len(gaps) > 1 else gaps[0]
     # Fault-free supervision must be invisible: any retry, hedge, or
     # respawn in a clean benchmark run invalidates the numbers.
+    retries_total = resident_session.retries + pipe_session.retries
+    hedged_total = resident_session.hedged + pipe_session.hedged
     identical = identical and retries_total == 0 and hedged_total == 0
 
-    steady = min(resident_totals[1:]) if len(resident_totals) > 1 else resident_totals[0]
+    steady = resident_session.steady_batch_s
     mean_oneshot = sum(oneshot_totals) / len(oneshot_totals)
 
     report = {

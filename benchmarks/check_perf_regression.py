@@ -46,6 +46,18 @@ Service checks (``--service-baseline``/``--service-fresh``):
    floor sits below 1.0 for the timing noise of quick CI workloads —
    the committed full-workload figure is the trajectory to beat).
 
+Shard-routing checks (``--shard-baseline``/``--shard-fresh``):
+
+1. ``identical_results`` is true (sharded fleet == serial engine,
+   with dormant supervision),
+2. routing selectivity >= ``--selectivity-floor`` (on the bench's
+   mass-sorted batches the router must actually skip shards — a
+   router degenerating into broadcast lands at 0.0; the exact routing
+   counts are timing-independent, so this holds on any runner),
+3. sharded-vs-unsharded steady latency <= ``--shard-latency-ceiling``
+   (the fleet costs fan-out/merge overhead and oversubscribes small
+   runners, but must not blow up by an order of magnitude).
+
 Any pair of reports may be supplied alone; at least one is required.
 
 Usage::
@@ -55,7 +67,9 @@ Usage::
         --parallel-baseline BENCH_parallel.json \
         --parallel-fresh /tmp/bench_parallel_fresh.json \
         --service-baseline BENCH_service.json \
-        --service-fresh /tmp/bench_service_fresh.json
+        --service-fresh /tmp/bench_service_fresh.json \
+        --shard-baseline BENCH_shard.json \
+        --shard-fresh /tmp/bench_shard_fresh.json
 """
 
 from __future__ import annotations
@@ -212,6 +226,54 @@ def check_service(args, failures: list) -> None:
         )
 
 
+def check_shard(args, failures: list) -> None:
+    fresh = json.loads(args.shard_fresh.read_text(encoding="ascii"))
+
+    if not fresh.get("identical_results", False):
+        failures.append("fresh shard-routing run reports identical_results=false")
+
+    selectivity = float(
+        fresh.get("routing", {}).get("selectivity", float("nan"))
+    )
+    print(
+        f"shard routing selectivity: {selectivity:.2f} "
+        f"(required >= {args.selectivity_floor:.2f})"
+    )
+    if not selectivity >= args.selectivity_floor:  # catches NaN too
+        failures.append(
+            f"shard routing selectivity {selectivity:.2f} below floor "
+            f"{args.selectivity_floor:.2f} — the mass-range router is "
+            "broadcasting batches to shards their windows cannot reach"
+        )
+    if args.shard_baseline is not None:
+        committed = json.loads(args.shard_baseline.read_text(encoding="ascii"))
+        committed_sel = float(committed["routing"]["selectivity"])
+        required = args.min_ratio * committed_sel
+        print(
+            f"  vs committed {committed_sel:.2f} "
+            f"(required >= {required:.2f})"
+        )
+        if selectivity < required:
+            failures.append(
+                f"shard routing selectivity {selectivity:.2f} below "
+                f"{args.min_ratio:.2f} x committed ({required:.2f})"
+            )
+
+    ratio = float(
+        fresh.get("latency", {}).get("sharded_vs_unsharded", float("nan"))
+    )
+    print(
+        f"shard steady latency vs unsharded: {ratio:.2f}x "
+        f"(required <= {args.shard_latency_ceiling:.2f}x)"
+    )
+    if not ratio <= args.shard_latency_ceiling:  # catches NaN too
+        failures.append(
+            f"sharded steady latency {ratio:.2f}x the unsharded session, "
+            f"above ceiling {args.shard_latency_ceiling:.2f}x — the "
+            "fan-out/merge overhead is exploding"
+        )
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -249,6 +311,37 @@ def main() -> int:
         type=Path,
         default=None,
         help="freshly measured service-throughput report",
+    )
+    parser.add_argument(
+        "--shard-baseline",
+        type=Path,
+        default=None,
+        help="committed BENCH_shard.json",
+    )
+    parser.add_argument(
+        "--shard-fresh",
+        type=Path,
+        default=None,
+        help="freshly measured shard-routing report",
+    )
+    parser.add_argument(
+        "--selectivity-floor",
+        type=float,
+        default=0.15,
+        help="minimum fraction of (batch, shard) dispatches the router "
+        "must skip on the bench's mass-sorted batches (default: 0.15 — "
+        "the routing counts are exact and machine-independent; the "
+        "committed full-workload figure is ~0.5, the floor only "
+        "catches the router degenerating into broadcast)",
+    )
+    parser.add_argument(
+        "--shard-latency-ceiling",
+        type=float,
+        default=6.0,
+        help="maximum sharded/unsharded steady batch latency ratio "
+        "(default: 6.0 — the fleet runs n_shards x n_workers processes "
+        "on runners with one or two cores, so generous headroom; the "
+        "guard catches an order-of-magnitude merge/fan-out blow-up)",
     )
     parser.add_argument(
         "--service-floor",
@@ -326,13 +419,17 @@ def main() -> int:
         parser.error("--parallel-baseline requires --parallel-fresh")
     if args.service_baseline is not None and args.service_fresh is None:
         parser.error("--service-baseline requires --service-fresh")
+    if args.shard_baseline is not None and args.shard_fresh is None:
+        parser.error("--shard-baseline requires --shard-fresh")
     have_hotpath = args.baseline is not None
     have_parallel = args.parallel_fresh is not None
     have_service = args.service_fresh is not None
-    if not have_hotpath and not have_parallel and not have_service:
+    have_shard = args.shard_fresh is not None
+    if not (have_hotpath or have_parallel or have_service or have_shard):
         parser.error(
-            "supply --baseline/--fresh, --parallel-fresh and/or "
-            "--service-fresh (each with its optional committed baseline)"
+            "supply --baseline/--fresh, --parallel-fresh, "
+            "--service-fresh and/or --shard-fresh (each with its "
+            "optional committed baseline)"
         )
 
     failures: list = []
@@ -342,6 +439,8 @@ def main() -> int:
         check_parallel(args, failures)
     if have_service:
         check_service(args, failures)
+    if have_shard:
+        check_shard(args, failures)
 
     if failures:
         for f in failures:

@@ -41,7 +41,7 @@ from repro.db.digest import DigestionConfig, digest_proteome
 from repro.db.fasta import FastaRecord, read_fasta, write_fasta, write_grouped_fasta
 from repro.db.proteome import ProteomeConfig, generate_proteome
 from repro.chem.peptide import Peptide
-from repro.errors import ServiceError, WorkerError
+from repro.errors import ServiceError, ShardError, WorkerError
 from repro.index.serialize import load_index, save_index
 from repro.index.slm import SLMIndex, SLMIndexSettings
 from repro.parallel import ParallelEngineConfig, ParallelSearchEngine
@@ -49,7 +49,12 @@ from repro.search.database import IndexedDatabase
 from repro.search.engine import DistributedSearchEngine, EngineConfig
 from repro.search.metrics import load_imbalance
 from repro.search.report import write_psm_report
-from repro.service import SearchService, ServiceConfig
+from repro.service import (
+    SearchService,
+    ServiceConfig,
+    ShardedSearchService,
+    aggregate_batch_stats,
+)
 from repro.spectra.ms2 import read_ms2, write_ms2
 from repro.spectra.synthetic import SyntheticRunConfig, generate_run
 from repro.util.tables import format_table
@@ -161,6 +166,17 @@ def build_parser() -> argparse.ArgumentParser:
                      "exceeds this soft deadline, speculatively re-run "
                      "its task on a fresh worker and take the first "
                      "answer (default: off)")
+    srv.add_argument("--shards", type=int, default=1,
+                     help="cut the database into this many contiguous "
+                     "precursor-mass shards, each with its own resident "
+                     "pool of --ranks workers; batches are routed only "
+                     "to shards their precursor windows can reach "
+                     "(default 1 = unsharded session)")
+    srv.add_argument("--shard-boundaries", type=float, nargs="+",
+                     default=None, metavar="DA",
+                     help="explicit shard boundary masses in Da "
+                     "(ascending, one fewer than --shards); default "
+                     "balances shards by entry count")
 
     figs = sub.add_parser("figures", help="print quick figure tables")
     figs.add_argument("--sizes", type=float, nargs="+", default=[18.0, 49.45])
@@ -362,10 +378,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     source = "index archive" if args.index is not None else "FASTA"
     mode = "pipelined" if args.pipeline else "sequential"
-    with SearchService(db, config) as service:
+    sharded = args.shards > 1 or args.shard_boundaries is not None
+    if args.shards < 1:
+        raise SystemExit("serve: --shards must be >= 1")
+    if sharded:
+        service_cm = ShardedSearchService(
+            db, config,
+            n_shards=args.shards,
+            boundaries=args.shard_boundaries,
+        )
+        topology = (
+            f"{args.shards} mass-range shards x {args.ranks} resident "
+            f"workers"
+        )
+    else:
+        service_cm = SearchService(db, config)
+        topology = f"{args.ranks} resident workers"
+    with service_cm as service:
         print(
             f"session: {db.n_entries} entries (from {source}), "
-            f"{args.ranks} resident workers, policy {args.policy}, "
+            f"{topology}, policy {args.policy}, "
             f"backend {args.backend}, {mode} submits; "
             f"open {service.open_s:.2f} s "
             f"(spawn + arena spill + attach, paid once)"
@@ -385,47 +417,58 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         for i, (path, (results, stats)) in enumerate(
             zip(batch_paths, outcomes)
         ):
-            rows.append(
-                (
-                    i,
-                    path.name,
-                    stats.n_spectra,
-                    results.total_cpsms,
-                    f"{stats.total_s * 1e3:.1f}",
-                    f"{stats.query_wall_max_s * 1e3:.1f}",
-                    f"{stats.overlap_s * 1e3:.1f}",
-                    stats.scatter_bytes,
-                    stats.retries,
-                    stats.hedged,
-                    stats.respawned,
-                    ",".join(map(str, stats.degraded_ranks)) or "-",
-                )
-            )
+            row = [
+                i,
+                path.name,
+                stats.n_spectra,
+                results.total_cpsms,
+                f"{stats.total_s * 1e3:.1f}",
+                f"{stats.query_wall_max_s * 1e3:.1f}",
+                f"{stats.overlap_s * 1e3:.1f}",
+                stats.scatter_bytes,
+                stats.retries,
+                stats.hedged,
+                stats.respawned,
+                ",".join(map(str, stats.degraded_ranks)) or "-",
+            ]
+            if sharded:
+                row.append(f"{stats.shards_dispatched}/{stats.shards_skipped}")
+                row.append(",".join(map(str, stats.degraded_shards)) or "-")
+            rows.append(tuple(row))
             if args.report_dir is not None:
                 report_path = args.report_dir / f"batch_{i:04d}.tsv"
                 write_psm_report(report_path, results, db.entries)
+        columns = ["batch", "file", "spectra", "cPSMs", "total ms",
+                   "query ms", "overlap ms", "scatter B", "retries",
+                   "hedged", "respawn", "degraded"]
+        if sharded:
+            columns += ["disp/skip", "deg shards"]
         print(format_table(
-            ["batch", "file", "spectra", "cPSMs", "total ms", "query ms",
-             "overlap ms", "scatter B", "retries", "hedged", "respawn",
-             "degraded"],
+            columns,
             rows,
             title=f"session: {len(batch_paths)} batches on resident workers",
         ))
         all_stats = service.batch_stats
-        steady = [s.total_s for s in all_stats[1:]]
-        if steady:
+        session = aggregate_batch_stats(all_stats)
+        if session.n_batches > 1:
             print(
-                f"steady-state batch latency: {1e3 * min(steady):.1f} ms "
+                f"steady-state batch latency: "
+                f"{1e3 * session.steady_batch_s:.1f} ms "
                 f"(vs open cost {service.open_s * 1e3:.1f} ms, amortized "
                 f"over {service.n_batches} batches)"
             )
-        if args.pipeline and all_stats:
-            hidden = sum(s.overlap_s for s in all_stats)
+        if sharded and all_stats:
+            total = service.shard_dispatch_total + service.shard_skip_total
             print(
-                f"pipeline: depth up to "
-                f"{max(s.pipeline_depth for s in all_stats)}, "
-                f"{1e3 * hidden:.1f} ms of master work hidden behind "
-                f"worker rounds"
+                f"routing: {service.shard_dispatch_total}/{total} shard "
+                f"dispatches sent, {service.shard_skip_total} skipped by "
+                f"precursor-window routing"
+            )
+        if args.pipeline and session.n_batches:
+            print(
+                f"pipeline: depth up to {session.pipeline_depth_max}, "
+                f"{1e3 * session.overlap_s_total:.1f} ms of master work "
+                f"hidden behind worker rounds"
             )
     return 0
 
@@ -478,6 +521,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         return _COMMANDS[args.command](args)
     except WorkerError as exc:
+        print(f"repro {args.command}: {exc.brief}", file=sys.stderr)
+        return 1
+    except ShardError as exc:
         print(f"repro {args.command}: {exc.brief}", file=sys.stderr)
         return 1
     except ServiceError as exc:

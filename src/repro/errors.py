@@ -107,6 +107,55 @@ class PipelineError(ServiceError):
     the service's pipelined session built on top of it."""
 
 
+class ShardError(ServiceError):
+    """A database shard of the sharded serving tier failed a batch (its
+    pool's retries exhausted without ``degraded_ok``), or the fleet's
+    shard-merge found an inconsistency.  The sharded session itself
+    survives — only the affected batch's future carries this error.
+
+    Structured fields for supervision and one-line CLI diagnosis:
+
+    Attributes
+    ----------
+    shard:
+        Failing shard id, or ``None`` when the failure is fleet-wide.
+    rank:
+        The failing rank *within the shard's pool*, when the underlying
+        cause was a single worker.
+    retries:
+        Retries the shard's supervision layer spent before giving up.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        shard: "int | None" = None,
+        rank: "int | None" = None,
+        retries: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.rank = rank
+        self.retries = retries
+
+    @property
+    def brief(self) -> str:
+        """One-line diagnosis (shard, rank, retry count) — what the CLI
+        prints instead of a raw traceback."""
+        parts = []
+        if self.shard is not None:
+            parts.append(f"shard {self.shard}")
+        if self.rank is not None:
+            parts.append(f"rank {self.rank}")
+        if self.retries:
+            parts.append(f"after {self.retries} retr"
+                         + ("y" if self.retries == 1 else "ies"))
+        summary = str(self).splitlines()[0] if str(self) else "shard failure"
+        suffix = f" ({', '.join(parts)})" if parts else ""
+        return f"{summary}{suffix}"
+
+
 class SearchError(ReproError, RuntimeError):
     """The search engine reached an inconsistent state (e.g. a partial
     index references a peptide the mapping table does not know)."""

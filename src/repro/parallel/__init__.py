@@ -38,13 +38,26 @@ same rank program (:mod:`repro.search.rank`) on real OS processes:
 * :mod:`repro.parallel.shared_spectra` — the
   :class:`~repro.parallel.shared_spectra.SharedSpectraStore` giving
   preprocessed query batches the same memmap-shared treatment, so the
-  per-batch scatter payload is O(manifest), never pickled peak arrays.
+  per-batch scatter payload is O(manifest), never pickled peak arrays,
+* :mod:`repro.parallel.transport` — the pluggable
+  :class:`~repro.parallel.transport.Transport` registry behind both
+  pools' worker bootstrap: the pools speak only the
+  :class:`~repro.parallel.transport.WorkerChannel` API, so swapping
+  local spawn pipes for a socket transport never touches supervision.
 """
 
 from repro.parallel.engine import ParallelEngineConfig, ParallelSearchEngine
 from repro.parallel.faults import FaultInjected, FaultPlan, FaultSpec, maybe_inject
 from repro.parallel.persistent import PersistentPool, PoolBatchResult, RoundHandle
 from repro.parallel.pool import ProcessBackend, ProcessResult
+from repro.parallel.transport import (
+    TRANSPORTS,
+    PipeTransport,
+    Transport,
+    WorkerChannel,
+    make_transport,
+    register_transport,
+)
 from repro.parallel.shared_arena import (
     SharedArenaStore,
     SharedSpill,
@@ -62,10 +75,16 @@ __all__ = [
     "ParallelEngineConfig",
     "ParallelSearchEngine",
     "PersistentPool",
+    "PipeTransport",
     "PoolBatchResult",
     "ProcessBackend",
     "RoundHandle",
     "ProcessResult",
+    "Transport",
+    "TRANSPORTS",
+    "WorkerChannel",
+    "make_transport",
+    "register_transport",
     "SharedArenaStore",
     "SharedSpectraStore",
     "SharedSpill",

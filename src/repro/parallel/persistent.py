@@ -59,6 +59,19 @@ Fault injection for the chaos suite lives in
 :mod:`repro.parallel.faults`; the plan reaches every worker (and every
 hedge) as a spawn argument, or via the ``REPRO_FAULT_PLAN`` env var.
 
+Transports and the sharded fleet
+--------------------------------
+Worker bootstrap goes through the pluggable
+:class:`~repro.parallel.transport.Transport` registry: the pool asks
+its transport for one :class:`~repro.parallel.transport.WorkerChannel`
+per rank (and per hedge) and speaks only the channel API — in-process
+``multiprocessing`` pipes today (``transport="pipe"``), a socket
+transport tomorrow, with the supervision loop unchanged.  The sharded
+serving tier (:mod:`repro.service.sharding`) composes one pool per
+database shard; the failure matrix above stays strictly per-pool — a
+whole shard lost after retries degrades fleet *coverage* at the
+sharded layer (``degraded_shards``), never this pool's contract.
+
 Split rounds (the pipelining substrate)
 ---------------------------------------
 :meth:`PersistentPool.run_batch` is the blocking convenience; the
@@ -88,7 +101,6 @@ run ``fn(rank, size, state, payload) -> result``.
 
 from __future__ import annotations
 
-import multiprocessing as mp
 import threading
 import time
 import traceback
@@ -100,6 +112,7 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, PipelineError, ServiceError, WorkerError
 from repro.parallel.faults import FaultPlan, maybe_inject
+from repro.parallel.transport import Transport, WorkerChannel, make_transport
 
 __all__ = ["PersistentPool", "PoolBatchResult", "RoundHandle"]
 
@@ -291,25 +304,14 @@ def _persistent_worker_entry(
     conn.close()
 
 
-def _terminate_quietly(proc) -> None:
-    """Terminate and reap one worker process, swallowing races."""
-    try:
-        if proc.is_alive():
-            proc.terminate()
-        proc.join(timeout=5.0)
-    except (OSError, ValueError):
-        pass
-
-
 class _Hedge:
     """One speculative straggler duplicate: a fresh attached worker
     racing the original rank, first answer wins."""
 
-    __slots__ = ("proc", "pipe", "attach_done", "deadline")
+    __slots__ = ("channel", "attach_done", "deadline")
 
-    def __init__(self, proc, pipe, deadline: float) -> None:
-        self.proc = proc
-        self.pipe = pipe
+    def __init__(self, channel: WorkerChannel, deadline: float) -> None:
+        self.channel = channel
         self.attach_done = False
         self.deadline = deadline
 
@@ -350,6 +352,14 @@ class PersistentPool:
         Chaos-testing injection schedule handed to every spawned
         worker; defaults to :meth:`FaultPlan.from_env` so a plan in
         ``REPRO_FAULT_PLAN`` reaches a whole CLI session.
+    transport:
+        Worker bootstrap mechanism: a registry name (``"pipe"`` —
+        local spawn workers on OS pipes — is the default and currently
+        the only built-in) or a ready
+        :class:`~repro.parallel.transport.Transport` instance.  The
+        pool only ever speaks the
+        :class:`~repro.parallel.transport.WorkerChannel` API, so a
+        socket transport drops in without touching supervision.
 
     Use as a context manager, or call :meth:`close` explicitly; a
     dropped pool terminates its workers through a finalizer.
@@ -366,16 +376,14 @@ class PersistentPool:
         hedge_after: Optional[float] = None,
         degraded_ok: bool = False,
         fault_plan: Optional[FaultPlan] = None,
+        transport: "str | Transport" = "pipe",
     ) -> None:
         if n_workers < 1:
             raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
         if timeout <= 0:
             raise ConfigurationError(f"timeout must be > 0, got {timeout}")
-        if start_method not in mp.get_all_start_methods():
-            raise ConfigurationError(
-                f"start method {start_method!r} not available "
-                f"(have {mp.get_all_start_methods()})"
-            )
+        # Resolves the registry name and validates start_method.
+        transport_obj = make_transport(transport, start_method=start_method)
         if max_retries < 0:
             raise ConfigurationError(
                 f"max_retries must be >= 0, got {max_retries}"
@@ -396,9 +404,8 @@ class PersistentPool:
         self._fault_plan = (
             fault_plan if fault_plan is not None else FaultPlan.from_env()
         )
-        self._ctx = mp.get_context(start_method)
-        self._procs: List[Optional[Any]] = [None] * n_workers
-        self._pipes: List[Optional[Any]] = [None] * n_workers
+        self._transport = transport_obj
+        self._channels: List[Optional[WorkerChannel]] = [None] * n_workers
         self._attach: Optional[Tuple[Callable, List[Any]]] = None
         self._closed = False
         self._respawn_total = 0
@@ -413,11 +420,10 @@ class PersistentPool:
         for rank in range(n_workers):
             self._spawn(rank)
         # Safety net: a pool dropped without close() must not leave
-        # orphan processes.  The finalizer captures the lists, not
-        # self, so it cannot keep the pool alive.
-        self._reaper = weakref.finalize(
-            self, _reap_pool, self._procs, self._pipes
-        )
+        # orphan processes.  The finalizer captures the channel list,
+        # not self, so it cannot keep the pool alive (the list is
+        # mutated in place so the finalizer always sees live slots).
+        self._reaper = weakref.finalize(self, _reap_pool, self._channels)
 
     # -- lifecycle -------------------------------------------------------
 
@@ -449,34 +455,31 @@ class PersistentPool:
         if self._inflight is not None and self._inflight.pending:
             # Dispatched but nobody is collecting: kill the workers so
             # teardown cannot block on their unread replies.
-            for proc in self._procs:
-                if proc is not None:
-                    _terminate_quietly(proc)
+            for channel in self._channels:
+                if channel is not None:
+                    channel.terminate_quietly()
             self._inflight._aborted = True
             self._inflight = None
         deadline = time.monotonic() + min(self.timeout, 10.0)
         for rank in range(self.n_workers):
-            pipe, proc = self._pipes[rank], self._procs[rank]
-            if pipe is None or proc is None or not proc.is_alive():
+            channel = self._channels[rank]
+            if channel is None or not channel.alive:
                 continue
             try:
-                pipe.send((_SHUTDOWN,))
+                channel.send((_SHUTDOWN,))
             except (BrokenPipeError, OSError):
                 continue
         for rank in range(self.n_workers):
-            proc = self._procs[rank]
-            if proc is None:
+            channel = self._channels[rank]
+            if channel is None:
                 continue
-            try:
-                proc.join(timeout=max(0.0, deadline - time.monotonic()))
-            except (OSError, ValueError):
-                pass
-            _terminate_quietly(proc)
-        for pipe in self._pipes:
-            if pipe is not None:
-                pipe.close()
-        self._procs = [None] * self.n_workers
-        self._pipes = [None] * self.n_workers
+            channel.join(timeout=max(0.0, deadline - time.monotonic()))
+            channel.terminate_quietly()
+        for rank in range(self.n_workers):
+            channel = self._channels[rank]
+            if channel is not None:
+                channel.close()
+            self._channels[rank] = None
 
     @property
     def closed(self) -> bool:
@@ -491,25 +494,18 @@ class PersistentPool:
     def worker_pids(self) -> List[Optional[int]]:
         """Current per-rank worker PIDs (None for a dead slot)."""
         return [
-            proc.pid if proc is not None else None for proc in self._procs
+            channel.pid if channel is not None else None
+            for channel in self._channels
         ]
 
     # -- spawning --------------------------------------------------------
 
     def _spawn(self, rank: int) -> None:
-        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-        proc = self._ctx.Process(
-            target=_persistent_worker_entry,
-            args=(child_conn, rank, self.n_workers, self._fault_plan),
+        self._channels[rank] = self._transport.spawn(
+            _persistent_worker_entry,
+            (rank, self.n_workers, self._fault_plan),
             name=f"repro-resident-{rank}",
-            daemon=True,
         )
-        proc.start()
-        # Drop the master's copy of the child end so a dead worker
-        # reads as EOF/sentinel, never as an open idle pipe.
-        child_conn.close()
-        self._procs[rank] = proc
-        self._pipes[rank] = parent_conn
 
     def _respawn(self, rank: int, deadline: float) -> Optional[Tuple[Any, float, float]]:
         """Replace a dead worker and replay its ATTACH.
@@ -518,17 +514,14 @@ class PersistentPool:
         ATTACH-round retry uses it directly as the rank's result — or
         ``None`` when no attach has been recorded yet.
         """
-        proc = self._procs[rank]
-        if proc is not None:
-            _terminate_quietly(proc)
-        pipe = self._pipes[rank]
-        if pipe is not None:
-            pipe.close()
+        channel = self._channels[rank]
+        if channel is not None:
+            channel.stop()
         self._spawn(rank)
         self._respawn_total += 1
         if self._attach is not None:
             fn, payloads = self._attach
-            self._pipes[rank].send((_ATTACH, fn, payloads[rank]))
+            self._channels[rank].send((_ATTACH, fn, payloads[rank]))
             return self._receive(rank, deadline)
         return None
 
@@ -536,8 +529,8 @@ class PersistentPool:
         """Respawn (and re-attach) any rank that died between rounds."""
         respawned = 0
         for rank in range(self.n_workers):
-            proc = self._procs[rank]
-            if proc is None or not proc.is_alive():
+            channel = self._channels[rank]
+            if channel is None or not channel.alive:
                 self._respawn(rank, deadline)
                 respawned += 1
         return respawned
@@ -629,7 +622,7 @@ class PersistentPool:
                 if buf is None:
                     buf = bytes(ForkingPickler.dumps((command, fn, payload)))
                     buffers[id(payload)] = buf
-                self._pipes[rank].send_bytes(buf)
+                self._channels[rank].send_bytes(buf)
                 scatter_bytes += len(buf)
             except (BrokenPipeError, OSError):
                 # Died between the liveness check and the send: one
@@ -637,7 +630,7 @@ class PersistentPool:
                 try:
                     self._respawn(rank, deadline)
                     respawned += 1
-                    self._pipes[rank].send_bytes(buf)
+                    self._channels[rank].send_bytes(buf)
                     scatter_bytes += len(buf)
                 except (WorkerError, BrokenPipeError, OSError) as exc:
                     # Aborting mid-scatter would leave the ranks already
@@ -722,27 +715,17 @@ class PersistentPool:
             resolved.add(rank)
             hedge = hedges.pop(rank, None)
             if hedge is not None:
-                _terminate_quietly(hedge.proc)
-                try:
-                    hedge.pipe.close()
-                except OSError:
-                    pass
+                hedge.channel.stop()
 
         def promote_hedge(rank: int, hedge: _Hedge, message) -> None:
             """The hedge answered first: take its result and install it
             as the rank's resident worker (it holds full attach state);
             the superseded original is terminated."""
             _, result, wall, cpu = message
-            orig_proc, orig_pipe = self._procs[rank], self._pipes[rank]
-            if orig_proc is not None:
-                _terminate_quietly(orig_proc)
-            if orig_pipe is not None:
-                try:
-                    orig_pipe.close()
-                except OSError:
-                    pass
-            self._procs[rank] = hedge.proc
-            self._pipes[rank] = hedge.pipe
+            original = self._channels[rank]
+            if original is not None:
+                original.stop()
+            self._channels[rank] = hedge.channel
             self._respawn_total += 1
             counters["respawns"] += 1
             results[rank], walls[rank], cpus[rank] = result, wall, cpu
@@ -754,20 +737,16 @@ class PersistentPool:
 
         def launch_hedge(rank: int) -> None:
             fn_attach, attach_payloads = self._attach
-            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-            proc = self._ctx.Process(
-                target=_persistent_worker_entry,
-                args=(child_conn, rank, self.n_workers, self._fault_plan),
+            channel = self._transport.spawn(
+                _persistent_worker_entry,
+                (rank, self.n_workers, self._fault_plan),
                 name=f"repro-hedge-{rank}",
-                daemon=True,
             )
-            proc.start()
-            child_conn.close()
             try:
                 # Attach and query back-to-back; the worker answers the
                 # attach report first, then the query result.
-                parent_conn.send((_ATTACH, fn_attach, attach_payloads[rank]))
-                parent_conn.send_bytes(
+                channel.send((_ATTACH, fn_attach, attach_payloads[rank]))
+                channel.send_bytes(
                     bytes(
                         ForkingPickler.dumps(
                             (handle.command, handle.fn, handle.payloads[rank])
@@ -775,12 +754,9 @@ class PersistentPool:
                     )
                 )
             except (BrokenPipeError, OSError):
-                _terminate_quietly(proc)
-                parent_conn.close()
+                channel.stop()
                 return
-            hedges[rank] = _Hedge(
-                proc, parent_conn, time.monotonic() + self.timeout
-            )
+            hedges[rank] = _Hedge(channel, time.monotonic() + self.timeout)
             counters["hedged"] += 1
 
         def hedge_failed(rank: int) -> None:
@@ -788,11 +764,7 @@ class PersistentPool:
             rank keeps riding its original worker unless that already
             failed permanently, in which case the failure lands now."""
             hedge = hedges.pop(rank)
-            _terminate_quietly(hedge.proc)
-            try:
-                hedge.pipe.close()
-            except OSError:
-                pass
+            hedge.channel.stop()
             if rank in provisional:
                 failures[rank] = provisional.pop(rank)
 
@@ -804,8 +776,8 @@ class PersistentPool:
                 # pipe polls readable (EOF), so its failure arrives via
                 # _consume like a raise — re-sending to it would burn a
                 # retry on a broken pipe.
-                proc = self._procs[rank]
-                if proc is None or not proc.is_alive():
+                channel = self._channels[rank]
+                if channel is None or not channel.alive:
                     dead = True
                 attempts[rank] += 1
                 if attempts[rank] > self.max_retries:
@@ -831,7 +803,7 @@ class PersistentPool:
                             results[rank], walls[rank], cpus[rank] = report
                             rank_resolved(rank)
                             return
-                    self._pipes[rank].send_bytes(
+                    self._channels[rank].send_bytes(
                         bytes(
                             ForkingPickler.dumps(
                                 (handle.command, handle.fn, handle.payloads[rank])
@@ -858,7 +830,7 @@ class PersistentPool:
                 # resynchronized — kill it, then retry as a death.
                 for rank in sorted(pending):
                     if now >= deadlines[rank]:
-                        _terminate_quietly(self._procs[rank])
+                        self._channels[rank].terminate_quietly()
                         pending.discard(rank)
                         fail_rank(
                             rank,
@@ -887,25 +859,24 @@ class PersistentPool:
                     wakeups.append(hedge_at)
                 waitees: List[Any] = []
                 for rank in pending:
-                    waitees.append(self._pipes[rank])
-                    waitees.append(self._procs[rank].sentinel)
+                    waitees.extend(self._channels[rank].wait_objects())
                 for hedge in hedges.values():
-                    waitees.append(hedge.pipe)
-                    waitees.append(hedge.proc.sentinel)
+                    waitees.extend(hedge.channel.wait_objects())
                 connection.wait(
                     waitees, timeout=max(0.0, min(wakeups) - time.monotonic())
                 )
                 for rank in sorted(pending):
-                    if self._pipes[rank].poll():
+                    channel = self._channels[rank]
+                    if channel.poll():
                         failure = self._consume(rank, results, walls, cpus)
                         pending.discard(rank)
                         if failure is None:
                             rank_resolved(rank)
                         else:
                             fail_rank(rank, failure, dead=False)
-                    elif not self._procs[rank].is_alive():
-                        self._procs[rank].join()
-                        if self._pipes[rank].poll():
+                    elif not channel.alive:
+                        channel.join()
+                        if channel.poll():
                             failure = self._consume(rank, results, walls, cpus)
                             pending.discard(rank)
                             if failure is None:
@@ -919,18 +890,18 @@ class PersistentPool:
                                 WorkerError(
                                     f"worker {rank} died mid-batch without "
                                     f"reporting (exit code "
-                                    f"{self._procs[rank].exitcode})",
+                                    f"{channel.exitcode})",
                                     rank=rank,
-                                    exit_code=self._procs[rank].exitcode,
+                                    exit_code=channel.exitcode,
                                 ),
                                 dead=True,
                             )
                 for rank in sorted(hedges):
                     hedge = hedges.get(rank)
                     while hedge is not None and rank in hedges:
-                        if hedge.pipe.poll():
+                        if hedge.channel.poll():
                             try:
-                                message = hedge.pipe.recv()
+                                message = hedge.channel.recv()
                             except (EOFError, OSError):
                                 hedge_failed(rank)
                                 break
@@ -947,9 +918,9 @@ class PersistentPool:
                                 break
                             promote_hedge(rank, hedge, message)
                             break
-                        if not hedge.proc.is_alive():
-                            hedge.proc.join()
-                            if hedge.pipe.poll():
+                        if not hedge.channel.alive:
+                            hedge.channel.join()
+                            if hedge.channel.poll():
                                 continue
                             hedge_failed(rank)
                             break
@@ -957,12 +928,7 @@ class PersistentPool:
         finally:
             # No hedge may outlive its round, whatever path exits it.
             for rank in list(hedges):
-                hedge = hedges.pop(rank)
-                _terminate_quietly(hedge.proc)
-                try:
-                    hedge.pipe.close()
-                except OSError:
-                    pass
+                hedges.pop(rank).channel.stop()
         failures.update(provisional)
         respawned = handle.respawned + counters["respawns"]
         if failures:
@@ -996,23 +962,23 @@ class PersistentPool:
         """Kill ranks whose command was already sent in an aborted
         scatter — their replies would desync the next round."""
         for rank in dispatched:
-            _terminate_quietly(self._procs[rank])
+            self._channels[rank].terminate_quietly()
 
     def _consume(
         self, rank: int, results, walls, cpus
     ) -> Optional[WorkerError]:
         """Read one reply; return (not raise) a failure so the round
         can keep draining the other workers before surfacing it."""
+        channel = self._channels[rank]
         try:
-            message = self._pipes[rank].recv()
+            message = channel.recv()
         except (EOFError, OSError):
-            proc = self._procs[rank]
-            proc.join()
+            channel.join()
             return WorkerError(
                 f"worker {rank} died mid-batch without reporting "
-                f"(exit code {proc.exitcode})",
+                f"(exit code {channel.exitcode})",
                 rank=rank,
-                exit_code=proc.exitcode,
+                exit_code=channel.exitcode,
             )
         if message[0] == "error":
             _, summary, remote_tb = message
@@ -1030,18 +996,17 @@ class PersistentPool:
     def _receive(self, rank: int, deadline: float) -> Tuple[Any, float, float]:
         """Await one rank's reply (used for replayed ATTACH rounds);
         returns ``(result, wall, cpu)``."""
+        channel = self._channels[rank]
         while True:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
-                _terminate_quietly(self._procs[rank])
+                channel.terminate_quietly()
                 raise WorkerError(
                     f"worker {rank} exceeded the deadline while re-attaching",
                     rank=rank,
                 )
-            connection.wait(
-                [self._pipes[rank], self._procs[rank].sentinel], timeout=remaining
-            )
-            if self._pipes[rank].poll():
+            connection.wait(channel.wait_objects(), timeout=remaining)
+            if channel.poll():
                 results = [None] * self.n_workers
                 walls = [0.0] * self.n_workers
                 cpus = [0.0] * self.n_workers
@@ -1049,26 +1014,20 @@ class PersistentPool:
                 if failure is not None:
                     raise failure
                 return results[rank], walls[rank], cpus[rank]
-            if not self._procs[rank].is_alive():
-                self._procs[rank].join()
-                if self._pipes[rank].poll():
+            if not channel.alive:
+                channel.join()
+                if channel.poll():
                     continue
                 raise WorkerError(
                     f"worker {rank} died while re-attaching "
-                    f"(exit code {self._procs[rank].exitcode})",
+                    f"(exit code {channel.exitcode})",
                     rank=rank,
-                    exit_code=self._procs[rank].exitcode,
+                    exit_code=channel.exitcode,
                 )
 
 
-def _reap_pool(procs, pipes) -> None:
+def _reap_pool(channels) -> None:
     """Finalizer body: terminate whatever is still running."""
-    for proc in procs:
-        if proc is not None:
-            _terminate_quietly(proc)
-    for pipe in pipes:
-        if pipe is not None:
-            try:
-                pipe.close()
-            except OSError:
-                pass
+    for channel in channels:
+        if channel is not None:
+            channel.stop()

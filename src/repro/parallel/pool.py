@@ -28,7 +28,6 @@ them small and put bulk data behind a
 
 from __future__ import annotations
 
-import multiprocessing as mp
 import time
 import traceback
 from dataclasses import dataclass
@@ -37,6 +36,7 @@ from typing import Any, Callable, List, Sequence
 
 from repro.errors import ConfigurationError, WorkerError
 from repro.parallel.faults import FaultPlan, maybe_inject
+from repro.parallel.transport import Transport, WorkerChannel, make_transport
 
 __all__ = ["ProcessBackend", "ProcessResult"]
 
@@ -133,6 +133,11 @@ class ProcessBackend:
         :mod:`repro.parallel.faults`) handed to every worker; defaults
         to :meth:`FaultPlan.from_env`, i.e. production runs with the
         env var unset get a no-op.
+    transport:
+        Worker bootstrap mechanism — a
+        :mod:`repro.parallel.transport` registry name (default
+        ``"pipe"``) or a ready
+        :class:`~repro.parallel.transport.Transport` instance.
     """
 
     def __init__(
@@ -142,16 +147,14 @@ class ProcessBackend:
         start_method: str = "spawn",
         timeout: float = 600.0,
         fault_plan: FaultPlan | None = None,
+        transport: "str | Transport" = "pipe",
     ) -> None:
         if n_workers < 1:
             raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
         if timeout <= 0:
             raise ConfigurationError(f"timeout must be > 0, got {timeout}")
-        if start_method not in mp.get_all_start_methods():
-            raise ConfigurationError(
-                f"start method {start_method!r} not available "
-                f"(have {mp.get_all_start_methods()})"
-            )
+        # Resolves the registry name and validates start_method.
+        self._transport = make_transport(transport, start_method=start_method)
         self.n_workers = n_workers
         self.start_method = start_method
         self.timeout = timeout
@@ -177,35 +180,25 @@ class ProcessBackend:
             raise ConfigurationError(
                 f"{len(payloads)} payloads for {size} workers"
             )
-        ctx = mp.get_context(self.start_method)
-        pipes = []
-        child_ends = []
-        procs = []
-        for rank in range(size):
-            parent_conn, child_conn = ctx.Pipe(duplex=False)
-            proc = ctx.Process(
-                target=_worker_entry,
-                args=(child_conn, fn, rank, size, payloads[rank], self._fault_plan),
-                name=f"repro-worker-{rank}",
-                daemon=True,
-            )
-            pipes.append(parent_conn)
-            child_ends.append(child_conn)
-            procs.append(proc)
         results: List[Any] = [None] * size
         walls = [0.0] * size
         cpus = [0.0] * size
         deadline = time.monotonic() + self.timeout
         pending = set(range(size))
-        started: List[Any] = []
+        # Only channels whose worker actually spawned can be torn down
+        # — a spawn failure (e.g. an unpicklable payload) must re-raise
+        # its own error while the earlier workers are cleaned up.
+        channels: List[WorkerChannel] = []
         try:
-            for rank, proc in enumerate(procs):
-                proc.start()
-                started.append(proc)
-                # Drop the master's copy of the child end: the worker
-                # holds the only write handle, so a dead worker reads
-                # as EOF/sentinel, never as an open idle pipe.
-                child_ends[rank].close()
+            for rank in range(size):
+                channels.append(
+                    self._transport.spawn(
+                        _worker_entry,
+                        (fn, rank, size, payloads[rank], self._fault_plan),
+                        name=f"repro-worker-{rank}",
+                        duplex=False,
+                    )
+                )
             while pending:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
@@ -213,63 +206,47 @@ class ProcessBackend:
                         f"process pool deadline ({self.timeout:.0f}s) expired "
                         f"with workers {sorted(pending)} still running"
                     )
-                waitees = [pipes[r] for r in pending] + [
-                    procs[r].sentinel for r in pending
-                ]
+                waitees: List[Any] = []
+                for rank in pending:
+                    waitees.extend(channels[rank].wait_objects())
                 connection.wait(waitees, timeout=remaining)
                 for rank in sorted(pending):
-                    if pipes[rank].poll():
-                        self._receive(
-                            rank, pipes[rank], procs[rank], results, walls, cpus
-                        )
+                    if channels[rank].poll():
+                        self._receive(rank, channels[rank], results, walls, cpus)
                         pending.discard(rank)
-                    elif not procs[rank].is_alive():
+                    elif not channels[rank].alive:
                         # Died without reporting — but close the race
                         # where the message landed between poll() and
                         # the liveness check.
-                        procs[rank].join()
-                        if pipes[rank].poll():
+                        channels[rank].join()
+                        if channels[rank].poll():
                             self._receive(
-                                rank,
-                                pipes[rank],
-                                procs[rank],
-                                results,
-                                walls,
-                                cpus,
+                                rank, channels[rank], results, walls, cpus
                             )
                             pending.discard(rank)
                         else:
                             raise WorkerError(
                                 f"worker {rank} died without reporting "
-                                f"(exit code {procs[rank].exitcode})"
+                                f"(exit code {channels[rank].exitcode})"
                             )
         finally:
-            # Only processes that actually started can be terminated or
-            # joined — a start() failure (e.g. an unpicklable payload)
-            # must re-raise its own error, not an AssertionError from
-            # joining an unstarted Process.
-            for proc in started:
-                if proc.is_alive():
-                    proc.terminate()
-            for proc in started:
-                proc.join(timeout=5.0)
-            for pipe in pipes:
-                pipe.close()
+            for channel in channels:
+                channel.stop()
         return ProcessResult(results=results, wall_times=walls, cpu_times=cpus)
 
     @staticmethod
-    def _receive(rank, pipe, proc, results, walls, cpus) -> None:
+    def _receive(rank, channel, results, walls, cpus) -> None:
         """Consume one worker's report; raise on a reported error."""
         try:
-            message = pipe.recv()
+            message = channel.recv()
         except EOFError:
             # The pipe reached EOF before any report: the worker died
             # (hard exit, kill, segfault).  Join so the exit code is
             # available for the diagnosis.
-            proc.join()
+            channel.join()
             raise WorkerError(
                 f"worker {rank} died without reporting "
-                f"(exit code {proc.exitcode})"
+                f"(exit code {channel.exitcode})"
             ) from None
         if message[0] == "error":
             _, summary, remote_tb = message

@@ -130,7 +130,14 @@ class SearchResults:
         (the service's opt-in ``degraded_ok`` mode after a rank's
         retries were exhausted).  Empty — full coverage — everywhere
         else; a non-empty mask means every candidate count and PSM
-        list excludes those ranks' database partitions.
+        list excludes those ranks' database partitions.  On the
+        sharded tier the rank space is the flattened fleet (shard
+        ``s``'s rank ``r`` appears as ``s * n_workers + r``).
+    degraded_shards:
+        Sharded serving tier only: shards whose **entire** mass range
+        is missing from these results (every rank of the shard's pool
+        failed, or its session broke, after retries).  Empty for the
+        unsharded engines and for fully-covered sharded batches.
     """
 
     spectra: List[SpectrumResult]
@@ -139,11 +146,12 @@ class SearchResults:
     policy_name: str
     n_ranks: int
     degraded_ranks: Tuple[int, ...] = ()
+    degraded_shards: Tuple[int, ...] = ()
 
     @property
     def is_degraded(self) -> bool:
         """True when these results cover only part of the database."""
-        return bool(self.degraded_ranks)
+        return bool(self.degraded_ranks) or bool(self.degraded_shards)
 
     @property
     def total_cpsms(self) -> int:

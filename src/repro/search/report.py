@@ -48,10 +48,11 @@ def write_psm_report(
     annotate each PSM with its peptide string (mods rendered in
     bracket notation, e.g. ``PEPT[+15.995]IDEK``).
 
-    Degraded results (``results.degraded_ranks`` non-empty — partial
-    database coverage) are annotated with a leading
-    ``# degraded_ranks: ...`` comment so a partial report can never be
-    mistaken for a full one downstream.
+    Degraded results (``results.degraded_ranks`` /
+    ``results.degraded_shards`` non-empty — partial database coverage)
+    are annotated with leading ``# degraded_ranks: ...`` /
+    ``# degraded_shards: ...`` comments so a partial report can never
+    be mistaken for a full one downstream.
     """
     handle, owned = _open(target, "w")
     rows = 0
@@ -59,6 +60,9 @@ def write_psm_report(
         if getattr(results, "degraded_ranks", ()):
             mask = ",".join(str(r) for r in results.degraded_ranks)
             handle.write(f"# degraded_ranks: {mask}\n")
+        if getattr(results, "degraded_shards", ()):
+            mask = ",".join(str(s) for s in results.degraded_shards)
+            handle.write(f"# degraded_shards: {mask}\n")
         handle.write("\t".join(_COLUMNS) + "\n")
         for sr in results.spectra:
             for rank, psm in enumerate(sr.psms, start=1):

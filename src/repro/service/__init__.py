@@ -26,10 +26,41 @@ sustained traffic.  This package amortizes all of it across a session:
   amortization claim is measurable, not aspirational
   (``benchmarks/bench_service_throughput.py`` records it).
 
+* :class:`~repro.service.sharding.ShardedSearchService` — the tier
+  above a single session: :class:`~repro.service.sharding.ShardPlan`
+  cuts the database into contiguous precursor-mass shards, each shard
+  runs its own inner session (own pool + arena spill), and the router
+  fans each batch out only to the shards whose mass range intersects
+  its spectra's precursor windows, merging per-spectrum top-K across
+  shards bit-identical to the unsharded engine.  A dead shard degrades
+  coverage (``degraded_shards``) instead of killing the session.
+
 ``repro serve`` on the CLI drives a session over MS2 batch files or a
-stdin manifest of paths.
+stdin manifest of paths (``--shards N`` selects the sharded tier).
 """
 
-from repro.service.service import BatchStats, SearchService, ServiceConfig
+from repro.service.service import (
+    BatchStats,
+    SearchService,
+    ServiceConfig,
+    SessionStats,
+    aggregate_batch_stats,
+)
+from repro.service.sharding import (
+    DatabaseShard,
+    ShardedBatchStats,
+    ShardedSearchService,
+    ShardPlan,
+)
 
-__all__ = ["BatchStats", "SearchService", "ServiceConfig"]
+__all__ = [
+    "BatchStats",
+    "DatabaseShard",
+    "SearchService",
+    "ServiceConfig",
+    "SessionStats",
+    "ShardedBatchStats",
+    "ShardedSearchService",
+    "ShardPlan",
+    "aggregate_batch_stats",
+]

@@ -155,7 +155,13 @@ from repro.spectra.preprocess import (
     spectra_peak_bytes,
 )
 
-__all__ = ["ServiceConfig", "BatchStats", "SearchService"]
+__all__ = [
+    "ServiceConfig",
+    "BatchStats",
+    "SessionStats",
+    "SearchService",
+    "aggregate_batch_stats",
+]
 
 #: Most recent batches whose :class:`BatchStats` a session retains —
 #: enough for steady-state monitoring, O(1) for unbounded streams
@@ -214,6 +220,10 @@ class ServiceConfig:
         Chaos-testing fault schedule for the workers (tests only;
         production sessions leave it ``None`` and may use the
         ``REPRO_FAULT_PLAN`` env var instead).
+    transport:
+        Worker bootstrap mechanism for the resident pool — a
+        :mod:`repro.parallel.transport` registry name (default
+        ``"pipe"``: local spawn workers on OS pipes).
     """
 
     n_workers: int = 2
@@ -231,6 +241,7 @@ class ServiceConfig:
     hedge_after: Optional[float] = None
     degraded_ok: bool = False
     fault_plan: Optional[FaultPlan] = None
+    transport: str = "pipe"
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -334,6 +345,91 @@ class BatchStats:
     retries: int = 0
     hedged: int = 0
     degraded_ranks: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class SessionStats:
+    """Session-level aggregate over a sequence of :class:`BatchStats`.
+
+    One canonical summation (see :func:`aggregate_batch_stats`) shared
+    by the CLI serve table and the throughput benchmarks, instead of
+    each re-deriving steady-state figures ad hoc.
+
+    Attributes
+    ----------
+    n_batches:
+        Batches aggregated.
+    first_batch_s / steady_batch_s / mean_batch_s:
+        First batch's wall seconds, the steady-state per-batch floor
+        (min over batches after the first — the first batch pays
+        cold-cache costs), and the plain mean.
+    retries / hedged / respawned:
+        Supervision-layer totals over the aggregated batches (all 0 in
+        a fault-free session).
+    overlap_s_total:
+        Master-side seconds hidden behind worker rounds by the
+        pipelined session, summed over batches.
+    collect_wait_s_total:
+        Residual master-idle seconds in ``collect()``, summed.
+    pipeline_depth_max:
+        Deepest concurrent admission observed.
+    scatter_bytes_max:
+        Largest per-batch pickled scatter volume.
+    degraded_batches:
+        Batches that resolved with a non-empty degraded mask
+        (``degraded_ranks`` — or ``degraded_shards`` on the sharded
+        tier's stats).
+    """
+
+    n_batches: int
+    first_batch_s: float
+    steady_batch_s: float
+    mean_batch_s: float
+    retries: int
+    hedged: int
+    respawned: int
+    overlap_s_total: float
+    collect_wait_s_total: float
+    pipeline_depth_max: int
+    scatter_bytes_max: int
+    degraded_batches: int
+
+
+def aggregate_batch_stats(stats: Sequence[BatchStats]) -> SessionStats:
+    """Fold per-batch :class:`BatchStats` into one :class:`SessionStats`.
+
+    Accepts any stats the service kinds produce (plain or sharded);
+    an empty sequence aggregates to all zeros.
+    """
+    stats = list(stats)
+    if not stats:
+        return SessionStats(
+            n_batches=0, first_batch_s=0.0, steady_batch_s=0.0,
+            mean_batch_s=0.0, retries=0, hedged=0, respawned=0,
+            overlap_s_total=0.0, collect_wait_s_total=0.0,
+            pipeline_depth_max=0, scatter_bytes_max=0, degraded_batches=0,
+        )
+    totals = [s.total_s for s in stats]
+    steady = min(totals[1:]) if len(totals) > 1 else totals[0]
+    degraded = sum(
+        1
+        for s in stats
+        if s.degraded_ranks or getattr(s, "degraded_shards", ())
+    )
+    return SessionStats(
+        n_batches=len(stats),
+        first_batch_s=totals[0],
+        steady_batch_s=steady,
+        mean_batch_s=sum(totals) / len(totals),
+        retries=sum(s.retries for s in stats),
+        hedged=sum(s.hedged for s in stats),
+        respawned=sum(s.respawned for s in stats),
+        overlap_s_total=sum(s.overlap_s for s in stats),
+        collect_wait_s_total=sum(s.collect_wait_s for s in stats),
+        pipeline_depth_max=max(s.pipeline_depth for s in stats),
+        scatter_bytes_max=max(s.scatter_bytes for s in stats),
+        degraded_batches=degraded,
+    )
 
 
 class _PendingBatch:
@@ -603,6 +699,7 @@ class SearchService:
             hedge_after=cfg.hedge_after,
             degraded_ok=cfg.degraded_ok,
             fault_plan=cfg.fault_plan,
+            transport=cfg.transport,
         )
         try:
             tasks = [

@@ -1,0 +1,932 @@
+"""Sharded multi-pool serving tier: mass-range shards + a shard router.
+
+One :class:`~repro.service.service.SearchService` is bounded by a
+single resident pool's memory and cores; the paper's LBE plan balances
+*within* that pool.  This module adds the HiCOPS-style step above it:
+partition the **database itself** into contiguous precursor-mass
+ranges (:class:`ShardPlan`), give every shard its own resident pool +
+arena spill (an inner ``SearchService``), and route each batch's
+spectra only to the shards whose mass range can intersect their
+precursor windows (:class:`ShardedSearchService`) — the
+communication-aware fan-out of the distributed-memory MS lower-bounds
+line of work, composed from the PR 4–6 session contract.
+
+Routing model (agrees exactly with flat filtration)
+---------------------------------------------------
+Shard boundaries live in the same numeric universe as the index:
+per-shard mass extrema are float32-rounded entry masses widened to
+float64 (exactly the :class:`~repro.index.arena.FragmentArena`
+storage), and the shard predicate is the
+:meth:`~repro.index.chunks.ChunkedIndex.chunks_for` difference form::
+
+    shard s may hold candidates for nm ± tol
+        iff  s.mass_max - nm >= -tol  and  s.mass_min - nm <= tol
+
+Both comparisons run in float64 over float32-rounded endpoints — the
+flat filter's own predicate (``|mass64 - nm| > tol``) applied to the
+extrema — so a skipped shard provably contains **no** entry the flat
+filter would keep, even exactly at window edges.  Open search (no
+precursor tolerance) routes every spectrum to every shard.  Routing
+therefore changes *where* filtration work happens, never *what* it
+computes: merged results are bit-identical to the unsharded engine.
+
+Bit-identity of the merge
+-------------------------
+Within each shard, member bases keep their **ascending global base-id
+order**, so shard-local entry ids map to global entry ids through a
+strictly increasing table (``DatabaseShard.entry_ids``).  The inner
+engines' per-rank and per-shard top-K tie-breaks (score desc, entry id
+asc) are then order-isomorphic to the global id space, and the fleet
+merge — translate each shard's PSMs to global ids, re-run
+:func:`~repro.search.serial.top_k_psms` over the union — reproduces
+the serial engine's selection exactly (global entry ids are disjoint
+across shards, and the score arithmetic is untouched).  Demux is keyed
+by spectrum scan id (validated per result), not trusted batch
+position.
+
+Failure semantics (shard × fault → behavior)
+--------------------------------------------
+Per-shard supervision is the resident pool's matrix
+(:mod:`repro.parallel.persistent`), applied inside each shard's pool;
+this layer adds shard-level isolation on top.  With R =
+``max_retries`` and W = workers per shard:
+
+=========================  =============================================
+fault at shard level       observed behavior
+=========================  =============================================
+one rank of one shard      invisible for R >= 1 (the shard's pool
+crashes / raises / hangs   retries only that rank's payload; batch
+mid-batch                  bit-identical); for R = 0 without
+                           ``degraded_ok`` the batch's future fails
+                           with :class:`~repro.errors.ShardError`
+                           naming the shard (chained to the pool's
+                           :class:`~repro.errors.WorkerError`) — the
+                           *session* survives, later batches heal on
+                           respawned workers.
+some ranks of a shard      partial shard coverage: the fleet mask
+exhaust retries            ``degraded_ranks`` names them as
+(``degraded_ok=True``)     ``shard * W + rank``; the shard still
+                           contributes its surviving ranks'
+                           partitions.
+every rank of a shard      the whole shard's mass range is lost:
+exhausts retries, or its   ``degraded_shards`` names it (its ranks all
+session breaks             appear in ``degraded_ranks``), results
+(``degraded_ok=True``)     cover the remaining shards, and the TSV
+                           report carries ``# degraded_shards:``.
+shard not routed           not a fault: a batch whose windows cannot
+                           reach a shard never dispatches to it
+                           (counted in ``shards_skipped``), and a
+                           spectrum reaching no shard reports zero
+                           candidates — exactly the flat filter's
+                           verdict.
+sharded-session close      drains every inner session: all admitted
+                           futures resolve deterministically.
+=========================  =============================================
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future, InvalidStateError
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ServiceError, ShardError
+from repro.index.arena import concat_ranges
+from repro.index.slm import SLMIndexSettings
+from repro.parallel.faults import FaultPlan
+from repro.search.database import IndexedDatabase
+from repro.search.psm import RankStats, SearchResults, SpectrumResult
+from repro.search.serial import top_k_psms
+from repro.service.service import (
+    _STATS_RETENTION,
+    BatchStats,
+    SearchService,
+    ServiceConfig,
+)
+from repro.spectra.model import Spectrum
+
+__all__ = [
+    "DatabaseShard",
+    "ShardPlan",
+    "ShardedBatchStats",
+    "ShardedSearchService",
+]
+
+
+@dataclass(slots=True)
+class DatabaseShard:
+    """One contiguous precursor-mass slice of an indexed database.
+
+    Attributes
+    ----------
+    shard_id:
+        Position in the plan (ascending mass ranges).
+    database:
+        A self-contained :class:`~repro.search.database.IndexedDatabase`
+        over the shard's bases + entries — what the shard's inner
+        service attaches, spills, and queries.
+    base_ids / entry_ids:
+        Global base / entry ids of the shard's members, **ascending** —
+        ``entry_ids[local]`` is the strictly increasing local → global
+        translation the fleet merge relies on for tie-break fidelity.
+    mass_min / mass_max:
+        Float32-rounded entry-mass extrema widened to float64 (the
+        arena's numeric universe) — the routing predicate's endpoints.
+        Ranges of neighbouring shards may overlap by up to one float32
+        rounding step; that only costs routing selectivity, never
+        correctness.
+    """
+
+    shard_id: int
+    database: IndexedDatabase
+    base_ids: np.ndarray
+    entry_ids: np.ndarray
+    mass_min: float
+    mass_max: float
+
+    @property
+    def n_bases(self) -> int:
+        """Base peptides in the shard."""
+        return int(self.base_ids.size)
+
+    @property
+    def n_entries(self) -> int:
+        """Index entries in the shard."""
+        return int(self.entry_ids.size)
+
+
+class ShardPlan:
+    """Split an :class:`~repro.search.database.IndexedDatabase` into
+    contiguous precursor-mass shards, and route spectra to them.
+
+    Build with :meth:`from_database`; the plan validates that the
+    shards are a disjoint cover of the entry space.  Shards split at
+    **base-peptide** granularity (a base and all its modified variants
+    stay together) so each shard is itself a well-formed database.
+    """
+
+    def __init__(self, database: IndexedDatabase, shards: List[DatabaseShard]) -> None:
+        self.database = database
+        self.shards = shards
+        covered = np.sort(np.concatenate([s.entry_ids for s in shards]))
+        if covered.size != database.n_entries or not np.array_equal(
+            covered, np.arange(database.n_entries, dtype=np.int64)
+        ):
+            raise ConfigurationError(
+                "shards are not a disjoint cover of the entry space"
+            )
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards."""
+        return len(self.shards)
+
+    @classmethod
+    def from_database(
+        cls,
+        database: IndexedDatabase,
+        n_shards: int,
+        boundaries: Optional[Sequence[float]] = None,
+    ) -> "ShardPlan":
+        """Partition ``database`` into ``n_shards`` mass-range shards.
+
+        Without ``boundaries``, bases are sorted by mass and the
+        sorted sequence is cut into contiguous runs balanced by entry
+        count (each cut adjusted so no shard is empty).  With
+        ``boundaries`` — ``n_shards - 1`` ascending masses in Da — a
+        base with mass ``>= boundaries[k]`` lands in shard ``k + 1``
+        or later; every resulting shard must be non-empty.
+        """
+        n_bases = len(database.base_peptides)
+        if n_shards < 1:
+            raise ConfigurationError(
+                f"n_shards must be >= 1, got {n_shards}"
+            )
+        if n_shards > n_bases:
+            raise ConfigurationError(
+                f"cannot cut {n_bases} base peptides into {n_shards} "
+                f"non-empty shards"
+            )
+        base_masses = np.array(
+            [p.mass for p in database.base_peptides], dtype=np.float64
+        )
+        order = np.argsort(base_masses, kind="stable")
+        offsets = np.asarray(database.entry_offsets, dtype=np.int64)
+        counts = np.diff(offsets)
+        if boundaries is not None:
+            cuts_list = [float(b) for b in boundaries]
+            if len(cuts_list) != n_shards - 1:
+                raise ConfigurationError(
+                    f"{n_shards} shards need {n_shards - 1} boundaries, "
+                    f"got {len(cuts_list)}"
+                )
+            if any(b <= a for a, b in zip(cuts_list, cuts_list[1:])):
+                raise ConfigurationError(
+                    "shard boundaries must be strictly ascending"
+                )
+            # Mass-sorted bases cut at the boundary masses: the k-th
+            # cut is the first sorted position whose base mass reaches
+            # boundaries[k].
+            sorted_masses = base_masses[order]
+            cut_positions = [
+                int(np.searchsorted(sorted_masses, b, side="left"))
+                for b in cuts_list
+            ]
+        else:
+            # Balance by entry count over the mass-sorted base runs.
+            sorted_counts = counts[order]
+            cum = np.cumsum(sorted_counts)
+            total = int(cum[-1])
+            targets = [
+                total * (k + 1) / n_shards for k in range(n_shards - 1)
+            ]
+            cut_positions = [
+                int(np.searchsorted(cum, t, side="left")) + 1 for t in targets
+            ]
+            # Keep every shard non-empty: cuts strictly increasing and
+            # leaving room for the remaining shards.
+            prev = 0
+            for k in range(len(cut_positions)):
+                c = max(cut_positions[k], prev + 1)
+                c = min(c, n_bases - (n_shards - 1 - k))
+                cut_positions[k] = c
+                prev = c
+        edges = [0, *cut_positions, n_bases]
+        shards: List[DatabaseShard] = []
+        for sid in range(n_shards):
+            start, stop = edges[sid], edges[sid + 1]
+            if stop <= start:
+                raise ConfigurationError(
+                    f"shard {sid} is empty (boundary masses leave it no "
+                    f"base peptides)"
+                )
+            # Ascending global base-id order *within* the shard keeps
+            # the local -> global entry-id map strictly increasing
+            # (membership is still a contiguous run of the mass-sorted
+            # base sequence) — the property the merge's tie-break
+            # fidelity rests on.
+            base_ids = np.sort(order[start:stop])
+            entry_ids = concat_ranges(offsets[base_ids], offsets[base_ids + 1])
+            entries = database.entries_at(entry_ids)
+            shard_offsets = np.concatenate(
+                ([0], np.cumsum(counts[base_ids]))
+            ).astype(np.int64)
+            shard_db = IndexedDatabase(
+                [database.base_peptides[b] for b in base_ids],
+                entries,
+                shard_offsets,
+            )
+            # Extrema over the entries' float32-rounded masses, widened
+            # back to float64: the exact values the shard's arena (and
+            # the flat filter) will compare against.
+            masses32 = np.array([p.mass for p in entries], dtype=np.float32)
+            shards.append(
+                DatabaseShard(
+                    shard_id=sid,
+                    database=shard_db,
+                    base_ids=base_ids,
+                    entry_ids=entry_ids,
+                    mass_min=float(masses32.min()),
+                    mass_max=float(masses32.max()),
+                )
+            )
+        return cls(database, shards)
+
+    def shards_for(self, neutral_mass: float, tolerance: Optional[float]) -> List[int]:
+        """Shard ids that may hold candidates for ``neutral_mass ± tol``.
+
+        ``None`` / infinite tolerance = open search = every shard.
+        The windowed predicate is the chunked index's difference form
+        (see the module docstring) — it can never skip a shard holding
+        an entry the flat filter would keep.
+        """
+        if tolerance is None or np.isinf(tolerance):
+            return [s.shard_id for s in self.shards]
+        tol = float(tolerance)
+        nm = neutral_mass
+        return [
+            s.shard_id
+            for s in self.shards
+            if s.mass_max - nm >= -tol and s.mass_min - nm <= tol
+        ]
+
+    def route(
+        self, spectra: Sequence[Spectrum], settings: SLMIndexSettings
+    ) -> List[List[int]]:
+        """Per-shard lists of batch positions to dispatch.
+
+        ``route(batch, settings)[s]`` are the indices into ``spectra``
+        whose precursor windows intersect shard ``s``'s mass range —
+        the shard's sub-batch, in original batch order.  Open search
+        broadcasts every position to every shard.
+        """
+        routed: List[List[int]] = [[] for _ in self.shards]
+        if settings.is_open_search:
+            everyone = list(range(len(spectra)))
+            return [list(everyone) for _ in self.shards]
+        tol = float(settings.precursor_tolerance)  # type: ignore[arg-type]
+        for i, spectrum in enumerate(spectra):
+            for sid in self.shards_for(spectrum.neutral_mass, tol):
+                routed[sid].append(i)
+        return routed
+
+
+@dataclass(slots=True)
+class ShardedBatchStats(BatchStats):
+    """Fleet-level :class:`BatchStats` plus per-shard breakdown.
+
+    The inherited fields aggregate over the dispatched shards: wall
+    phases (``preprocess_s`` / ``spill_s`` / ``parallel_s`` /
+    ``query_*``) take the **max** (the shards run concurrently),
+    counters (``merge_s`` / ``scatter_bytes`` / ``peak_bytes`` /
+    ``respawned`` / ``retries`` / ``hedged``) take the **sum**, and
+    ``degraded_ranks`` is the flattened fleet mask (shard ``s``'s rank
+    ``r`` as ``s * n_workers + r``).  ``total_s`` spans submit →
+    merged at the sharded layer.
+
+    Attributes
+    ----------
+    shards_dispatched / shards_skipped:
+        Shards this batch was sent to vs shards routing proved
+        unreachable (dispatched + skipped = plan shards).
+    degraded_shards:
+        Shards whose entire mass range is missing from the batch's
+        results.
+    shard_stats:
+        Per-shard inner :class:`BatchStats` (``None`` for skipped or
+        wholly-failed shards), index = shard id.
+    """
+
+    shards_dispatched: int = 0
+    shards_skipped: int = 0
+    degraded_shards: Tuple[int, ...] = ()
+    shard_stats: List[Optional[BatchStats]] = field(default_factory=list)
+
+
+class _ShardedBatch:
+    """One admitted batch's trip through the shard fan-out."""
+
+    __slots__ = (
+        "spectra", "routed", "future", "futures", "errors", "batch_index",
+        "remaining", "ready", "depth", "t_submit",
+    )
+
+    def __init__(self, spectra: List[Spectrum], routed: List[List[int]]) -> None:
+        self.spectra = spectra
+        self.routed = routed
+        self.future: Future = Future()
+        self.futures: Dict[int, Future] = {}
+        self.errors: Dict[int, BaseException] = {}
+        self.batch_index = -1
+        self.remaining = 0
+        self.ready = False
+        self.depth = 1
+        self.t_submit = 0.0
+
+
+class ShardedSearchService:
+    """A routed fleet of per-shard resident sessions, one session API.
+
+    Mirrors :class:`~repro.service.service.SearchService`'s
+    ``open / submit / submit_async / stream / close`` contract exactly:
+    futures resolve strictly in submission order to ``(SearchResults,
+    ShardedBatchStats)``, results are bit-identical to the unsharded
+    engine, a failing batch fails only its own future, and ``close()``
+    drains.  See the module docstring for the routing model and the
+    shard-level failure matrix.
+
+    Parameters
+    ----------
+    database:
+        The full indexed database (sharded internally).
+    config:
+        Per-shard service configuration: each shard runs its own inner
+        :class:`~repro.service.service.SearchService` with this config
+        (``n_workers`` resident workers *per shard*,
+        ``max_pending`` also bounds the sharded session's admission).
+    n_shards:
+        Mass-range shards to cut (1 is legal — a routed singleton).
+    boundaries:
+        Optional explicit shard boundary masses (Da), ascending,
+        ``n_shards - 1`` of them; default balances entry counts.
+    shard_fault_plans:
+        Chaos-testing seam: one optional
+        :class:`~repro.parallel.faults.FaultPlan` per shard,
+        overriding ``config.fault_plan`` shard-by-shard (a single
+        shared once-ledger plan would fire in whichever shard's worker
+        claims it first — per-shard plans make chaos deterministic).
+    """
+
+    def __init__(
+        self,
+        database: IndexedDatabase,
+        config: ServiceConfig = ServiceConfig(),
+        *,
+        n_shards: int = 2,
+        boundaries: Optional[Sequence[float]] = None,
+        shard_fault_plans: Optional[Sequence[Optional[FaultPlan]]] = None,
+    ) -> None:
+        if shard_fault_plans is not None and len(shard_fault_plans) != n_shards:
+            raise ConfigurationError(
+                f"{len(shard_fault_plans)} shard fault plans for "
+                f"{n_shards} shards"
+            )
+        self.database = database
+        self.config = config
+        self.plan = ShardPlan.from_database(database, n_shards, boundaries)
+        self._shard_fault_plans = (
+            list(shard_fault_plans) if shard_fault_plans is not None else None
+        )
+        self._services: List[SearchService] = []
+        self._opened = False
+        self._closed = False
+        # Reentrant: inner futures' done-callbacks (inner pipeline
+        # threads) and submit_async (caller thread) both take it, and
+        # an inner future that is already done invokes its callback
+        # synchronously inside submit_async.
+        self._lock = threading.RLock()
+        self._pending: deque[_ShardedBatch] = deque()
+        self._admission = threading.Semaphore(config.max_pending)
+        self._n_submitted = 0
+        self._n_pending = 0
+        self._n_batches = 0
+        self._stats: deque[ShardedBatchStats] = deque(maxlen=_STATS_RETENTION)
+        self._open_s = 0.0
+        self._dispatch_total = 0
+        self._skip_total = 0
+
+    @property
+    def n_shards(self) -> int:
+        """Shards in the fleet."""
+        return self.plan.n_shards
+
+    # -- lifecycle -------------------------------------------------------
+
+    def __enter__(self) -> "ShardedSearchService":
+        self.open()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def open(self) -> None:
+        """Open every shard's inner session (spawn + spill + attach).
+
+        Idempotent.  A shard that fails to open raises
+        :class:`~repro.errors.ShardError` (chained to the underlying
+        cause) after the already-opened shards are closed again.
+        """
+        if self._opened:
+            return
+        if self._closed:
+            raise ServiceError("sharded service is closed; cannot reopen")
+        t0 = time.perf_counter()
+        for shard in self.plan.shards:
+            cfg = self.config
+            if self._shard_fault_plans is not None:
+                cfg = replace(cfg, fault_plan=self._shard_fault_plans[shard.shard_id])
+            service = SearchService(shard.database, cfg)
+            try:
+                service.open()
+            except BaseException as exc:
+                service.close()
+                for opened in self._services:
+                    opened.close()
+                self._services = []
+                self._closed = True
+                raise ShardError(
+                    f"shard {shard.shard_id} failed to open: {exc}",
+                    shard=shard.shard_id,
+                    rank=getattr(exc, "rank", None),
+                    retries=getattr(exc, "retries", 0),
+                ) from exc
+            self._services.append(service)
+        self._open_s = time.perf_counter() - t0
+        self._opened = True
+
+    def close(self) -> None:
+        """Drain and shut every shard's session down; idempotent.
+
+        Inner sessions drain their admitted batches, which completes
+        every outstanding sharded future (via the done-callbacks)
+        before the workers shut down.
+        """
+        if self._closed:
+            return
+        self._closed = True  # reject new submits before draining
+        # No outer lock here: draining an inner session runs its
+        # pipeline thread to completion, and that thread takes the
+        # outer lock inside our done-callbacks.
+        for service in self._services:
+            service.close()
+        # Defensive: a batch that somehow never resolved (all its
+        # shards were skipped but close raced the drain) fails loud
+        # rather than hanging its caller.
+        with self._lock:
+            self._drain_ready_locked()
+            leftovers = list(self._pending)
+            self._pending.clear()
+        for batch in leftovers:
+            try:
+                if not batch.future.done():
+                    batch.future.set_exception(
+                        ServiceError("sharded service closed mid-batch")
+                    )
+            except InvalidStateError:  # pragma: no cover - settle race
+                pass
+
+    # -- submission ------------------------------------------------------
+
+    def submit(
+        self, spectra: Sequence[Spectrum]
+    ) -> Tuple[SearchResults, ShardedBatchStats]:
+        """Blocking convenience: route, fan out, merge one batch."""
+        return self.submit_async(spectra).result()
+
+    def submit_async(
+        self, spectra: Sequence[Spectrum]
+    ) -> "Future[Tuple[SearchResults, ShardedBatchStats]]":
+        """Admit one batch: route to intersecting shards, fan out.
+
+        Returns a future resolving to ``(SearchResults,
+        ShardedBatchStats)``; futures resolve strictly in submission
+        order.  Raises :class:`~repro.errors.ServiceError` when the
+        session is not open or the ``max_pending`` admission bound is
+        exceeded.
+        """
+        if self._closed:
+            raise ServiceError(
+                "sharded service is closed; no further submits accepted"
+            )
+        if not self._opened:
+            raise ServiceError("sharded service is not open; call open() first")
+        spectra = list(spectra)
+        if not spectra:
+            raise ConfigurationError("cannot submit an empty spectra batch")
+        if not self._admission.acquire(blocking=False):
+            raise ServiceError(
+                f"admission queue full ({self.config.max_pending} batches "
+                "already pending); retry after a pending batch completes"
+            )
+        routed = self.plan.route(spectra, self.config.index)
+        batch = _ShardedBatch(spectra, routed)
+        batch.t_submit = time.perf_counter()
+        with self._lock:
+            if self._closed:
+                self._admission.release()
+                raise ServiceError(
+                    "sharded service was closed while this submit was "
+                    "being admitted"
+                )
+            batch.batch_index = self._n_submitted
+            self._n_submitted += 1
+            self._n_pending += 1
+            batch.depth = self._n_pending
+            self._pending.append(batch)
+            dispatched = 0
+            for sid, positions in enumerate(routed):
+                if not positions:
+                    continue
+                dispatched += 1
+                sub_batch = [spectra[i] for i in positions]
+                try:
+                    inner = self._services[sid].submit_async(sub_batch)
+                except BaseException as exc:  # noqa: BLE001 - isolated per shard
+                    batch.errors[sid] = exc
+                    continue
+                batch.futures[sid] = inner
+            self._dispatch_total += dispatched
+            self._skip_total += self.n_shards - dispatched
+            batch.remaining = len(batch.futures)
+            if batch.remaining == 0:
+                batch.ready = True
+            # Register after the bookkeeping: an already-done inner
+            # future fires its callback synchronously on this thread —
+            # the RLock makes that safe.
+            for sid, inner in batch.futures.items():
+                inner.add_done_callback(
+                    lambda fut, b=batch: self._shard_done(b)
+                )
+            self._drain_ready_locked()
+        return batch.future
+
+    def stream(
+        self, batches: Iterable[Sequence[Spectrum]]
+    ) -> Iterator[Tuple[SearchResults, ShardedBatchStats]]:
+        """Drive an iterable of batches through the fleet, in order.
+
+        Keeps up to ``max_pending`` batches admitted at once (every
+        shard's inner pipeline overlaps underneath) and yields each
+        batch's ``(results, stats)`` in submission order.
+        """
+        window: deque[Future] = deque()
+        for spectra in batches:
+            while len(window) >= self.config.max_pending:
+                yield window.popleft().result()
+            window.append(self.submit_async(spectra))
+        while window:
+            yield window.popleft().result()
+
+    # -- resolution (runs on inner pipeline threads) ---------------------
+
+    def _shard_done(self, batch: _ShardedBatch) -> None:
+        with self._lock:
+            batch.remaining -= 1
+            if batch.remaining == 0:
+                batch.ready = True
+            self._drain_ready_locked()
+
+    def _drain_ready_locked(self) -> None:
+        """Resolve ready batches from the head — submission order."""
+        while self._pending and self._pending[0].ready:
+            batch = self._pending.popleft()
+            self._n_pending -= 1
+            self._admission.release()
+            self._finalize(batch)
+
+    def _finalize(self, batch: _ShardedBatch) -> None:
+        shard_results: List[Optional[SearchResults]] = [None] * self.n_shards
+        shard_stats: List[Optional[BatchStats]] = [None] * self.n_shards
+        errors: Dict[int, BaseException] = dict(batch.errors)
+        for sid, inner in batch.futures.items():
+            exc = inner.exception()
+            if exc is not None:
+                errors[sid] = exc
+            else:
+                shard_results[sid], shard_stats[sid] = inner.result()
+        if errors and not self.config.degraded_ok:
+            sid = min(errors)
+            cause = errors[sid]
+            summary = str(cause).splitlines()[0] if str(cause) else repr(cause)
+            failure = ShardError(
+                f"shard {sid} failed batch {batch.batch_index}: {summary}",
+                shard=sid,
+                rank=getattr(cause, "rank", None),
+                retries=getattr(cause, "retries", 0),
+            )
+            failure.__cause__ = cause
+            self._settle(batch, error=failure)
+            return
+        try:
+            results, stats = self._merge(batch, shard_results, shard_stats, errors)
+        except BaseException as exc:  # noqa: BLE001 - routed to the future
+            self._settle(batch, error=exc)
+            return
+        self._n_batches += 1
+        self._stats.append(stats)
+        self._settle(batch, value=(results, stats))
+
+    def _settle(
+        self,
+        batch: _ShardedBatch,
+        *,
+        value: Any = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        try:
+            if batch.future.done():
+                return
+            if error is not None:
+                batch.future.set_exception(error)
+            else:
+                batch.future.set_result(value)
+        except InvalidStateError:  # pragma: no cover - settle race
+            pass
+
+    # -- the fleet merge -------------------------------------------------
+
+    def _merge(
+        self,
+        batch: _ShardedBatch,
+        shard_results: List[Optional[SearchResults]],
+        shard_stats: List[Optional[BatchStats]],
+        errors: Dict[int, BaseException],
+    ) -> Tuple[SearchResults, ShardedBatchStats]:
+        cfg = self.config
+        spectra = batch.spectra
+        wall = time.perf_counter
+        t_merge = wall()
+        n_spectra = len(spectra)
+        w = cfg.n_workers
+        # Gather per-spectrum contributions across shards, demuxed by
+        # scan id (validated), translated to global entry ids.
+        gids: List[List[int]] = [[] for _ in range(n_spectra)]
+        scores: List[List[float]] = [[] for _ in range(n_spectra)]
+        shared: List[List[int]] = [[] for _ in range(n_spectra)]
+        counts = [0] * n_spectra
+        for sid, res in enumerate(shard_results):
+            if res is None:
+                continue
+            positions = batch.routed[sid]
+            if len(res.spectra) != len(positions):
+                raise ShardError(
+                    f"shard {sid} returned {len(res.spectra)} results for "
+                    f"{len(positions)} routed spectra",
+                    shard=sid,
+                )
+            # Demux keyed by scan id: positions grouped per scan, FIFO
+            # within a scan (inner results preserve sub-batch order).
+            by_scan: Dict[int, deque] = {}
+            for i in positions:
+                by_scan.setdefault(spectra[i].scan_id, deque()).append(i)
+            entry_ids = self.plan.shards[sid].entry_ids
+            for sr in res.spectra:
+                slots = by_scan.get(sr.scan_id)
+                if not slots:
+                    raise ShardError(
+                        f"shard {sid} returned a result for scan "
+                        f"{sr.scan_id}, which was not routed to it",
+                        shard=sid,
+                    )
+                i = slots.popleft()
+                counts[i] += sr.n_candidates
+                for psm in sr.psms:
+                    gids[i].append(int(entry_ids[psm.entry_id]))
+                    scores[i].append(psm.score)
+                    shared[i].append(psm.shared_peaks)
+        merged: List[SpectrumResult] = []
+        for i, spectrum in enumerate(spectra):
+            merged.append(
+                SpectrumResult(
+                    scan_id=spectrum.scan_id,
+                    n_candidates=counts[i],
+                    psms=top_k_psms(
+                        spectrum.scan_id,
+                        np.asarray(gids[i], dtype=np.int64),
+                        np.asarray(scores[i], dtype=np.float64),
+                        np.asarray(shared[i], dtype=np.int64),
+                        cfg.top_k,
+                    ),
+                )
+            )
+        # Degradation masks: partial shards flatten into the fleet rank
+        # space; wholly-lost shards (every rank degraded, or the inner
+        # session failed under degraded_ok) are named shard-level too.
+        degraded_ranks: List[int] = []
+        degraded_shards: List[int] = []
+        for sid in range(self.n_shards):
+            res = shard_results[sid]
+            if sid in errors:
+                degraded_shards.append(sid)
+                degraded_ranks.extend(sid * w + r for r in range(w))
+            elif res is not None and res.degraded_ranks:
+                degraded_ranks.extend(sid * w + r for r in res.degraded_ranks)
+                if len(res.degraded_ranks) == w:
+                    degraded_shards.append(sid)
+        # Fleet rank stats: shard s's rank r at position s * w + r
+        # (zeroed for skipped / failed shards).
+        fleet_stats: List[RankStats] = []
+        for sid in range(self.n_shards):
+            res = shard_results[sid]
+            for r in range(w):
+                if res is not None and r < len(res.rank_stats):
+                    inner = res.rank_stats[r]
+                    fleet_stats.append(
+                        RankStats(
+                            rank=sid * w + r,
+                            n_entries=inner.n_entries,
+                            n_ions=inner.n_ions,
+                            buckets_scanned=inner.buckets_scanned,
+                            ions_scanned=inner.ions_scanned,
+                            candidates_scored=inner.candidates_scored,
+                            residues_scored=inner.residues_scored,
+                            build_time=inner.build_time,
+                            query_time=inner.query_time,
+                            comm_time=inner.comm_time,
+                            query_cpu_time=inner.query_cpu_time,
+                        )
+                    )
+                else:
+                    fleet_stats.append(RankStats(rank=sid * w + r))
+        merge_s = wall() - t_merge
+        total_s = wall() - batch.t_submit
+        live = [s for s in shard_stats if s is not None]
+
+        def smax(attr: str) -> float:
+            return max((getattr(s, attr) for s in live), default=0.0)
+
+        def ssum(attr: str) -> Any:
+            return sum(getattr(s, attr) for s in live)
+
+        def pmax(key: str) -> float:
+            return max(
+                (
+                    r.phase_times.get(key, 0.0)
+                    for r in shard_results
+                    if r is not None
+                ),
+                default=0.0,
+            )
+
+        phase_times = {
+            "serial_prep": pmax("serial_prep"),
+            "spill": pmax("spill"),
+            "build": 0.0,
+            "query": pmax("query"),
+            "query_cpu": pmax("query_cpu"),
+            "gather": pmax("gather"),
+            "merge": sum(
+                r.phase_times.get("merge", 0.0)
+                for r in shard_results
+                if r is not None
+            )
+            + merge_s,
+            "parallel_wall": pmax("parallel_wall"),
+            "parallel_overhead": pmax("parallel_overhead"),
+            "total": total_s,
+        }
+        results = SearchResults(
+            spectra=merged,
+            rank_stats=fleet_stats,
+            phase_times=phase_times,
+            policy_name=cfg.policy,
+            n_ranks=self.n_shards * w,
+            degraded_ranks=tuple(sorted(degraded_ranks)),
+            degraded_shards=tuple(sorted(degraded_shards)),
+        )
+        dispatched = sum(1 for positions in batch.routed if positions)
+        stats = ShardedBatchStats(
+            batch_index=batch.batch_index,
+            n_spectra=n_spectra,
+            preprocess_s=smax("preprocess_s"),
+            spill_s=smax("spill_s"),
+            parallel_s=smax("parallel_s"),
+            merge_s=ssum("merge_s") + merge_s,
+            total_s=total_s,
+            query_wall_max_s=smax("query_wall_max_s"),
+            query_cpu_max_s=smax("query_cpu_max_s"),
+            scatter_bytes=int(ssum("scatter_bytes")),
+            peak_bytes=int(ssum("peak_bytes")),
+            respawned=int(ssum("respawned")),
+            wait_s=smax("wait_s"),
+            pipeline_depth=batch.depth,
+            collect_wait_s=smax("collect_wait_s"),
+            overlap_s=ssum("overlap_s"),
+            retries=int(ssum("retries")),
+            hedged=int(ssum("hedged")),
+            degraded_ranks=tuple(sorted(degraded_ranks)),
+            shards_dispatched=dispatched,
+            shards_skipped=self.n_shards - dispatched,
+            degraded_shards=tuple(sorted(degraded_shards)),
+            shard_stats=shard_stats,
+        )
+        return results, stats
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def is_open(self) -> bool:
+        """True between a successful ``open()`` and ``close()``."""
+        return self._opened and not self._closed
+
+    @property
+    def n_batches(self) -> int:
+        """Batches merged over the session's lifetime."""
+        return self._n_batches
+
+    @property
+    def open_s(self) -> float:
+        """Wall seconds ``open()`` took (all shards, sequential)."""
+        return self._open_s
+
+    @property
+    def attach_s(self) -> float:
+        """Summed inner attach seconds across the shards."""
+        return sum(s.attach_s for s in self._services)
+
+    @property
+    def batch_stats(self) -> List[ShardedBatchStats]:
+        """Per-batch stats, oldest first (bounded retention)."""
+        return list(self._stats)
+
+    @property
+    def respawn_total(self) -> int:
+        """Workers respawned across every shard's pool."""
+        return sum(s.respawn_total for s in self._services)
+
+    @property
+    def shard_dispatch_total(self) -> int:
+        """Lifetime count of (batch, shard) dispatches actually sent."""
+        return self._dispatch_total
+
+    @property
+    def shard_skip_total(self) -> int:
+        """Lifetime count of (batch, shard) dispatches routing skipped."""
+        return self._skip_total
+
+    @property
+    def services(self) -> List[SearchService]:
+        """The inner per-shard sessions (read-only introspection)."""
+        return list(self._services)
+
+    def worker_pids(self) -> List[Optional[int]]:
+        """Flat fleet PIDs: shard 0's ranks, then shard 1's, ..."""
+        pids: List[Optional[int]] = []
+        for service in self._services:
+            pids.extend(service.worker_pids())
+        return pids

@@ -89,7 +89,7 @@ def test_death_between_batches_is_invisible_to_the_caller(pool):
     """A worker killed while idle is respawned + re-attached before the
     next batch — the batch succeeds, only the stats show the respawn."""
     pool.run_batch(resident_echo, ["x", "y"])
-    victim = pool._procs[1]
+    victim = pool._channels[1].proc
     victim.terminate()
     victim.join()
     res = pool.run_batch(resident_echo, ["p", "q"])
@@ -210,7 +210,7 @@ def test_death_between_dispatch_and_collect(pool):
     """A worker killed while its round is on the pipe fails collect()
     with WorkerError; the next round respawns and is correct."""
     handle = pool.dispatch(resident_sleep, [30.0, 0.0])
-    pool._procs[0].terminate()
+    pool._channels[0].proc.terminate()
     with pytest.raises(WorkerError, match="died mid-batch"):
         handle.collect()
     res = pool.run_batch(resident_echo, ["x", "y"])

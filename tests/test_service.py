@@ -110,8 +110,8 @@ def test_worker_death_mid_batch_respawns_and_session_survives(
         assert_same_results(serial_refs[0], results)
         pids = service.worker_pids()
         # Kill a resident worker out from under the session.
-        service._pool._procs[1].terminate()
-        service._pool._procs[1].join()
+        service._pool._channels[1].proc.terminate()
+        service._pool._channels[1].proc.join()
         # The very next submit transparently respawns + re-attaches —
         # and still returns bit-identical results.
         results, stats = service.submit(batches[1])

@@ -117,7 +117,7 @@ def test_worker_death_fails_only_its_batch(
             handle = orig_dispatch(fn, payloads)
             rounds.append(handle)
             if len(rounds) == 2:  # batch index 1's round
-                pool._procs[1].terminate()
+                pool._channels[1].proc.terminate()
             return handle
 
         pool.dispatch = killing_dispatch
