@@ -56,11 +56,18 @@ import json
 import os
 import pickle
 import platform
+import tempfile
 import time
 from pathlib import Path
 
 from repro.db.proteome import ProteomeConfig
 from repro.index.slm import SLMIndexSettings
+from repro.obs import (
+    NULL_TRACER,
+    JsonlTracer,
+    MetricsRegistry,
+    validate_trace_file,
+)
 from repro.parallel import ParallelEngineConfig, ParallelSearchEngine
 from repro.search.database import DatabaseConfig, IndexedDatabase
 from repro.search.serial import SerialSearchEngine
@@ -185,6 +192,46 @@ def run(quick: bool = False) -> dict:
     steady = resident_session.steady_batch_s
     mean_oneshot = sum(oneshot_totals) / len(oneshot_totals)
 
+    # -- observability: traced vs untraced, paired back-to-back --------
+    # The enabled-tracer session must stay within a few percent of the
+    # untraced steady state (the --obs-overhead regression guard) and
+    # its JSONL trace must be schema-valid with zero violations.  The
+    # comparison runs its own *pair* of fresh sessions over a repeated
+    # stream: steady-state is a min over many samples measured under
+    # the same machine state, so single-scheduler-hiccup noise does
+    # not masquerade as tracer overhead.
+    obs_batches = batches * (3 if quick else 2)
+
+    def obs_session(tracer, metrics):
+        ok = True
+        with SearchService(
+            db,
+            ServiceConfig(
+                n_workers=N_WORKERS,
+                index=settings,
+                tracer=tracer,
+                metrics=metrics,
+            ),
+        ) as service:
+            for i, batch in enumerate(obs_batches):
+                res, stats = service.submit(batch)
+                ok = ok and same_results(references[i % len(batches)], res)
+            session = aggregate_batch_stats(service.batch_stats)
+        return session, ok
+
+    untraced_session, ok = obs_session(NULL_TRACER, MetricsRegistry())
+    identical = identical and ok
+    fd, trace_path = tempfile.mkstemp(suffix=".jsonl", prefix="bench-trace-")
+    os.close(fd)
+    tracer = JsonlTracer(trace_path)
+    traced_session, ok = obs_session(tracer, MetricsRegistry())
+    identical = identical and ok
+    tracer.close()
+    n_trace_records, trace_errors = validate_trace_file(trace_path)
+    os.unlink(trace_path)
+    traced_steady = traced_session.steady_batch_s
+    untraced_steady = untraced_session.steady_batch_s
+
     report = {
         "benchmark": "service_throughput",
         "quick": quick,
@@ -236,6 +283,21 @@ def run(quick: bool = False) -> dict:
             # The pipeline headline: master stages hidden behind the
             # workers' rounds shrink the per-batch completion interval.
             "pipelined_vs_sequential": steady / pipe_steady,
+        },
+        "observability": {
+            # Steady-state latency with the JSONL tracer enabled vs the
+            # untraced session above; the overhead ratio is what the
+            # --obs-overhead regression guard bounds (<= 1.05).
+            "traced_steady_batch_s": traced_steady,
+            "untraced_steady_batch_s": untraced_steady,
+            "overhead_ratio": traced_steady / untraced_steady,
+            "n_batches_per_session": len(obs_batches),
+            "trace_records": n_trace_records,
+            "trace_schema_errors": len(trace_errors),
+            "li_wall_mean": traced_session.query_li_mean,
+            "li_wall_max": traced_session.query_li_max,
+            "p50_batch_s": traced_session.p50_batch_s,
+            "p95_batch_s": traced_session.p95_batch_s,
         },
         "resilience": {
             # Supervision-layer accounting over both sessions; a clean
@@ -290,6 +352,12 @@ def main() -> None:
         f"pipelined steady batch: {p['steady_batch_s'] * 1e3:6.1f} ms "
         f"({p['batches_per_sec']:.1f} batches/s, depth {p['pipeline_depth_max']}, "
         f"{p['overlap_s_total'] * 1e3:.1f} ms master work overlapped)"
+    )
+    o = report["observability"]
+    print(
+        f"traced steady batch : {o['traced_steady_batch_s'] * 1e3:8.1f} ms "
+        f"(x{o['overhead_ratio']:.3f} of untraced, {o['trace_records']} "
+        f"records, {o['trace_schema_errors']} schema errors)"
     )
     s = report["scatter"]
     print(

@@ -44,7 +44,11 @@ Service checks (``--service-baseline``/``--service-fresh``):
    ``--pipeline-floor`` (the overlapped session must never be a real
    loss against sequential submits on the same resident pool; the
    floor sits below 1.0 for the timing noise of quick CI workloads —
-   the committed full-workload figure is the trajectory to beat).
+   the committed full-workload figure is the trajectory to beat),
+5. enabled JSONL tracing costs <= ``--obs-overhead`` of the untraced
+   steady-state latency and the traced session's trace is schema-clean
+   (``observability.trace_schema_errors == 0``) — telemetry must stay
+   out of the hot loops.
 
 Shard-routing checks (``--shard-baseline``/``--shard-fresh``):
 
@@ -225,6 +229,27 @@ def check_service(args, failures: list) -> None:
             "session is losing to sequential submits"
         )
 
+    obs = fresh.get("observability", {})
+    overhead = float(obs.get("overhead_ratio", float("nan")))
+    schema_errors = obs.get("trace_schema_errors")
+    print(
+        f"service traced/untraced steady latency: {overhead:.3f}x "
+        f"(required <= {args.obs_overhead:.2f}x, "
+        f"{obs.get('trace_records', '?')} trace records)"
+    )
+    if not overhead <= args.obs_overhead:  # catches NaN too
+        failures.append(
+            f"enabled tracing costs {overhead:.3f}x the untraced steady "
+            f"latency, above ceiling {args.obs_overhead:.2f}x — the "
+            "tracer has crept into the hot path"
+        )
+    if schema_errors != 0:
+        failures.append(
+            f"traced benchmark session emitted "
+            f"{schema_errors!r} schema violations — the trace no longer "
+            "matches repro.obs.schema"
+        )
+
 
 def check_shard(args, failures: list) -> None:
     fresh = json.loads(args.shard_fresh.read_text(encoding="ascii"))
@@ -362,6 +387,16 @@ def main() -> int:
         "the sub-100ms timing noise of quick CI workloads on shared "
         "1-to-2-core runners, where the master/worker overlap window "
         "is thin)",
+    )
+    parser.add_argument(
+        "--obs-overhead",
+        type=float,
+        default=1.05,
+        help="maximum traced/untraced steady batch latency ratio "
+        "(default: 1.05 — enabled JSONL tracing emits a handful of "
+        "records per batch off the measured path, so 5 percent covers "
+        "timing noise; a ratio above it means tracing crept into the "
+        "per-spectrum or per-rank hot loops)",
     )
     parser.add_argument(
         "--scatter-ceiling",

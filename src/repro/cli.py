@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import ExitStack
 from pathlib import Path
 from typing import List, Sequence
 
@@ -44,6 +45,7 @@ from repro.chem.peptide import Peptide
 from repro.errors import ServiceError, ShardError, WorkerError
 from repro.index.serialize import load_index, save_index
 from repro.index.slm import SLMIndex, SLMIndexSettings
+from repro.obs import NULL_TRACER, JsonlTracer, MetricsRegistry
 from repro.parallel import ParallelEngineConfig, ParallelSearchEngine
 from repro.search.database import IndexedDatabase
 from repro.search.engine import DistributedSearchEngine, EngineConfig
@@ -177,6 +179,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="explicit shard boundary masses in Da "
                      "(ascending, one fewer than --shards); default "
                      "balances shards by entry count")
+    srv.add_argument("--trace", type=Path, default=None, metavar="FILE",
+                     help="export a structured JSONL trace of the "
+                     "session to FILE: spans for every pipeline stage "
+                     "(prepare/spill/dispatch/worker.query per rank/"
+                     "collect/merge, shard route/demux) and events for "
+                     "every supervision transition (retry, backoff, "
+                     "respawn, hedge, degraded); validate with "
+                     "python -m repro.obs.schema FILE (default: off, "
+                     "zero-cost no-op tracer)")
 
     figs = sub.add_parser("figures", help="print quick figure tables")
     figs.add_argument("--sizes", type=float, nargs="+", default=[18.0, 49.45])
@@ -366,6 +377,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.report_dir is not None:
         args.report_dir.mkdir(parents=True, exist_ok=True)
 
+    # One registry per serve invocation: the summary lines below read
+    # live p50/p95/LI out of it, so it must not be polluted by other
+    # sessions sharing the process-wide default registry.
+    metrics = MetricsRegistry()
+    tracer = (
+        JsonlTracer(args.trace) if args.trace is not None else NULL_TRACER
+    )
     config = ServiceConfig(
         n_workers=args.ranks,
         policy=args.policy,
@@ -375,6 +393,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         degraded_ok=args.degraded_ok,
         hedge_after=args.hedge_after,
+        tracer=tracer,
+        metrics=metrics,
     )
     source = "index archive" if args.index is not None else "FASTA"
     mode = "pipelined" if args.pipeline else "sequential"
@@ -394,7 +414,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     else:
         service_cm = SearchService(db, config)
         topology = f"{args.ranks} resident workers"
-    with service_cm as service:
+    with ExitStack() as stack:
+        # LIFO: the service closes first (emitting its session.close
+        # event), then the tracer flushes and releases the file —
+        # including when a batch fails and the error propagates.
+        stack.callback(tracer.close)
+        service = stack.enter_context(service_cm)
         print(
             f"session: {db.n_entries} entries (from {source}), "
             f"{topology}, policy {args.policy}, "
@@ -424,6 +449,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 results.total_cpsms,
                 f"{stats.total_s * 1e3:.1f}",
                 f"{stats.query_wall_max_s * 1e3:.1f}",
+                f"{100 * stats.query_li:.1f}%",
                 f"{stats.overlap_s * 1e3:.1f}",
                 stats.scatter_bytes,
                 stats.retries,
@@ -439,7 +465,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 report_path = args.report_dir / f"batch_{i:04d}.tsv"
                 write_psm_report(report_path, results, db.entries)
         columns = ["batch", "file", "spectra", "cPSMs", "total ms",
-                   "query ms", "overlap ms", "scatter B", "retries",
+                   "query ms", "LI", "overlap ms", "scatter B", "retries",
                    "hedged", "respawn", "degraded"]
         if sharded:
             columns += ["disp/skip", "deg shards"]
@@ -453,9 +479,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if session.n_batches > 1:
             print(
                 f"steady-state batch latency: "
-                f"{1e3 * session.steady_batch_s:.1f} ms "
+                f"{1e3 * session.steady_batch_s:.1f} ms min, "
+                f"{1e3 * session.p50_batch_s:.1f} ms p50, "
+                f"{1e3 * session.p95_batch_s:.1f} ms p95 "
                 f"(vs open cost {service.open_s * 1e3:.1f} ms, amortized "
                 f"over {service.n_batches} batches)"
+            )
+        if all_stats:
+            # The live gauge holds the *last* batch's LI exactly as the
+            # registry saw it; mean/max come from the session aggregate
+            # over the same per-rank query-wall vectors.
+            li_gauge = metrics.gauge(
+                "fleet.batch_li_wall" if sharded else "service.batch_li_wall"
+            )
+            print(
+                f"load imbalance (Eq. 1): mean "
+                f"{100 * session.query_li_mean:.1f}%, max "
+                f"{100 * session.query_li_max:.1f}%, live gauge "
+                f"{100 * li_gauge.value:.1f}% over {li_gauge.n_updates} "
+                f"batches"
             )
         if sharded and all_stats:
             total = service.shard_dispatch_total + service.shard_skip_total
@@ -470,6 +512,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"{1e3 * session.overlap_s_total:.1f} ms of master work "
                 f"hidden behind worker rounds"
             )
+    if args.trace is not None:
+        print(f"trace: {tracer.n_records} records -> {args.trace}")
     return 0
 
 

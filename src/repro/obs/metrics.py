@@ -1,0 +1,274 @@
+"""Process-wide metrics registry: counters, gauges, latency histograms.
+
+The registry is the *aggregated* side of the observability layer: the
+tracer (:mod:`repro.obs.trace`) records individual spans and events,
+the registry keeps running totals and distributions cheap enough to
+update on every batch.  Everything here is stdlib-only and
+thread-safe at the granularity the serving stack needs: metric
+*creation* is locked; single updates (``inc``/``set``/``observe``)
+are plain attribute writes protected by the GIL, matching how the
+pipeline thread and shard callbacks interleave.
+
+Three instrument kinds:
+
+* :class:`Counter` — monotonically increasing totals (batches served,
+  retries, respawns, hedges).
+* :class:`Gauge` — last-written value with min/max watermarks.  The
+  serving stack's headline gauge is the **per-batch load imbalance**
+  (``service.batch_li_wall``): the paper's Eq.-1 LI computed live
+  from the full per-rank query-wall vector each batch.
+* :class:`Histogram` — fixed-bucket latency histogram with
+  interpolated p50/p95/p99.  Buckets are geometric from 1 ms to
+  120 s by default (:data:`DEFAULT_LATENCY_BUCKETS_S`); quantiles
+  clamp to the observed min/max so a single-bucket distribution
+  still reports sane numbers.
+
+:func:`quantile` is the exact (sorted, linearly interpolated)
+companion used offline by
+:func:`repro.service.aggregate_batch_stats` — the histogram's
+bucketed estimate and the exact helper agree to within one bucket
+width by construction.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "quantile",
+    "global_registry",
+]
+
+#: Geometric 1-2.5-5 ladder from 1 ms to 120 s: wide enough for a
+#: worker-spawn-dominated first batch, fine enough near the ~10-100 ms
+#: steady-state per-batch latencies the service actually serves.
+DEFAULT_LATENCY_BUCKETS_S: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 25.0, 60.0, 120.0,
+)
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """Exact linearly-interpolated quantile of ``values``.
+
+    Matches numpy's default (``method='linear'``) so offline
+    recomputations agree with array-based checks.  Raises on an empty
+    sequence — the caller decides what "no data" means.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile {q!r} outside [0, 1]")
+    if not values:
+        raise ValueError("quantile of empty sequence")
+    data = sorted(float(v) for v in values)
+    if len(data) == 1:
+        return data[0]
+    pos = q * (len(data) - 1)
+    lo = int(pos)
+    frac = pos - lo
+    if frac == 0.0:
+        return data[lo]
+    return data[lo] + (data[lo + 1] - data[lo]) * frac
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r}: negative increment {n}")
+        self.value += n
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """Last-written value with min/max watermarks and update count."""
+
+    __slots__ = ("name", "value", "min", "max", "n_updates")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.n_updates = 0
+
+    def set(self, value: float) -> None:
+        value = float(value)
+        self.value = value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.n_updates += 1
+
+    def as_dict(self) -> Dict[str, float]:
+        if self.n_updates == 0:
+            return {"value": 0.0, "min": 0.0, "max": 0.0, "n_updates": 0}
+        return {
+            "value": self.value,
+            "min": self.min,
+            "max": self.max,
+            "n_updates": self.n_updates,
+        }
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated quantiles.
+
+    ``bounds`` are the inclusive upper edges of the first
+    ``len(bounds)`` buckets; one implicit overflow bucket catches the
+    rest.  Quantiles interpolate linearly inside the winning bucket
+    and clamp to the observed min/max, so estimates never leave the
+    observed range.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "n", "sum", "min", "max")
+
+    def __init__(
+        self, name: str, bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S
+    ) -> None:
+        b = tuple(float(x) for x in bounds)
+        if not b or any(x >= y for x, y in zip(b, b[1:])):
+            raise ValueError(
+                f"histogram {name!r}: bounds must be strictly "
+                f"increasing and non-empty"
+            )
+        self.name = name
+        self.bounds = b
+        self.counts: List[int] = [0] * (len(b) + 1)
+        self.n = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_right(self.bounds, value)] += 1
+        self.n += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (requires data)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q!r} outside [0, 1]")
+        if self.n == 0:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        target = q * self.n
+        cum = 0
+        for i, c in enumerate(self.counts):
+            if c == 0:
+                continue
+            if cum + c >= target:
+                lo = self.bounds[i - 1] if i > 0 else 0.0
+                hi = self.bounds[i] if i < len(self.bounds) else self.max
+                frac = (target - cum) / c
+                est = lo + (hi - lo) * frac
+                return min(max(est, self.min), self.max)
+            cum += c
+        return self.max
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.n if self.n else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        if self.n == 0:
+            return {"n": 0}
+        return {
+            "n": self.n,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    One registry per serving process is the intended shape
+    (:func:`global_registry`); tests inject a fresh instance through
+    ``ServiceConfig.metrics`` so assertions never see another test's
+    totals.  Creation is locked; re-requesting a name returns the
+    same instrument (a kind mismatch is an error).
+    """
+
+    __slots__ = ("_lock", "_metrics")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, name: str, factory, kind: type):
+        with self._lock:
+            m = self._metrics.get(name)
+            if m is None:
+                m = factory()
+                self._metrics[name] = m
+            elif not isinstance(m, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(m).__name__}, not {kind.__name__}"
+                )
+            return m
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, lambda: Counter(name), Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, lambda: Gauge(name), Gauge)
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        return self._get(
+            name,
+            lambda: Histogram(name, bounds or DEFAULT_LATENCY_BUCKETS_S),
+            Histogram,
+        )
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Plain-dict dump of every instrument (JSON-serializable)."""
+        with self._lock:
+            items = list(self._metrics.items())
+        out: Dict[str, Dict[str, object]] = {}
+        for name, m in sorted(items):
+            d = m.as_dict()  # type: ignore[attr-defined]
+            d["kind"] = type(m).__name__.lower()
+            out[name] = d
+        return out
+
+    def reset(self) -> None:
+        """Drop every instrument (test isolation helper)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+_GLOBAL = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _GLOBAL

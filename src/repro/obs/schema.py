@@ -1,0 +1,170 @@
+"""Trace-record taxonomy and JSONL validation.
+
+This module is the single source of truth for what a trace may
+contain: every span name and event kind the serving stack emits,
+with the attribute keys each record must carry.  The CI ``obs-smoke``
+job runs it directly::
+
+    PYTHONPATH=src python -m repro.obs.schema trace.jsonl
+
+and exits non-zero if any line is malformed, any span/event is
+unknown, or any required attribute is missing.  Tests reuse
+:func:`validate_trace_file` / :func:`validate_record` so the schema
+checked in CI is the schema asserted in the suite.
+
+See the package docstring (:mod:`repro.obs`) for the human-readable
+taxonomy table; this module is its executable form.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Tuple, Union
+
+__all__ = [
+    "SPAN_ATTRS",
+    "EVENT_ATTRS",
+    "validate_record",
+    "validate_trace_lines",
+    "validate_trace_file",
+]
+
+#: Required attribute keys per span name (beyond ``type``/``name``/
+#: ``ts``/``dur``, which every span carries).
+SPAN_ATTRS: Dict[str, Tuple[str, ...]] = {
+    # Master-side pipeline stages (service.py).
+    "prepare": ("batch",),
+    "spill": ("batch",),
+    "dispatch": ("batch",),
+    "collect": ("batch",),
+    "merge": ("batch",),
+    # Worker-side spans re-anchored at merge time from reply payloads.
+    "worker.open": ("batch", "rank"),
+    "worker.query": ("batch", "rank", "cpu_s"),
+    # Shard-router stages (sharding.py).
+    "route": ("batch", "dispatched", "skipped"),
+    "demux": ("batch",),
+}
+
+#: Required attribute keys per event kind (beyond ``type``/``kind``/
+#: ``ts``).
+EVENT_ATTRS: Dict[str, Tuple[str, ...]] = {
+    # Session lifecycle (service.py / sharding.py).
+    "session.open": ("n_workers",),
+    "session.close": (),
+    # Per-batch summary: the live LI gauge plus supervision totals.
+    "batch": (
+        "batch",
+        "n_spectra",
+        "total_s",
+        "li_wall",
+        "li_cpu",
+        "retries",
+        "hedged",
+        "respawned",
+    ),
+    # Supervision transitions (persistent.py).
+    "retry": ("rank", "attempt"),
+    "backoff": ("rank", "delay_s"),
+    "respawn": ("rank",),
+    "hedge.launch": ("rank",),
+    "hedge.win": ("rank",),
+    "hedge.loss": ("rank",),
+    "degraded.rank": ("rank",),
+    # Shard-level degradation (sharding.py).
+    "degraded.shard": ("shard",),
+}
+
+
+def validate_record(obj: Any) -> List[str]:
+    """Return the list of schema violations for one decoded record."""
+    errors: List[str] = []
+    if not isinstance(obj, Mapping):
+        return [f"record is not an object: {obj!r}"]
+    rtype = obj.get("type")
+    if rtype == "span":
+        name = obj.get("name")
+        if not isinstance(name, str):
+            return [f"span without a string name: {obj!r}"]
+        if name not in SPAN_ATTRS:
+            return [f"unknown span name {name!r}"]
+        for key in ("ts", "dur"):
+            if not isinstance(obj.get(key), (int, float)):
+                errors.append(f"span {name!r}: missing numeric {key!r}")
+        dur = obj.get("dur")
+        if isinstance(dur, (int, float)) and dur < 0:
+            errors.append(f"span {name!r}: negative dur {dur!r}")
+        for key in SPAN_ATTRS[name]:
+            if key not in obj:
+                errors.append(f"span {name!r}: missing attr {key!r}")
+    elif rtype == "event":
+        kind = obj.get("kind")
+        if not isinstance(kind, str):
+            return [f"event without a string kind: {obj!r}"]
+        if kind not in EVENT_ATTRS:
+            return [f"unknown event kind {kind!r}"]
+        if not isinstance(obj.get("ts"), (int, float)):
+            errors.append(f"event {kind!r}: missing numeric 'ts'")
+        for key in EVENT_ATTRS[kind]:
+            if key not in obj:
+                errors.append(f"event {kind!r}: missing attr {key!r}")
+    else:
+        errors.append(f"unknown record type {rtype!r}")
+    return errors
+
+
+def validate_trace_lines(
+    lines: Iterable[str],
+) -> Tuple[int, List[str]]:
+    """Validate decoded-or-not JSONL lines.
+
+    Returns ``(n_records, errors)`` where each error is prefixed with
+    its 1-based line number.  Blank lines are ignored.
+    """
+    n = 0
+    errors: List[str] = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {lineno}: invalid JSON ({exc})")
+            continue
+        n += 1
+        errors.extend(f"line {lineno}: {e}" for e in validate_record(obj))
+    return n, errors
+
+
+def validate_trace_file(path: Union[str, Path]) -> Tuple[int, List[str]]:
+    """Validate a JSONL trace file; returns ``(n_records, errors)``."""
+    with open(path, "r", encoding="ascii") as fh:
+        return validate_trace_lines(fh)
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.schema TRACE.jsonl", file=sys.stderr)
+        return 2
+    n, errors = validate_trace_file(argv[0])
+    spans = sum(1 for _ in SPAN_ATTRS)
+    if errors:
+        for e in errors[:50]:
+            print(f"SCHEMA: {e}", file=sys.stderr)
+        print(
+            f"{argv[0]}: {n} records, {len(errors)} schema violations",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"{argv[0]}: {n} records OK "
+        f"({spans} span names, {len(EVENT_ATTRS)} event kinds known)"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    raise SystemExit(main(sys.argv[1:]))

@@ -111,6 +111,7 @@ from multiprocessing.reduction import ForkingPickler
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, PipelineError, ServiceError, WorkerError
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.parallel.faults import FaultPlan, maybe_inject
 from repro.parallel.transport import Transport, WorkerChannel, make_transport
 
@@ -304,6 +305,17 @@ def _persistent_worker_entry(
     conn.close()
 
 
+def _payload_batch(payload) -> Optional[int]:
+    """Batch coordinate of a round payload for trace events, if any.
+
+    The service's :class:`~repro.parallel.worker.QueryTask` echoes its
+    ``batch_index``; diagnostic payloads carry none and events simply
+    omit the ``batch`` attribute.
+    """
+    batch = getattr(payload, "batch_index", None)
+    return batch if isinstance(batch, int) and batch >= 0 else None
+
+
 class _Hedge:
     """One speculative straggler duplicate: a fresh attached worker
     racing the original rank, first answer wins."""
@@ -360,6 +372,13 @@ class PersistentPool:
         pool only ever speaks the
         :class:`~repro.parallel.transport.WorkerChannel` API, so a
         socket transport drops in without touching supervision.
+    tracer:
+        Observability sink (:mod:`repro.obs`): every supervision
+        transition — retry, backoff, respawn, hedge launch/win/loss,
+        degraded rank — emits a structured event.  The default
+        :data:`~repro.obs.trace.NULL_TRACER` is a no-op; every emit
+        site is guarded by ``tracer.enabled`` so the disabled path
+        costs one branch.
 
     Use as a context manager, or call :meth:`close` explicitly; a
     dropped pool terminates its workers through a finalizer.
@@ -377,6 +396,7 @@ class PersistentPool:
         degraded_ok: bool = False,
         fault_plan: Optional[FaultPlan] = None,
         transport: "str | Transport" = "pipe",
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         if n_workers < 1:
             raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
@@ -405,6 +425,7 @@ class PersistentPool:
             fault_plan if fault_plan is not None else FaultPlan.from_env()
         )
         self._transport = transport_obj
+        self._tracer = tracer
         self._channels: List[Optional[WorkerChannel]] = [None] * n_workers
         self._attach: Optional[Tuple[Callable, List[Any]]] = None
         self._closed = False
@@ -519,6 +540,8 @@ class PersistentPool:
             channel.stop()
         self._spawn(rank)
         self._respawn_total += 1
+        if self._tracer.enabled:
+            self._tracer.event("respawn", {"rank": rank})
         if self._attach is not None:
             fn, payloads = self._attach
             self._channels[rank].send((_ATTACH, fn, payloads[rank]))
@@ -698,6 +721,15 @@ class PersistentPool:
         resolved: set[int] = set()
         hedges: dict[int, _Hedge] = {}
         counters = {"retries": 0, "respawns": 0, "hedged": 0}
+        tracer = self._tracer
+
+        def trace_event(kind: str, rank: int, **attrs) -> None:
+            """Emit one supervision event (call only when tracer.enabled)."""
+            batch = _payload_batch(handle.payloads[rank])
+            if batch is not None:
+                attrs["batch"] = batch
+            attrs["rank"] = rank
+            tracer.event(kind, attrs)
         # The soft straggler deadline arms once per round, QUERY only,
         # and needs attach state to clone (a hedge must re-attach).
         hedge_at: Optional[float] = None
@@ -716,6 +748,8 @@ class PersistentPool:
             hedge = hedges.pop(rank, None)
             if hedge is not None:
                 hedge.channel.stop()
+                if tracer.enabled:
+                    trace_event("hedge.loss", rank, winner="original")
 
         def promote_hedge(rank: int, hedge: _Hedge, message) -> None:
             """The hedge answered first: take its result and install it
@@ -734,6 +768,8 @@ class PersistentPool:
             provisional.pop(rank, None)
             failures.pop(rank, None)
             del hedges[rank]
+            if tracer.enabled:
+                trace_event("hedge.win", rank)
 
         def launch_hedge(rank: int) -> None:
             fn_attach, attach_payloads = self._attach
@@ -758,6 +794,8 @@ class PersistentPool:
                 return
             hedges[rank] = _Hedge(channel, time.monotonic() + self.timeout)
             counters["hedged"] += 1
+            if tracer.enabled:
+                trace_event("hedge.launch", rank)
 
         def hedge_failed(rank: int) -> None:
             """A hedge crashed, raised, or timed out: discard it; the
@@ -765,6 +803,8 @@ class PersistentPool:
             failed permanently, in which case the failure lands now."""
             hedge = hedges.pop(rank)
             hedge.channel.stop()
+            if tracer.enabled:
+                trace_event("hedge.loss", rank, winner="none")
             if rank in provisional:
                 failures[rank] = provisional.pop(rank)
 
@@ -790,6 +830,15 @@ class PersistentPool:
                     return
                 counters["retries"] += 1
                 delay = self.backoff_s * (2 ** (attempts[rank] - 1))
+                if tracer.enabled:
+                    trace_event(
+                        "retry",
+                        rank,
+                        attempt=attempts[rank],
+                        command=handle.command,
+                        dead=dead,
+                    )
+                    trace_event("backoff", rank, delay_s=delay)
                 if delay > 0:
                     time.sleep(delay)
                 try:
@@ -933,6 +982,13 @@ class PersistentPool:
         respawned = handle.respawned + counters["respawns"]
         if failures:
             if self.degraded_ok and handle.command == _QUERY:
+                if tracer.enabled:
+                    for rank in sorted(failures):
+                        trace_event(
+                            "degraded.rank",
+                            rank,
+                            retries=failures[rank].retries,
+                        )
                 return PoolBatchResult(
                     results=results,
                     wall_times=walls,

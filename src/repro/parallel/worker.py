@@ -228,6 +228,16 @@ def service_query_worker(rank: int, size: int, state: dict, task: QueryTask) -> 
         open_s=open_wall,
         query_s=query_wall,
         query_cpu_s=query_cpu,
+        # Worker-side spans as (name, start, dur) seconds *relative to
+        # this round's dispatch*; a ``perf_counter`` reading is not
+        # comparable across processes, so the master re-anchors these
+        # on its own clock (see ``worker_spans_from_report``).  Riding
+        # the existing reply payload keeps the pipe protocol at one
+        # round per batch.
+        spans=(
+            ("worker.open", 0.0, open_wall),
+            ("worker.query", open_wall, query_wall),
+        ),
     )
     return report
 

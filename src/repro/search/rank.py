@@ -46,6 +46,7 @@ __all__ = [
     "merge_rank_payloads",
     "summarize_rank_output",
     "rank_stats_from_report",
+    "worker_spans_from_report",
 ]
 
 #: Per-rank payload the master merges: (scan-order candidate counts,
@@ -268,3 +269,23 @@ def rank_stats_from_report(rank: int, report: dict) -> RankStats:
         comm_time=float(report.get("open_s", 0.0)),
         query_cpu_time=float(report.get("query_cpu_s", 0.0)),
     )
+
+
+def worker_spans_from_report(
+    report: dict, anchor: float
+) -> List[Tuple[str, float, float]]:
+    """Re-anchor a worker report's relative spans on the master clock.
+
+    Workers ship spans as ``(name, start, dur)`` with ``start``
+    relative to their own round start — ``perf_counter`` readings are
+    not comparable across processes.  ``anchor`` is the master-clock
+    instant the round was dispatched, so the returned absolute spans
+    nest (modulo pipe latency) under the master's ``collect`` span.
+    Reports without a ``spans`` key (attach reports, older workers)
+    yield an empty list.
+    """
+    out: List[Tuple[str, float, float]] = []
+    for entry in report.get("spans", ()):
+        name, rel_start, dur = entry
+        out.append((str(name), anchor + float(rel_start), float(dur)))
+    return out

@@ -129,6 +129,8 @@ from repro.core.grouping import GroupingConfig
 from repro.core.planner import LBEPlan
 from repro.errors import ConfigurationError, PipelineError, ServiceError
 from repro.index.slm import SLMIndexSettings
+from repro.obs.metrics import MetricsRegistry, global_registry, quantile
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.parallel.faults import FaultPlan
 from repro.parallel.persistent import PersistentPool, PoolBatchResult
 from repro.parallel.shared_arena import (
@@ -146,8 +148,13 @@ from repro.parallel.worker import (
 )
 from repro.search.database import IndexedDatabase
 from repro.search.engine import make_lbe_plan
+from repro.search.metrics import load_imbalance
 from repro.search.psm import RankStats, SearchResults
-from repro.search.rank import merge_rank_payloads, rank_stats_from_report
+from repro.search.rank import (
+    merge_rank_payloads,
+    rank_stats_from_report,
+    worker_spans_from_report,
+)
 from repro.spectra.model import Spectrum
 from repro.spectra.preprocess import (
     PreprocessConfig,
@@ -224,6 +231,19 @@ class ServiceConfig:
         Worker bootstrap mechanism for the resident pool — a
         :mod:`repro.parallel.transport` registry name (default
         ``"pipe"``: local spawn workers on OS pipes).
+    tracer:
+        Observability sink (:mod:`repro.obs`): pipeline-stage spans,
+        per-rank worker spans, the per-batch summary event, and every
+        supervision transition flow through it.  The default
+        :data:`~repro.obs.trace.NULL_TRACER` is a no-op and every
+        emit site is ``tracer.enabled``-guarded, so a session without
+        ``--trace`` pays one branch per site.
+    metrics:
+        Live :class:`~repro.obs.metrics.MetricsRegistry` fed once per
+        batch (latency histograms, supervision counters, and the
+        per-batch load-imbalance gauges ``service.batch_li_wall`` /
+        ``service.batch_li_cpu``).  Defaults to the process-wide
+        registry; tests inject a fresh one for isolation.
     """
 
     n_workers: int = 2
@@ -242,6 +262,8 @@ class ServiceConfig:
     degraded_ok: bool = False
     fault_plan: Optional[FaultPlan] = None
     transport: str = "pipe"
+    tracer: Tracer = NULL_TRACER
+    metrics: MetricsRegistry = field(default_factory=global_registry)
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -285,9 +307,15 @@ class BatchStats:
         dispatch → collect return; ``total_s`` spans prepare start →
         merge end, including any time the master overlapped other
         batches' stages with this batch's round).
-    query_wall_max_s / query_cpu_max_s:
-        Slowest worker's query wall / process-CPU seconds (the
-        steady-state latency floor; CPU is the dedicated-core figure).
+    query_wall_s / query_cpu_s:
+        The **full per-rank vectors** of query wall / process-CPU
+        seconds, in rank order — what the paper's load-imbalance
+        metric (Eq. 1) needs; the old scalar maxima survive as the
+        derived properties :attr:`query_wall_max_s` /
+        :attr:`query_cpu_max_s`, and :attr:`query_li` /
+        :attr:`query_li_cpu` compute LI live.  A degraded rank
+        contributes 0.0 at its slot (its coverage is already masked
+        by ``degraded_ranks``).
     scatter_bytes:
         Actual command bytes written to the worker pipes for this
         batch — the shared :class:`~repro.parallel.worker.QueryTask`
@@ -333,8 +361,8 @@ class BatchStats:
     parallel_s: float
     merge_s: float
     total_s: float
-    query_wall_max_s: float
-    query_cpu_max_s: float
+    query_wall_s: Tuple[float, ...]
+    query_cpu_s: Tuple[float, ...]
     scatter_bytes: int
     peak_bytes: int
     respawned: int
@@ -345,6 +373,36 @@ class BatchStats:
     retries: int = 0
     hedged: int = 0
     degraded_ranks: Tuple[int, ...] = ()
+
+    @property
+    def query_wall_max_s(self) -> float:
+        """Slowest worker's query wall seconds (the latency floor)."""
+        return max(self.query_wall_s, default=0.0)
+
+    @property
+    def query_cpu_max_s(self) -> float:
+        """Slowest worker's query process-CPU seconds."""
+        return max(self.query_cpu_s, default=0.0)
+
+    @property
+    def query_li(self) -> float:
+        """Per-batch load imbalance (Eq. 1) over the query wall vector.
+
+        Exactly :func:`repro.search.metrics.load_imbalance` over
+        :attr:`query_wall_s`, so the live gauge and offline
+        recomputations agree bit-for-bit; 0.0 when the vector is
+        empty or all-zero.
+        """
+        if not self.query_wall_s:
+            return 0.0
+        return load_imbalance(self.query_wall_s)
+
+    @property
+    def query_li_cpu(self) -> float:
+        """Per-batch load imbalance over the query CPU vector."""
+        if not self.query_cpu_s:
+            return 0.0
+        return load_imbalance(self.query_cpu_s)
 
 
 @dataclass(frozen=True, slots=True)
@@ -363,6 +421,16 @@ class SessionStats:
         First batch's wall seconds, the steady-state per-batch floor
         (min over batches after the first — the first batch pays
         cold-cache costs), and the plain mean.
+    p50_batch_s / p95_batch_s:
+        Steady-state latency percentiles over the same population as
+        ``steady_batch_s`` (batches after the first), computed with
+        the metrics layer's quantile
+        (:func:`repro.obs.metrics.quantile`) — the distributional
+        view the min/mean pair cannot give.
+    query_li_mean / query_li_max:
+        Per-batch load imbalance (Eq. 1 over the per-rank query wall
+        vector, :attr:`BatchStats.query_li`) averaged / worst-cased
+        over the aggregated batches.
     retries / hedged / respawned:
         Supervision-layer totals over the aggregated batches (all 0 in
         a fault-free session).
@@ -385,6 +453,10 @@ class SessionStats:
     first_batch_s: float
     steady_batch_s: float
     mean_batch_s: float
+    p50_batch_s: float
+    p95_batch_s: float
+    query_li_mean: float
+    query_li_max: float
     retries: int
     hedged: int
     respawned: int
@@ -405,12 +477,17 @@ def aggregate_batch_stats(stats: Sequence[BatchStats]) -> SessionStats:
     if not stats:
         return SessionStats(
             n_batches=0, first_batch_s=0.0, steady_batch_s=0.0,
-            mean_batch_s=0.0, retries=0, hedged=0, respawned=0,
+            mean_batch_s=0.0, p50_batch_s=0.0, p95_batch_s=0.0,
+            query_li_mean=0.0, query_li_max=0.0,
+            retries=0, hedged=0, respawned=0,
             overlap_s_total=0.0, collect_wait_s_total=0.0,
             pipeline_depth_max=0, scatter_bytes_max=0, degraded_batches=0,
         )
     totals = [s.total_s for s in stats]
-    steady = min(totals[1:]) if len(totals) > 1 else totals[0]
+    # Steady-state population: batches after the first (which pays
+    # cold-cache costs); a one-batch session falls back to that batch.
+    steady_pop = totals[1:] if len(totals) > 1 else totals
+    lis = [s.query_li for s in stats]
     degraded = sum(
         1
         for s in stats
@@ -419,8 +496,12 @@ def aggregate_batch_stats(stats: Sequence[BatchStats]) -> SessionStats:
     return SessionStats(
         n_batches=len(stats),
         first_batch_s=totals[0],
-        steady_batch_s=steady,
+        steady_batch_s=min(steady_pop),
         mean_batch_s=sum(totals) / len(totals),
+        p50_batch_s=quantile(steady_pop, 0.50),
+        p95_batch_s=quantile(steady_pop, 0.95),
+        query_li_mean=sum(lis) / len(lis),
+        query_li_max=max(lis),
         retries=sum(s.retries for s in stats),
         hedged=sum(s.hedged for s in stats),
         respawned=sum(s.respawned for s in stats),
@@ -603,6 +684,9 @@ class SearchService:
     ) -> None:
         self.database = database
         self.config = config
+        self._tracer = config.tracer
+        self._metrics = config.metrics
+        self._m_cache: tuple | None = None  # instruments, bound at open()
         self._plan: LBEPlan | None = None
         self._spill: SharedSpill | None = None
         self._pool: PersistentPool | None = None
@@ -700,6 +784,7 @@ class SearchService:
             degraded_ok=cfg.degraded_ok,
             fault_plan=cfg.fault_plan,
             transport=cfg.transport,
+            tracer=cfg.tracer,
         )
         try:
             tasks = [
@@ -732,6 +817,29 @@ class SearchService:
         )
         self._thread.start()
         self._open_s = time.perf_counter() - t_open
+        # Bind the per-batch instruments once: the merge path then pays
+        # attribute loads, not registry dict lookups, per batch.
+        m = self._metrics
+        self._m_cache = (
+            m.counter("service.batches"),
+            m.histogram("service.batch_total_s"),
+            m.histogram("service.batch_query_wall_s"),
+            m.gauge("service.batch_li_wall"),
+            m.gauge("service.batch_li_cpu"),
+            m.counter("service.retries"),
+            m.counter("service.hedged"),
+            m.counter("service.respawned"),
+            m.counter("service.degraded_batches"),
+        )
+        if self._tracer.enabled:
+            self._tracer.event(
+                "session.open",
+                {
+                    "n_workers": cfg.n_workers,
+                    "open_s": round(self._open_s, 6),
+                    "attach_s": round(self._attach_s, 6),
+                },
+            )
         return self
 
     def close(self) -> None:
@@ -746,6 +854,7 @@ class SearchService:
         if self._closed:
             return
         self._closed = True  # reject new submits before draining
+        was_open = self._pool is not None
         state, thread = self._state, self._thread
         if state is not None:
             with state.cond:
@@ -760,6 +869,8 @@ class SearchService:
             if self._session_cleanup is not None:
                 self._session_cleanup()  # remove the session dir now
             self._spill = None
+        if was_open and self._tracer.enabled:
+            self._tracer.event("session.close", {"n_batches": self._n_batches})
 
     # -- submission ------------------------------------------------------
 
@@ -878,6 +989,16 @@ class SearchService:
             batch.peak_bytes = (
                 spectra_peak_bytes(processed) * self.config.n_workers
             )
+            if self._tracer.enabled:
+                self._tracer.span(
+                    "prepare",
+                    batch.t_start,
+                    batch.prep_s,
+                    {"batch": batch.batch_index, "n_spectra": batch.n_processed},
+                )
+                self._tracer.span(
+                    "spill", t0, batch.spill_s, {"batch": batch.batch_index}
+                )
             return True
         except BaseException as exc:  # noqa: BLE001 - routed to the future
             if batch.batch_dir is not None:
@@ -901,6 +1022,13 @@ class SearchService:
             batch.handle = self._pool.dispatch(
                 service_query_worker, [task] * cfg.n_workers
             )
+            if self._tracer.enabled:
+                self._tracer.span(
+                    "dispatch",
+                    batch.dispatched_at,
+                    time.perf_counter() - batch.dispatched_at,
+                    {"batch": batch.batch_index},
+                )
             return True
         except BaseException as exc:  # noqa: BLE001 - routed to the future
             shutil.rmtree(batch.batch_dir, ignore_errors=True)
@@ -918,6 +1046,13 @@ class SearchService:
             now = time.perf_counter()
             batch.collect_wait_s = now - t0
             batch.parallel_s = now - batch.dispatched_at
+            if self._tracer.enabled:
+                self._tracer.span(
+                    "collect",
+                    t0,
+                    batch.collect_wait_s,
+                    {"batch": batch.batch_index},
+                )
             # The workers hold no references to the batch store after
             # the round; drop it (best-effort — pages may still be
             # mapped briefly, which POSIX tolerates).
@@ -1027,8 +1162,8 @@ class SearchService:
             parallel_s=batch.parallel_s,
             merge_s=merge_s,
             total_s=total_s,
-            query_wall_max_s=max(s.query_time for s in all_stats),
-            query_cpu_max_s=max(s.query_cpu_time for s in all_stats),
+            query_wall_s=tuple(s.query_time for s in all_stats),
+            query_cpu_s=tuple(s.query_cpu_time for s in all_stats),
             scatter_bytes=pool_round.scatter_bytes,
             peak_bytes=batch.peak_bytes,
             respawned=pool_round.respawned,
@@ -1040,7 +1175,72 @@ class SearchService:
             hedged=pool_round.hedged,
             degraded_ranks=degraded,
         )
+        self._observe_batch(batch, stats, pool_round, t0, merge_s)
         return results, stats
+
+    def _observe_batch(
+        self,
+        batch: _PendingBatch,
+        stats: BatchStats,
+        pool_round: PoolBatchResult,
+        merge_start: float,
+        merge_s: float,
+    ) -> None:
+        """Feed the metrics registry and (when enabled) the tracer.
+
+        The registry feed is unconditional — a handful of attribute
+        writes per batch keeps the live LI gauge and latency
+        histograms current even without ``--trace``.  Span/event
+        emission is ``tracer.enabled``-guarded.
+        """
+        if self._m_cache is not None:
+            (
+                m_batches, m_total, m_query, m_li_wall, m_li_cpu,
+                m_retries, m_hedged, m_respawned, m_degraded,
+            ) = self._m_cache
+            m_batches.inc()
+            m_total.observe(stats.total_s)
+            m_query.observe(stats.query_wall_max_s)
+            m_li_wall.set(stats.query_li)
+            m_li_cpu.set(stats.query_li_cpu)
+            m_retries.inc(stats.retries)
+            m_hedged.inc(stats.hedged)
+            m_respawned.inc(stats.respawned)
+            if stats.degraded_ranks:
+                m_degraded.inc()
+        tracer = self._tracer
+        if not tracer.enabled:
+            return
+        bi = batch.batch_index
+        tracer.span("merge", merge_start, merge_s, {"batch": bi})
+        # Worker spans rode back in the reply payloads as offsets
+        # relative to the round's dispatch; re-anchor them here.
+        for rank, report in enumerate(pool_round.results):
+            if report is None:
+                continue
+            for name, start, dur in worker_spans_from_report(
+                report, batch.dispatched_at
+            ):
+                attrs = {"batch": bi, "rank": rank}
+                if name == "worker.query":
+                    attrs["cpu_s"] = round(
+                        float(report.get("query_cpu_s", 0.0)), 9
+                    )
+                tracer.span(name, start, dur, attrs)
+        tracer.event(
+            "batch",
+            {
+                "batch": bi,
+                "n_spectra": stats.n_spectra,
+                "total_s": round(stats.total_s, 9),
+                "li_wall": round(stats.query_li, 9),
+                "li_cpu": round(stats.query_li_cpu, 9),
+                "retries": stats.retries,
+                "hedged": stats.hedged,
+                "respawned": stats.respawned,
+                "degraded_ranks": list(stats.degraded_ranks),
+            },
+        )
 
     def _fail_batch(self, batch: _PendingBatch, exc: BaseException) -> None:
         self._release(batch)

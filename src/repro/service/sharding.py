@@ -341,13 +341,17 @@ class ShardedBatchStats(BatchStats):
     """Fleet-level :class:`BatchStats` plus per-shard breakdown.
 
     The inherited fields aggregate over the dispatched shards: wall
-    phases (``preprocess_s`` / ``spill_s`` / ``parallel_s`` /
-    ``query_*``) take the **max** (the shards run concurrently),
-    counters (``merge_s`` / ``scatter_bytes`` / ``peak_bytes`` /
-    ``respawned`` / ``retries`` / ``hedged``) take the **sum**, and
-    ``degraded_ranks`` is the flattened fleet mask (shard ``s``'s rank
-    ``r`` as ``s * n_workers + r``).  ``total_s`` spans submit →
-    merged at the sharded layer.
+    phases (``preprocess_s`` / ``spill_s`` / ``parallel_s``) take the
+    **max** (the shards run concurrently), counters (``merge_s`` /
+    ``scatter_bytes`` / ``peak_bytes`` / ``respawned`` / ``retries`` /
+    ``hedged``) take the **sum**, and ``degraded_ranks`` is the
+    flattened fleet mask (shard ``s``'s rank ``r`` as
+    ``s * n_workers + r``).  ``total_s`` spans submit → merged at the
+    sharded layer.  The inherited ``query_wall_s`` / ``query_cpu_s``
+    vectors cover the **full fleet rank space** in that same order,
+    with 0.0 at the slots of skipped or wholly-failed shards — so the
+    fleet-level LI properties read routing selectivity as imbalance
+    by design (an undispatched shard *is* idle capacity).
 
     Attributes
     ----------
@@ -438,6 +442,7 @@ class ShardedSearchService:
             )
         self.database = database
         self.config = config
+        self._tracer = config.tracer
         self.plan = ShardPlan.from_database(database, n_shards, boundaries)
         self._shard_fault_plans = (
             list(shard_fault_plans) if shard_fault_plans is not None else None
@@ -490,6 +495,11 @@ class ShardedSearchService:
             cfg = self.config
             if self._shard_fault_plans is not None:
                 cfg = replace(cfg, fault_plan=self._shard_fault_plans[shard.shard_id])
+            if cfg.tracer.enabled:
+                # Every inner-service record carries its shard id; the
+                # no-op tracer binds to itself, so this replace is
+                # skipped entirely when tracing is off.
+                cfg = replace(cfg, tracer=cfg.tracer.bind(shard=shard.shard_id))
             service = SearchService(shard.database, cfg)
             try:
                 service.open()
@@ -508,6 +518,16 @@ class ShardedSearchService:
             self._services.append(service)
         self._open_s = time.perf_counter() - t0
         self._opened = True
+        if self._tracer.enabled:
+            self._tracer.event(
+                "session.open",
+                {
+                    "n_workers": self.n_shards * self.config.n_workers,
+                    "n_shards": self.n_shards,
+                    "open_s": round(self._open_s, 6),
+                    "fleet": True,
+                },
+            )
 
     def close(self) -> None:
         """Drain and shut every shard's session down; idempotent.
@@ -539,6 +559,11 @@ class ShardedSearchService:
                     )
             except InvalidStateError:  # pragma: no cover - settle race
                 pass
+        if self._opened and self._tracer.enabled:
+            self._tracer.event(
+                "session.close",
+                {"n_batches": self._n_batches, "fleet": True},
+            )
 
     # -- submission ------------------------------------------------------
 
@@ -573,6 +598,7 @@ class ShardedSearchService:
                 f"admission queue full ({self.config.max_pending} batches "
                 "already pending); retry after a pending batch completes"
             )
+        t_route = time.perf_counter()
         routed = self.plan.route(spectra, self.config.index)
         batch = _ShardedBatch(spectra, routed)
         batch.t_submit = time.perf_counter()
@@ -613,6 +639,17 @@ class ShardedSearchService:
                     lambda fut, b=batch: self._shard_done(b)
                 )
             self._drain_ready_locked()
+        if self._tracer.enabled:
+            self._tracer.span(
+                "route",
+                t_route,
+                time.perf_counter() - t_route,
+                {
+                    "batch": batch.batch_index,
+                    "dispatched": dispatched,
+                    "skipped": self.n_shards - dispatched,
+                },
+            )
         return batch.future
 
     def stream(
@@ -858,8 +895,8 @@ class ShardedSearchService:
             parallel_s=smax("parallel_s"),
             merge_s=ssum("merge_s") + merge_s,
             total_s=total_s,
-            query_wall_max_s=smax("query_wall_max_s"),
-            query_cpu_max_s=smax("query_cpu_max_s"),
+            query_wall_s=tuple(s.query_time for s in fleet_stats),
+            query_cpu_s=tuple(s.query_cpu_time for s in fleet_stats),
             scatter_bytes=int(ssum("scatter_bytes")),
             peak_bytes=int(ssum("peak_bytes")),
             respawned=int(ssum("respawned")),
@@ -875,6 +912,41 @@ class ShardedSearchService:
             degraded_shards=tuple(sorted(degraded_shards)),
             shard_stats=shard_stats,
         )
+        m = cfg.metrics
+        m.counter("fleet.batches").inc()
+        m.counter("fleet.shards_dispatched").inc(dispatched)
+        m.counter("fleet.shards_skipped").inc(self.n_shards - dispatched)
+        m.gauge("fleet.batch_li_wall").set(stats.query_li)
+        m.histogram("fleet.batch_total_s").observe(total_s)
+        if self._tracer.enabled:
+            tracer = self._tracer
+            tracer.span(
+                "demux",
+                t_merge,
+                merge_s,
+                {"batch": batch.batch_index},
+            )
+            for sid in sorted(degraded_shards):
+                tracer.event(
+                    "degraded.shard",
+                    {"shard": sid, "batch": batch.batch_index},
+                )
+            tracer.event(
+                "batch",
+                {
+                    "batch": batch.batch_index,
+                    "n_spectra": n_spectra,
+                    "total_s": round(total_s, 9),
+                    "li_wall": round(stats.query_li, 9),
+                    "li_cpu": round(stats.query_li_cpu, 9),
+                    "retries": stats.retries,
+                    "hedged": stats.hedged,
+                    "respawned": stats.respawned,
+                    "fleet": True,
+                    "shards_dispatched": dispatched,
+                    "shards_skipped": self.n_shards - dispatched,
+                },
+            )
         return results, stats
 
     # -- introspection ---------------------------------------------------

@@ -10,9 +10,10 @@ time.
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Optional
+
+from repro.obs.trace import Clock, default_clock
 
 __all__ = ["PhaseTimer"]
 
@@ -27,10 +28,17 @@ class PhaseTimer:
       the simulated cluster's cost model).
 
     Phases accumulate: charging the same phase twice adds up.
+
+    Wall measurement reads the same injected-clock protocol as the
+    tracer (:data:`repro.obs.trace.default_clock`, i.e.
+    ``time.perf_counter`` unless overridden), so engine phase ledgers
+    and service spans cannot drift apart on what "query time" means;
+    pass a fake ``clock`` for deterministic tests.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, clock: Optional[Clock] = None) -> None:
         self._phases: Dict[str, float] = {}
+        self._clock: Clock = clock if clock is not None else default_clock
 
     def charge(self, phase: str, seconds: float) -> None:
         """Add ``seconds`` to ``phase`` (creating it if needed)."""
@@ -41,11 +49,11 @@ class PhaseTimer:
     @contextmanager
     def measure(self, phase: str) -> Iterator[None]:
         """Context manager charging measured wall time to ``phase``."""
-        start = time.perf_counter()
+        start = self._clock()
         try:
             yield
         finally:
-            self.charge(phase, time.perf_counter() - start)
+            self.charge(phase, self._clock() - start)
 
     def get(self, phase: str) -> float:
         """Return the accumulated seconds of ``phase`` (0.0 if absent)."""

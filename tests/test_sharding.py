@@ -370,7 +370,7 @@ def test_aggregate_batch_stats():
         base = dict(
             batch_index=i, n_spectra=4, preprocess_s=0.0, spill_s=0.0,
             parallel_s=0.0, merge_s=0.0, total_s=total,
-            query_wall_max_s=0.0, query_cpu_max_s=0.0, scatter_bytes=10 * i,
+            query_wall_s=(), query_cpu_s=(), scatter_bytes=10 * i,
             peak_bytes=0, respawned=0,
         )
         base.update(kw)
@@ -378,27 +378,42 @@ def test_aggregate_batch_stats():
 
     empty = aggregate_batch_stats([])
     assert empty.n_batches == 0 and empty.steady_batch_s == 0.0
+    assert empty.p50_batch_s == 0.0 and empty.p95_batch_s == 0.0
+    assert empty.query_li_mean == 0.0 and empty.query_li_max == 0.0
 
     session = aggregate_batch_stats([
         stats(0, 9.0, retries=1, overlap_s=0.5),
         stats(1, 2.0, pipeline_depth=2),
-        stats(2, 3.0, hedged=1, degraded_ranks=(1,)),
+        stats(2, 3.0, hedged=1, degraded_ranks=(1,),
+              query_wall_s=(1.0, 3.0)),
     ])
     assert session.n_batches == 3
     assert session.first_batch_s == 9.0
     assert session.steady_batch_s == 2.0  # min over batches 1..n
     assert session.mean_batch_s == pytest.approx(14.0 / 3)
+    # Percentiles over the steady-state population [2.0, 3.0].
+    assert session.p50_batch_s == pytest.approx(2.5)
+    assert session.p95_batch_s == pytest.approx(2.95)
+    # LI (Eq. 1) per batch: 0, 0, then (3 - 2) / 2 = 0.5.
+    assert session.query_li_mean == pytest.approx(0.5 / 3)
+    assert session.query_li_max == pytest.approx(0.5)
     assert session.retries == 1 and session.hedged == 1
     assert session.pipeline_depth_max == 2
     assert session.scatter_bytes_max == 20
     assert session.overlap_s_total == 0.5
     assert session.degraded_batches == 1
 
+    # Max fields are derived from the per-rank vectors now.
+    vec = stats(3, 1.0, query_wall_s=(0.5, 2.0), query_cpu_s=(0.25, 1.0))
+    assert vec.query_wall_max_s == 2.0
+    assert vec.query_cpu_max_s == 1.0
+    assert vec.query_li == pytest.approx((2.0 - 1.25) / 1.25)
+
     sharded = aggregate_batch_stats([
         ShardedBatchStats(**{
             **dict(batch_index=0, n_spectra=4, preprocess_s=0.0,
                    spill_s=0.0, parallel_s=0.0, merge_s=0.0, total_s=1.0,
-                   query_wall_max_s=0.0, query_cpu_max_s=0.0,
+                   query_wall_s=(), query_cpu_s=(),
                    scatter_bytes=0, peak_bytes=0, respawned=0),
             "degraded_shards": (0,),
         })
