@@ -33,6 +33,10 @@ Metrics written to ``BENCH_service.json``:
   session cost against the steady-state latency floor,
 * ``scatter.*`` — pickled bytes per batch before (peak arrays to every
   worker) and after (manifest commands): O(peaks) → O(manifest),
+* ``observability.*`` — steady-state latency of three paired sessions
+  (bare, in-memory flight recorder, JSONL file tracer);
+  ``overhead_ratio`` and ``ring_overhead_ratio`` are what the
+  ``--obs-overhead`` regression guard bounds,
 * ``resilience.*`` — the supervision layer's per-session totals
   (``retries`` re-dispatches, ``hedged`` speculative duplicates,
   ``respawns`` worker replacements) summed over the resident and
@@ -192,17 +196,19 @@ def run(quick: bool = False) -> dict:
     steady = resident_session.steady_batch_s
     mean_oneshot = sum(oneshot_totals) / len(oneshot_totals)
 
-    # -- observability: traced vs untraced, paired back-to-back --------
-    # The enabled-tracer session must stay within a few percent of the
-    # untraced steady state (the --obs-overhead regression guard) and
-    # its JSONL trace must be schema-valid with zero violations.  The
-    # comparison runs its own *pair* of fresh sessions over a repeated
-    # stream: steady-state is a min over many samples measured under
-    # the same machine state, so single-scheduler-hiccup noise does
-    # not masquerade as tracer overhead.
+    # -- observability: bare vs ring vs traced, back-to-back ------------
+    # Three paired sessions over the same repeated stream: a *bare*
+    # session (flight recorder off, no tracer), the *ring* default (the
+    # in-memory flight recorder every untraced session now carries),
+    # and a *traced* session (JSONL file tracer).  Both enabled paths
+    # must stay within a few percent of bare (the --obs-overhead
+    # regression guard bounds each ratio) and the JSONL trace must be
+    # schema-valid with zero violations.  Steady-state is a min over
+    # many samples measured under the same machine state, so
+    # single-scheduler-hiccup noise does not masquerade as overhead.
     obs_batches = batches * (3 if quick else 2)
 
-    def obs_session(tracer, metrics):
+    def obs_session(tracer, metrics, flight_recorder=False):
         ok = True
         with SearchService(
             db,
@@ -211,26 +217,34 @@ def run(quick: bool = False) -> dict:
                 index=settings,
                 tracer=tracer,
                 metrics=metrics,
+                flight_recorder=flight_recorder,
             ),
         ) as service:
             for i, batch in enumerate(obs_batches):
                 res, stats = service.submit(batch)
                 ok = ok and same_results(references[i % len(batches)], res)
             session = aggregate_batch_stats(service.batch_stats)
-        return session, ok
+            ring = service.flight_recorder
+            ring_seen = ring.n_seen if ring is not None else 0
+        return session, ok, ring_seen
 
-    untraced_session, ok = obs_session(NULL_TRACER, MetricsRegistry())
+    bare_session, ok, _ = obs_session(NULL_TRACER, MetricsRegistry())
     identical = identical and ok
+    ring_session, ok, ring_seen = obs_session(
+        NULL_TRACER, MetricsRegistry(), flight_recorder=True
+    )
+    identical = identical and ok and ring_seen > 0
     fd, trace_path = tempfile.mkstemp(suffix=".jsonl", prefix="bench-trace-")
     os.close(fd)
     tracer = JsonlTracer(trace_path)
-    traced_session, ok = obs_session(tracer, MetricsRegistry())
+    traced_session, ok, _ = obs_session(tracer, MetricsRegistry())
     identical = identical and ok
     tracer.close()
     n_trace_records, trace_errors = validate_trace_file(trace_path)
     os.unlink(trace_path)
     traced_steady = traced_session.steady_batch_s
-    untraced_steady = untraced_session.steady_batch_s
+    ring_steady = ring_session.steady_batch_s
+    untraced_steady = bare_session.steady_batch_s
 
     report = {
         "benchmark": "service_throughput",
@@ -285,12 +299,16 @@ def run(quick: bool = False) -> dict:
             "pipelined_vs_sequential": steady / pipe_steady,
         },
         "observability": {
-            # Steady-state latency with the JSONL tracer enabled vs the
-            # untraced session above; the overhead ratio is what the
-            # --obs-overhead regression guard bounds (<= 1.05).
+            # Steady-state latency with the JSONL tracer / the default
+            # in-memory flight recorder enabled, vs the bare session;
+            # both ratios are what the --obs-overhead regression guard
+            # bounds (<= 1.05).
             "traced_steady_batch_s": traced_steady,
+            "ring_steady_batch_s": ring_steady,
             "untraced_steady_batch_s": untraced_steady,
             "overhead_ratio": traced_steady / untraced_steady,
+            "ring_overhead_ratio": ring_steady / untraced_steady,
+            "ring_records_seen": ring_seen,
             "n_batches_per_session": len(obs_batches),
             "trace_records": n_trace_records,
             "trace_schema_errors": len(trace_errors),
@@ -356,8 +374,13 @@ def main() -> None:
     o = report["observability"]
     print(
         f"traced steady batch : {o['traced_steady_batch_s'] * 1e3:8.1f} ms "
-        f"(x{o['overhead_ratio']:.3f} of untraced, {o['trace_records']} "
+        f"(x{o['overhead_ratio']:.3f} of bare, {o['trace_records']} "
         f"records, {o['trace_schema_errors']} schema errors)"
+    )
+    print(
+        f"ring steady batch   : {o['ring_steady_batch_s'] * 1e3:8.1f} ms "
+        f"(x{o['ring_overhead_ratio']:.3f} of bare, "
+        f"{o['ring_records_seen']} records through the flight recorder)"
     )
     s = report["scatter"]
     print(

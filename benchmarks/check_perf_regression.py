@@ -48,7 +48,11 @@ Service checks (``--service-baseline``/``--service-fresh``):
 5. enabled JSONL tracing costs <= ``--obs-overhead`` of the untraced
    steady-state latency and the traced session's trace is schema-clean
    (``observability.trace_schema_errors == 0``) — telemetry must stay
-   out of the hot loops.
+   out of the hot loops,
+6. the default in-memory flight recorder costs <= ``--obs-overhead``
+   of the bare (recorder-off) steady-state latency
+   (``observability.ring_overhead_ratio``) — it is always on in
+   production, so it gets the same ceiling as file tracing.
 
 Shard-routing checks (``--shard-baseline``/``--shard-fresh``):
 
@@ -242,6 +246,18 @@ def check_service(args, failures: list) -> None:
             f"enabled tracing costs {overhead:.3f}x the untraced steady "
             f"latency, above ceiling {args.obs_overhead:.2f}x — the "
             "tracer has crept into the hot path"
+        )
+    ring_overhead = float(obs.get("ring_overhead_ratio", float("nan")))
+    print(
+        f"service flight-recorder/bare steady latency: "
+        f"{ring_overhead:.3f}x (required <= {args.obs_overhead:.2f}x, "
+        f"{obs.get('ring_records_seen', '?')} records through the ring)"
+    )
+    if not ring_overhead <= args.obs_overhead:  # catches NaN too
+        failures.append(
+            f"the default flight recorder costs {ring_overhead:.3f}x the "
+            f"bare steady latency, above ceiling {args.obs_overhead:.2f}x "
+            "— the always-on ring must stay invisible in the hot path"
         )
     if schema_errors != 0:
         failures.append(

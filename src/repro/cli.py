@@ -10,6 +10,9 @@ Subcommands mirror the paper's toolchain stages::
     python -m repro index    --fasta data/proteome.fasta --out data/index.npz
     python -m repro serve    --fasta data/proteome.fasta --ranks 2 \\
                              --batch data/run.ms2 --batch data/run2.ms2
+    python -m repro trace analyze data/trace.jsonl       # timeline analysis
+    python -m repro trace gantt   data/trace.jsonl       # ASCII timelines
+    python -m repro trace diff    data/a.jsonl data/b.jsonl
     python -m repro figures --sizes 18 30 --spectra 60  # quick figure tables
 
 Every command is deterministic under ``--seed`` and prints a short
@@ -24,11 +27,19 @@ stream through the service's overlapped session (preprocess batch N+1
 while the workers query batch N — identical results, higher
 throughput), and ``--index`` starts the session from a serialized
 archive (``repro index``) instead of re-digesting the FASTA.
+
+``trace`` is the consume side of the telemetry stack: ``analyze``
+reconstructs per-batch timelines (stage breakdown, per-rank
+utilization, overlap efficiency, critical path, recomputed Eq.-1 LI)
+from a recorded trace — a ``--trace`` file or a flight-recorder black
+box; ``gantt`` renders the timelines as ASCII charts; ``diff``
+attributes a latency regression between two traces to stages/ranks.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from contextlib import ExitStack
 from pathlib import Path
@@ -42,10 +53,26 @@ from repro.db.digest import DigestionConfig, digest_proteome
 from repro.db.fasta import FastaRecord, read_fasta, write_fasta, write_grouped_fasta
 from repro.db.proteome import ProteomeConfig, generate_proteome
 from repro.chem.peptide import Peptide
-from repro.errors import ServiceError, ShardError, WorkerError
+from repro.errors import (
+    ConfigurationError,
+    ServiceError,
+    ShardError,
+    WorkerError,
+)
 from repro.index.serialize import load_index, save_index
 from repro.index.slm import SLMIndex, SLMIndexSettings
-from repro.obs import NULL_TRACER, JsonlTracer, MetricsRegistry
+from repro.obs import (
+    NULL_TRACER,
+    JsonlTracer,
+    MetricsRegistry,
+    analyze_trace,
+    diff_traces,
+    load_trace,
+    render_analysis,
+    render_diff,
+    render_gantt,
+    validate_trace_file,
+)
 from repro.parallel import ParallelEngineConfig, ParallelSearchEngine
 from repro.search.database import IndexedDatabase
 from repro.search.engine import DistributedSearchEngine, EngineConfig
@@ -188,6 +215,55 @@ def build_parser() -> argparse.ArgumentParser:
                      "respawn, hedge, degraded); validate with "
                      "python -m repro.obs.schema FILE (default: off, "
                      "zero-cost no-op tracer)")
+    srv.add_argument("--metrics-out", type=Path, default=None, metavar="FILE",
+                     help="dump the session's MetricsRegistry snapshot "
+                     "(counters, gauges, latency histogram quantiles) as "
+                     "JSON to FILE at session close — machine-readable "
+                     "steady-state numbers without a trace")
+    srv.add_argument("--flight-dir", type=Path, default=None, metavar="DIR",
+                     help="directory the flight recorder dumps its "
+                     "black-box JSONL into when a worker/shard error "
+                     "surfaces or a batch degrades (default: the system "
+                     "temp dir); the recorder is always on unless "
+                     "--no-flight-recorder or --trace is given")
+    srv.add_argument("--no-flight-recorder", action="store_true",
+                     help="disable the always-on in-memory flight "
+                     "recorder (no black-box dumps on failures)")
+
+    trc = sub.add_parser(
+        "trace",
+        help="analyze recorded JSONL traces (serve --trace files or "
+        "flight-recorder black boxes)",
+    )
+    trc_sub = trc.add_subparsers(dest="trace_command", required=True)
+    trc_an = trc_sub.add_parser(
+        "analyze",
+        help="per-batch timelines: stage breakdown, per-rank "
+        "utilization, overlap efficiency, critical path, recomputed "
+        "Eq.-1 load imbalance",
+    )
+    trc_an.add_argument("file", type=Path)
+    trc_an.add_argument("--shard", type=int, default=None,
+                        help="analyze only this shard's records of a "
+                        "fleet trace, as a standalone session")
+    trc_ga = trc_sub.add_parser(
+        "gantt", help="ASCII per-batch span timelines"
+    )
+    trc_ga.add_argument("file", type=Path)
+    trc_ga.add_argument("--batch", type=int, default=None,
+                        help="render only this batch")
+    trc_ga.add_argument("--width", type=int, default=64)
+    trc_ga.add_argument("--shard", type=int, default=None,
+                        help="chart only this shard's records of a "
+                        "fleet trace")
+    trc_di = trc_sub.add_parser(
+        "diff",
+        help="attribute the latency difference between two traces "
+        "(B vs A) to stages and ranks",
+    )
+    trc_di.add_argument("file_a", type=Path)
+    trc_di.add_argument("file_b", type=Path)
+    trc_di.add_argument("--shard", type=int, default=None)
 
     figs = sub.add_parser("figures", help="print quick figure tables")
     figs.add_argument("--sizes", type=float, nargs="+", default=[18.0, 49.45])
@@ -395,6 +471,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         hedge_after=args.hedge_after,
         tracer=tracer,
         metrics=metrics,
+        flight_recorder=not args.no_flight_recorder,
+        flight_dir=args.flight_dir,
     )
     source = "index archive" if args.index is not None else "FASTA"
     mode = "pipelined" if args.pipeline else "sequential"
@@ -512,8 +590,72 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"{1e3 * session.overlap_s_total:.1f} ms of master work "
                 f"hidden behind worker rounds"
             )
+        # Degraded batches black-boxed their last seconds; surface the
+        # dump paths so the operator can repro trace analyze them.
+        for stats in all_stats:
+            if stats.flight_record:
+                print(
+                    f"flight record (degraded batch {stats.batch_index}): "
+                    f"{stats.flight_record}"
+                )
     if args.trace is not None:
         print(f"trace: {tracer.n_records} records -> {args.trace}")
+    if args.metrics_out is not None:
+        args.metrics_out.write_text(
+            json.dumps(
+                metrics.snapshot(), indent=2, sort_keys=True, default=str
+            )
+            + "\n",
+            encoding="ascii",
+        )
+        print(f"metrics: registry snapshot -> {args.metrics_out}")
+    return 0
+
+
+def _validated_records(path: Path) -> List[dict]:
+    """Load a trace for analysis, failing loud on schema violations."""
+    n, errors = validate_trace_file(path)
+    if errors:
+        for e in errors[:10]:
+            print(f"repro trace: {path}: {e}", file=sys.stderr)
+        raise ConfigurationError(
+            f"{path}: {len(errors)} schema violations in {n} records"
+        )
+    return load_trace(path)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    try:
+        if args.trace_command == "analyze":
+            analysis = analyze_trace(
+                _validated_records(args.file), shard=args.shard
+            )
+            print(render_analysis(analysis, source=str(args.file)))
+        elif args.trace_command == "gantt":
+            analysis = analyze_trace(
+                _validated_records(args.file), shard=args.shard
+            )
+            print(render_gantt(
+                analysis, batch=args.batch, width=args.width
+            ))
+        else:  # diff
+            a = analyze_trace(
+                _validated_records(args.file_a), shard=args.shard
+            )
+            b = analyze_trace(
+                _validated_records(args.file_b), shard=args.shard
+            )
+            print(render_diff(
+                diff_traces(a, b),
+                a_name=args.file_a.name,
+                b_name=args.file_b.name,
+            ))
+    except ConfigurationError as exc:
+        print(f"repro trace: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"repro trace: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -548,6 +690,7 @@ _COMMANDS = {
     "search": _cmd_search,
     "index": _cmd_index,
     "serve": _cmd_serve,
+    "trace": _cmd_trace,
     "figures": _cmd_figures,
 }
 

@@ -62,6 +62,10 @@ class WorkerError(ReproError, RuntimeError):
     retries:
         Retries the supervision layer spent on this rank before
         giving up (0 with retries disabled).
+    flight_record:
+        Path of the flight-recorder black box dumped when this error
+        surfaced through a service, or ``None`` (no recorder, or the
+        error never crossed the serving tier).
     """
 
     def __init__(
@@ -76,11 +80,12 @@ class WorkerError(ReproError, RuntimeError):
         self.rank = rank
         self.exit_code = exit_code
         self.retries = retries
+        self.flight_record: "str | None" = None
 
     @property
     def brief(self) -> str:
-        """One-line diagnosis (rank, exit code, retry count) — what the
-        CLI prints instead of a raw traceback."""
+        """One-line diagnosis (rank, exit code, retry count, flight
+        record) — what the CLI prints instead of a raw traceback."""
         parts = []
         if self.rank is not None:
             parts.append(f"rank {self.rank}")
@@ -91,6 +96,8 @@ class WorkerError(ReproError, RuntimeError):
                          + ("y" if self.retries == 1 else "ies"))
         summary = str(self).splitlines()[0] if str(self) else "worker failure"
         suffix = f" ({', '.join(parts)})" if parts else ""
+        if self.flight_record:
+            suffix += f" [flight record: {self.flight_record}]"
         return f"{summary}{suffix}"
 
 
@@ -124,6 +131,9 @@ class ShardError(ServiceError):
         cause was a single worker.
     retries:
         Retries the shard's supervision layer spent before giving up.
+    flight_record:
+        Path of the fleet flight-recorder black box dumped when this
+        error surfaced, or ``None``.
     """
 
     def __init__(
@@ -138,11 +148,12 @@ class ShardError(ServiceError):
         self.shard = shard
         self.rank = rank
         self.retries = retries
+        self.flight_record: "str | None" = None
 
     @property
     def brief(self) -> str:
-        """One-line diagnosis (shard, rank, retry count) — what the CLI
-        prints instead of a raw traceback."""
+        """One-line diagnosis (shard, rank, retry count, flight record)
+        — what the CLI prints instead of a raw traceback."""
         parts = []
         if self.shard is not None:
             parts.append(f"shard {self.shard}")
@@ -153,6 +164,8 @@ class ShardError(ServiceError):
                          + ("y" if self.retries == 1 else "ies"))
         summary = str(self).splitlines()[0] if str(self) else "shard failure"
         suffix = f" ({', '.join(parts)})" if parts else ""
+        if self.flight_record:
+            suffix += f" [flight record: {self.flight_record}]"
         return f"{summary}{suffix}"
 
 

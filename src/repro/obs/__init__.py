@@ -14,8 +14,18 @@ This package makes both observable in live sessions:
   gauges, and fixed-bucket latency histograms (p50/p95/p99),
   including the live per-batch **load-imbalance gauge** computed
   from the full per-rank query wall/CPU vectors on ``BatchStats``.
+* :mod:`repro.obs.ring` — the flight recorder: :class:`RingTracer`
+  keeps the last N records in a bounded in-memory ring (installed by
+  default when no file tracer is configured) and dumps a schema-valid
+  JSONL black box on ``WorkerError``/``ShardError``/degraded batches.
 * :mod:`repro.obs.schema` — the executable taxonomy below;
-  ``python -m repro.obs.schema FILE`` validates a trace in CI.
+  ``python -m repro.obs.schema FILE`` validates a trace in CI, and
+  ``--stats`` / ``--require NAME>=N`` turn CI greps into structured
+  assertions.
+* :mod:`repro.obs.analyze` — the consume side: reconstructs per-batch
+  timelines, stage breakdown, per-rank utilization, overlap
+  efficiency, the critical path, and a recomputed Eq.-1 LI from a
+  trace (``repro trace analyze | gantt | diff``).
 
 Event taxonomy
 ==============
@@ -61,6 +71,8 @@ event kind           required attrs        emitted when
 ``hedge.loss``       ``rank``              hedge (or original) discarded
 ``degraded.rank``    ``rank``              retries exhausted, rank masked
 ``degraded.shard``   ``shard``             whole shard degraded in fleet
+``flight.dump``      ``reason``            flight recorder cut a black
+                                           box (last record before dump)
 ===================  ====================  ==============================
 
 Extra attributes are always allowed (bound views add e.g.
@@ -68,6 +80,17 @@ Extra attributes are always allowed (bound views add e.g.
 checks required keys only.
 """
 
+from repro.obs.analyze import (
+    TraceAnalysis,
+    TraceDiff,
+    analyze_trace,
+    analyze_trace_file,
+    diff_traces,
+    load_trace,
+    render_analysis,
+    render_diff,
+    render_gantt,
+)
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS_S,
     Counter,
@@ -77,9 +100,11 @@ from repro.obs.metrics import (
     global_registry,
     quantile,
 )
+from repro.obs.ring import DEFAULT_CAPACITY, RingTracer, flight_dump
 from repro.obs.schema import (
     EVENT_ATTRS,
     SPAN_ATTRS,
+    trace_stats,
     validate_record,
     validate_trace_file,
     validate_trace_lines,
@@ -98,6 +123,18 @@ __all__ = [
     "Tracer",
     "NULL_TRACER",
     "JsonlTracer",
+    "RingTracer",
+    "DEFAULT_CAPACITY",
+    "flight_dump",
+    "TraceAnalysis",
+    "TraceDiff",
+    "load_trace",
+    "analyze_trace",
+    "analyze_trace_file",
+    "diff_traces",
+    "render_analysis",
+    "render_gantt",
+    "render_diff",
     "Counter",
     "Gauge",
     "Histogram",
@@ -110,4 +147,5 @@ __all__ = [
     "validate_record",
     "validate_trace_lines",
     "validate_trace_file",
+    "trace_stats",
 ]

@@ -6,11 +6,16 @@ with the attribute keys each record must carry.  The CI ``obs-smoke``
 job runs it directly::
 
     PYTHONPATH=src python -m repro.obs.schema trace.jsonl
+    PYTHONPATH=src python -m repro.obs.schema --stats trace.jsonl \
+        --require respawn>=1 --require worker.query>=1
 
 and exits non-zero if any line is malformed, any span/event is
-unknown, or any required attribute is missing.  Tests reuse
-:func:`validate_trace_file` / :func:`validate_record` so the schema
-checked in CI is the schema asserted in the suite.
+unknown, any required attribute is missing, or a ``--require``d
+span/event count falls short.  ``--stats`` prints per-name record
+counts and span-duration sums (the structured replacement for
+grepping raw JSONL).  Tests reuse :func:`validate_trace_file` /
+:func:`validate_record` so the schema checked in CI is the schema
+asserted in the suite.
 
 See the package docstring (:mod:`repro.obs`) for the human-readable
 taxonomy table; this module is its executable form.
@@ -29,6 +34,7 @@ __all__ = [
     "validate_record",
     "validate_trace_lines",
     "validate_trace_file",
+    "trace_stats",
 ]
 
 #: Required attribute keys per span name (beyond ``type``/``name``/
@@ -75,6 +81,9 @@ EVENT_ATTRS: Dict[str, Tuple[str, ...]] = {
     "degraded.rank": ("rank",),
     # Shard-level degradation (sharding.py).
     "degraded.shard": ("shard",),
+    # Flight-recorder dump marker (ring.py): the last record written
+    # before a black box is cut, naming why it exists.
+    "flight.dump": ("reason",),
 }
 
 
@@ -145,25 +154,113 @@ def validate_trace_file(path: Union[str, Path]) -> Tuple[int, List[str]]:
         return validate_trace_lines(fh)
 
 
+def trace_stats(path: Union[str, Path]) -> Dict[str, Dict[str, Any]]:
+    """Per-name counts (and span-duration sums) for one trace file.
+
+    Returns ``{name: {"type": "span"|"event", "count": int,
+    "dur_s": float}}`` where ``dur_s`` is the summed span duration
+    (0.0 for events).  Only schema-known names appear; validation is
+    a separate concern (:func:`validate_trace_file`).
+    """
+    stats: Dict[str, Dict[str, Any]] = {}
+    with open(path, "r", encoding="ascii") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(obj, Mapping):
+                continue
+            if obj.get("type") == "span":
+                name, rtype = obj.get("name"), "span"
+            elif obj.get("type") == "event":
+                name, rtype = obj.get("kind"), "event"
+            else:
+                continue
+            if not isinstance(name, str):
+                continue
+            entry = stats.setdefault(
+                name, {"type": rtype, "count": 0, "dur_s": 0.0}
+            )
+            entry["count"] += 1
+            dur = obj.get("dur")
+            if rtype == "span" and isinstance(dur, (int, float)):
+                entry["dur_s"] += float(dur)
+    return stats
+
+
+def _parse_requirement(spec: str) -> Tuple[str, str, int]:
+    """Parse ``NAME>=N`` / ``NAME=N`` into ``(name, op, n)``."""
+    for op in (">=", "="):
+        if op in spec:
+            name, _, count = spec.partition(op)
+            name, count = name.strip(), count.strip()
+            if name and count.isdigit():
+                return name, op, int(count)
+    raise ValueError(f"bad --require spec {spec!r} (want NAME>=N or NAME=N)")
+
+
 def main(argv: List[str]) -> int:
-    if len(argv) != 1:
-        print("usage: python -m repro.obs.schema TRACE.jsonl", file=sys.stderr)
+    show_stats = False
+    requirements: List[Tuple[str, str, int]] = []
+    paths: List[str] = []
+    it = iter(argv)
+    for arg in it:
+        if arg == "--stats":
+            show_stats = True
+        elif arg == "--require":
+            try:
+                requirements.append(_parse_requirement(next(it, "")))
+            except ValueError as exc:
+                print(f"SCHEMA: {exc}", file=sys.stderr)
+                return 2
+        else:
+            paths.append(arg)
+    if len(paths) != 1:
+        print(
+            "usage: python -m repro.obs.schema [--stats] "
+            "[--require NAME>=N]... TRACE.jsonl",
+            file=sys.stderr,
+        )
         return 2
-    n, errors = validate_trace_file(argv[0])
+    path = paths[0]
+    n, errors = validate_trace_file(path)
     spans = sum(1 for _ in SPAN_ATTRS)
     if errors:
         for e in errors[:50]:
             print(f"SCHEMA: {e}", file=sys.stderr)
         print(
-            f"{argv[0]}: {n} records, {len(errors)} schema violations",
+            f"{path}: {n} records, {len(errors)} schema violations",
             file=sys.stderr,
         )
         return 1
     print(
-        f"{argv[0]}: {n} records OK "
+        f"{path}: {n} records OK "
         f"({spans} span names, {len(EVENT_ATTRS)} event kinds known)"
     )
-    return 0
+    stats = trace_stats(path) if (show_stats or requirements) else {}
+    if show_stats:
+        for name in sorted(stats):
+            entry = stats[name]
+            line = f"  {entry['type']:5s} {name}: {entry['count']}"
+            if entry["type"] == "span":
+                line += f" ({entry['dur_s']:.6f} s total)"
+            print(line)
+    failed = False
+    for name, op, want in requirements:
+        have = stats.get(name, {}).get("count", 0)
+        ok = have >= want if op == ">=" else have == want
+        if not ok:
+            print(
+                f"SCHEMA: requirement {name}{op}{want} not met "
+                f"(found {have})",
+                file=sys.stderr,
+            )
+            failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - CLI shim

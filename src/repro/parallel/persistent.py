@@ -320,12 +320,17 @@ class _Hedge:
     """One speculative straggler duplicate: a fresh attached worker
     racing the original rank, first answer wins."""
 
-    __slots__ = ("channel", "attach_done", "deadline")
+    __slots__ = ("channel", "attach_done", "deadline", "query_anchor")
 
     def __init__(self, channel: WorkerChannel, deadline: float) -> None:
         self.channel = channel
         self.attach_done = False
         self.deadline = deadline
+        # Master clock at the hedge's attach reply — the moment its
+        # query actually starts.  Reply spans are offsets from that
+        # moment, not from the round's dispatch; promote_hedge uses
+        # this to re-base them into the round's timeline.
+        self.query_anchor: Optional[float] = None
 
 
 class PersistentPool:
@@ -756,6 +761,19 @@ class PersistentPool:
             as the rank's resident worker (it holds full attach state);
             the superseded original is terminated."""
             _, result, wall, cpu = message
+            # The winner's reply spans are offsets from *its* query
+            # start (after its own attach), not from the round's
+            # dispatch — shift them so merge-time re-anchoring (which
+            # adds the round's dispatch time) lands them where the
+            # hedge really ran.  Without this, a hedged rank's
+            # worker.query span would overlap the straggler's stall.
+            if hedge.query_anchor is not None and isinstance(result, dict):
+                spans = result.get("spans")
+                if spans:
+                    shift = hedge.query_anchor - handle.dispatched_at
+                    result["spans"] = tuple(
+                        (name, rel + shift, dur) for name, rel, dur in spans
+                    )
             original = self._channels[rank]
             if original is not None:
                 original.stop()
@@ -959,6 +977,7 @@ class PersistentPool:
                                 break
                             if not hedge.attach_done:
                                 hedge.attach_done = True
+                                hedge.query_anchor = time.monotonic()
                                 continue  # the query reply may follow
                             if rank in resolved:
                                 # First answer already won; the hedge's

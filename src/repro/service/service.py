@@ -127,9 +127,16 @@ import numpy as np
 
 from repro.core.grouping import GroupingConfig
 from repro.core.planner import LBEPlan
-from repro.errors import ConfigurationError, PipelineError, ServiceError
+from repro.errors import (
+    ConfigurationError,
+    PipelineError,
+    ServiceError,
+    ShardError,
+    WorkerError,
+)
 from repro.index.slm import SLMIndexSettings
 from repro.obs.metrics import MetricsRegistry, global_registry, quantile
+from repro.obs.ring import RingTracer, flight_dump
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.parallel.faults import FaultPlan
 from repro.parallel.persistent import PersistentPool, PoolBatchResult
@@ -244,6 +251,19 @@ class ServiceConfig:
         per-batch load-imbalance gauges ``service.batch_li_wall`` /
         ``service.batch_li_cpu``).  Defaults to the process-wide
         registry; tests inject a fresh one for isolation.
+    flight_recorder:
+        Always-on black box (default on): when no file tracer is
+        configured, the service installs a
+        :class:`~repro.obs.ring.RingTracer` holding the last
+        ~:data:`~repro.obs.ring.DEFAULT_CAPACITY` trace records in
+        memory and dumps them to a schema-valid JSONL file whenever a
+        :class:`~repro.errors.WorkerError` surfaces or a batch
+        degrades — the dump's path rides on ``exc.flight_record`` /
+        ``BatchStats.flight_record``.  Ignored (no ring) when
+        ``tracer`` is enabled: the file trace already has everything.
+    flight_dir:
+        Directory the black boxes are dumped into (default: the
+        system temp dir).  Created on first dump.
     """
 
     n_workers: int = 2
@@ -264,6 +284,8 @@ class ServiceConfig:
     transport: str = "pipe"
     tracer: Tracer = NULL_TRACER
     metrics: MetricsRegistry = field(default_factory=global_registry)
+    flight_recorder: bool = True
+    flight_dir: Optional[Path] = None
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -352,6 +374,10 @@ class BatchStats:
     degraded_ranks:
         Ranks whose partition is missing from this batch's results —
         non-empty only in ``degraded_ok`` mode after retries exhaust.
+    flight_record:
+        Path of the flight-recorder black box dumped because this
+        batch degraded, or ``None`` (healthy batch, or no recorder
+        installed).
     """
 
     batch_index: int
@@ -373,6 +399,7 @@ class BatchStats:
     retries: int = 0
     hedged: int = 0
     degraded_ranks: Tuple[int, ...] = ()
+    flight_record: Optional[str] = None
 
     @property
     def query_wall_max_s(self) -> float:
@@ -685,6 +712,13 @@ class SearchService:
         self.database = database
         self.config = config
         self._tracer = config.tracer
+        # Flight recorder: with no file tracer configured, record into
+        # a bounded in-memory ring instead, dumped on failure paths.
+        # An enabled config tracer wins — its file already has it all.
+        self._ring: Optional[RingTracer] = None
+        if config.flight_recorder and not config.tracer.enabled:
+            self._ring = RingTracer()
+            self._tracer = self._ring
         self._metrics = config.metrics
         self._m_cache: tuple | None = None  # instruments, bound at open()
         self._plan: LBEPlan | None = None
@@ -784,7 +818,7 @@ class SearchService:
             degraded_ok=cfg.degraded_ok,
             fault_plan=cfg.fault_plan,
             transport=cfg.transport,
-            tracer=cfg.tracer,
+            tracer=self._tracer,
         )
         try:
             tasks = [
@@ -800,8 +834,12 @@ class SearchService:
             t0 = time.perf_counter()
             attach = pool.attach(service_attach_worker, tasks)
             self._attach_s = time.perf_counter() - t0
-        except BaseException:
+        except BaseException as exc:
             pool.close()
+            if isinstance(exc, WorkerError) and exc.flight_record is None:
+                exc.flight_record = flight_dump(
+                    self._ring, cfg.flight_dir, "attach-failure"
+                )
             raise
         self._pool = pool
         self._attach_stats = [
@@ -1176,6 +1214,15 @@ class SearchService:
             degraded_ranks=degraded,
         )
         self._observe_batch(batch, stats, pool_round, t0, merge_s)
+        # A degraded batch is a survived fault: black-box it too, after
+        # _observe_batch so the dump carries this batch's summary event.
+        if degraded:
+            stats.flight_record = flight_dump(
+                self._ring,
+                cfg.flight_dir,
+                "degraded-batch",
+                batch=batch.batch_index,
+            )
         return results, stats
 
     def _observe_batch(
@@ -1243,6 +1290,19 @@ class SearchService:
         )
 
     def _fail_batch(self, batch: _PendingBatch, exc: BaseException) -> None:
+        # Black-box the failure: the ring holds the fault's whole
+        # supervision timeline (retries, backoffs, respawns) — cut the
+        # dump before the future resolves so the path rides the error.
+        if (
+            isinstance(exc, (WorkerError, ShardError))
+            and exc.flight_record is None
+        ):
+            exc.flight_record = flight_dump(
+                self._ring,
+                self.config.flight_dir,
+                "batch-error",
+                batch=batch.batch_index,
+            )
         self._release(batch)
         try:
             if not batch.future.done():
@@ -1268,6 +1328,12 @@ class SearchService:
     def n_batches(self) -> int:
         """Batches served so far this session."""
         return self._n_batches
+
+    @property
+    def flight_recorder(self) -> Optional[RingTracer]:
+        """The installed in-memory flight recorder, or ``None`` when a
+        file tracer is active or ``flight_recorder=False``."""
+        return self._ring
 
     @property
     def open_s(self) -> float:

@@ -98,6 +98,7 @@ import numpy as np
 from repro.errors import ConfigurationError, ServiceError, ShardError
 from repro.index.arena import concat_ranges
 from repro.index.slm import SLMIndexSettings
+from repro.obs.ring import RingTracer, flight_dump
 from repro.parallel.faults import FaultPlan
 from repro.search.database import IndexedDatabase
 from repro.search.psm import RankStats, SearchResults, SpectrumResult
@@ -443,6 +444,14 @@ class ShardedSearchService:
         self.database = database
         self.config = config
         self._tracer = config.tracer
+        # Fleet flight recorder: one shared ring for the whole fleet —
+        # each inner service records through a shard-bound view, so a
+        # black box interleaves every shard's timeline in arrival
+        # order.  An enabled config tracer wins, exactly as unsharded.
+        self._ring: Optional[RingTracer] = None
+        if config.flight_recorder and not config.tracer.enabled:
+            self._ring = RingTracer()
+            self._tracer = self._ring
         self.plan = ShardPlan.from_database(database, n_shards, boundaries)
         self._shard_fault_plans = (
             list(shard_fault_plans) if shard_fault_plans is not None else None
@@ -495,11 +504,15 @@ class ShardedSearchService:
             cfg = self.config
             if self._shard_fault_plans is not None:
                 cfg = replace(cfg, fault_plan=self._shard_fault_plans[shard.shard_id])
-            if cfg.tracer.enabled:
-                # Every inner-service record carries its shard id; the
-                # no-op tracer binds to itself, so this replace is
-                # skipped entirely when tracing is off.
-                cfg = replace(cfg, tracer=cfg.tracer.bind(shard=shard.shard_id))
+            if self._tracer.enabled:
+                # Every inner-service record carries its shard id (the
+                # fleet ring counts as a tracer here, so inner
+                # services share it instead of installing their own
+                # rings); the no-op tracer binds to itself, so this
+                # replace is skipped entirely when tracing is off.
+                cfg = replace(
+                    cfg, tracer=self._tracer.bind(shard=shard.shard_id)
+                )
             service = SearchService(shard.database, cfg)
             try:
                 service.open()
@@ -509,12 +522,16 @@ class ShardedSearchService:
                     opened.close()
                 self._services = []
                 self._closed = True
-                raise ShardError(
+                failure = ShardError(
                     f"shard {shard.shard_id} failed to open: {exc}",
                     shard=shard.shard_id,
                     rank=getattr(exc, "rank", None),
                     retries=getattr(exc, "retries", 0),
-                ) from exc
+                )
+                failure.flight_record = flight_dump(
+                    self._ring, self.config.flight_dir, "shard-open-failure"
+                )
+                raise failure from exc
             self._services.append(service)
         self._open_s = time.perf_counter() - t0
         self._opened = True
@@ -707,6 +724,14 @@ class ShardedSearchService:
                 retries=getattr(cause, "retries", 0),
             )
             failure.__cause__ = cause
+            # Black-box the fleet's last seconds: the shared ring holds
+            # every shard's supervision timeline around the fault.
+            failure.flight_record = flight_dump(
+                self._ring,
+                self.config.flight_dir,
+                "shard-batch-error",
+                batch=batch.batch_index,
+            )
             self._settle(batch, error=failure)
             return
         try:
@@ -947,6 +972,16 @@ class ShardedSearchService:
                     "shards_skipped": self.n_shards - dispatched,
                 },
             )
+        # A degraded fleet batch is a survived fault — black-box it,
+        # after the tracer block so the dump carries the degradation
+        # events and this batch's fleet summary.
+        if degraded_ranks or degraded_shards:
+            stats.flight_record = flight_dump(
+                self._ring,
+                cfg.flight_dir,
+                "degraded-batch",
+                batch=batch.batch_index,
+            )
         return results, stats
 
     # -- introspection ---------------------------------------------------
@@ -960,6 +995,12 @@ class ShardedSearchService:
     def n_batches(self) -> int:
         """Batches merged over the session's lifetime."""
         return self._n_batches
+
+    @property
+    def flight_recorder(self) -> Optional[RingTracer]:
+        """The fleet-wide in-memory flight recorder, or ``None`` when
+        a file tracer is active or ``flight_recorder=False``."""
+        return self._ring
 
     @property
     def open_s(self) -> float:

@@ -8,7 +8,9 @@ needed:
 * :func:`line_plot` — multi-series scatter/line over a numeric x axis
   (used for the speedup/time figures),
 * :func:`bar_chart` — horizontal labelled bars (used for imbalance
-  comparisons).
+  comparisons),
+* :func:`gantt_chart` — labelled horizontal timeline rows (used by
+  ``repro trace gantt`` for per-batch span timelines).
 """
 
 from __future__ import annotations
@@ -17,7 +19,7 @@ from typing import Mapping, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 
-__all__ = ["line_plot", "bar_chart"]
+__all__ = ["line_plot", "bar_chart", "gantt_chart"]
 
 #: Marker characters assigned to series in insertion order.
 _MARKERS = "ox+*#@%&"
@@ -105,4 +107,46 @@ def bar_chart(
     for name, value in values.items():
         bar = "#" * max(1 if value > 0 else 0, round(value / peak * width))
         lines.append(f"{name.rjust(label_w)} | {bar} {value:.4g}{unit}")
+    return "\n".join(lines) + "\n"
+
+
+def gantt_chart(
+    rows: Sequence[Tuple[str, Sequence[Tuple[float, float]]]],
+    *,
+    width: int = 64,
+    title: str | None = None,
+) -> str:
+    """Render labelled timeline rows of ``(start, duration)`` intervals.
+
+    Each row is ``(label, [(start, dur), ...])`` in a shared time unit
+    (typically seconds relative to a common origin); intervals render
+    as ``#`` runs on a ``width``-column axis scaled to the rows'
+    combined extent.  An interval too short for one column still
+    paints a single cell, so sub-resolution spans stay visible.
+    """
+    if not rows:
+        raise ConfigurationError("need at least one timeline row")
+    if width < 10:
+        raise ConfigurationError("chart too small to render")
+    intervals = [iv for _, ivs in rows for iv in ivs]
+    if not intervals:
+        raise ConfigurationError("timeline rows contain no intervals")
+    if any(dur < 0 for _, dur in intervals):
+        raise ConfigurationError("interval durations must be >= 0")
+    t_lo = min(start for start, _ in intervals)
+    t_hi = max(start + dur for start, dur in intervals)
+    span = (t_hi - t_lo) or 1.0
+
+    label_w = max(len(label) for label, _ in rows)
+    lines = [title] if title else []
+    for label, ivs in rows:
+        cells = [" "] * width
+        for start, dur in ivs:
+            lo = round((start - t_lo) / span * (width - 1))
+            hi = round((start + dur - t_lo) / span * (width - 1))
+            for col in range(lo, max(hi, lo) + 1):
+                cells[col] = "#"
+        lines.append(f"{label.rjust(label_w)} |{''.join(cells)}|")
+    axis = f"{t_lo:.4g}".ljust(width - len(f"{t_hi:.4g}")) + f"{t_hi:.4g}"
+    lines.append(" " * label_w + "  " + axis)
     return "\n".join(lines) + "\n"

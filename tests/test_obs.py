@@ -411,6 +411,48 @@ def test_hedge_fault_leaves_hedge_launch_and_win_events(
     assert len(kinds.get("hedge.win", [])) >= 1  # the 8 s straggler lost
 
 
+def test_hedge_winner_spans_are_reanchored_to_hedge_launch(
+    tiny_db, batches, tmp_path
+):
+    # When a hedge wins, the promoted result's worker spans were
+    # measured by the *replacement* worker, whose round started at
+    # hedge launch — not at the original dispatch.  The trace must
+    # carry the winner's timing on the winner's timeline: one
+    # worker.query span for the hedged rank, starting after the hedge
+    # fired, with the replacement's short duration (not the 8 s
+    # straggler's).
+    trace = tmp_path / "hedge_spans.jsonl"
+    plan = FaultPlan.scoped(
+        FaultSpec(kind="slow", stage="query", rank=1, batch=1, seconds=8.0)
+    )
+    tracer = JsonlTracer(trace)
+    config = ServiceConfig(
+        n_workers=2, max_retries=0, hedge_after=0.5,
+        fault_plan=plan, tracer=tracer, metrics=MetricsRegistry(),
+    )
+    with SearchService(tiny_db, config) as service:
+        all_stats = [service.submit(batch)[1] for batch in batches]
+    tracer.close()
+
+    assert all_stats[1].hedged >= 1
+    kinds = _by_kind(_records(trace))
+    assert len(kinds.get("hedge.win", [])) >= 1
+    queries = [r for r in kinds["worker.query"] if r["batch"] == 1]
+    # No leaked loser spans: exactly one query span per rank.
+    assert sorted(r["rank"] for r in queries) == [0, 1]
+    hedged_span = next(r for r in queries if r["rank"] == 1)
+    normal_span = next(r for r in queries if r["rank"] == 0)
+    # The winner queried at full speed — nowhere near the fault's 8 s.
+    assert hedged_span["dur"] < 4.0
+    # Its start is re-based to the hedge launch: at least hedge_after
+    # past the round's dispatch, well after the healthy rank started.
+    (dispatch,) = [r for r in kinds["dispatch"] if r["batch"] == 1]
+    assert hedged_span["ts"] >= dispatch["ts"] + 0.4
+    assert hedged_span["ts"] > normal_span["ts"] + 0.4
+    # The healthy rank's span still sits at dispatch time.
+    assert abs(normal_span["ts"] - dispatch["ts"]) < 0.4
+
+
 # -- sharded fleet traces ----------------------------------------------
 
 
