@@ -1,0 +1,207 @@
+"""Elastic-rebalancing benchmark: frozen plan vs live re-planning.
+
+The LBE paper plans once, offline; this benchmark measures what that
+costs on a *heterogeneous* host and what the elastic session
+(:mod:`repro.service.rebalance`) wins back.  The synthetic skew is a
+recurring ``slow`` fault (``every_batch=True, scale=2.0``) on rank 0 —
+the worker runs every command body 3x slower, modeling a down-clocked
+or oversubscribed host — applied identically to both sessions:
+
+* **frozen** — a plain resident session: the open()-time plan never
+  changes, so rank 0's partition stays ~half the database and every
+  batch waits ~3x the balanced wall on it, forever,
+* **rebalancing** — the same session with ``rebalance_li`` armed: the
+  sliding LI window trips, per-rank speeds are inferred from observed
+  round walls, the plan is recomputed with weighted LPT and the
+  session migrates between rounds.  Steady state (the last third of
+  the stream, after the window has had time to converge) should beat
+  the frozen plan's.
+
+Metrics written to ``BENCH_rebalance.json``:
+
+* ``frozen.steady_batch_s`` / ``rebalanced.steady_batch_s`` — mean
+  per-batch wall seconds over each session's last third,
+* ``speedup.rebalanced_vs_frozen`` — their ratio (> 1 = the migration
+  paid for itself), the number the ``--rebalance-gain`` regression
+  guard bounds,
+* ``rebalanced.migrations`` — plan swaps actually applied (the guard
+  requires >= 1: a benchmark where nothing migrated measured nothing),
+* ``frozen.round_li_mean`` / ``rebalanced.round_li_mean`` — Eq.-1 LI
+  over the master-observed per-rank round walls, averaged over each
+  session's last third (the imbalance the migration removed),
+* ``identical_results`` — every batch of **both** sessions checked
+  bit-identical to the serial engine, before and after every
+  migration; the report is refused otherwise.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_rebalance.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+from pathlib import Path
+
+from repro.db.proteome import ProteomeConfig
+from repro.parallel.faults import FaultPlan, FaultSpec
+from repro.search.database import DatabaseConfig, IndexedDatabase
+from repro.search.metrics import load_imbalance
+from repro.search.serial import SerialSearchEngine
+from repro.service import SearchService, ServiceConfig
+from repro.spectra.synthetic import SyntheticRunConfig, generate_run
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_rebalance.json"
+
+N_WORKERS = 2
+SLOW_RANK = 0
+SLOW_SCALE = 2.0  # body runs (1 + scale) = 3x slower
+
+
+def same_results(a, b) -> bool:
+    """Exact equality of two SearchResults' merged spectra."""
+    if len(a.spectra) != len(b.spectra):
+        return False
+    for sa, sb in zip(a.spectra, b.spectra):
+        if sa.scan_id != sb.scan_id or sa.n_candidates != sb.n_candidates:
+            return False
+        if [(p.entry_id, p.score, p.shared_peaks) for p in sa.psms] != [
+            (p.entry_id, p.score, p.shared_peaks) for p in sb.psms
+        ]:
+            return False
+    return True
+
+
+def _run_session(db, config, batches, references) -> dict:
+    """One session over the stream; returns per-batch walls + checks."""
+    totals, round_lis, identical = [], [], True
+    with SearchService(db, config) as service:
+        for i, batch in enumerate(batches):
+            results, stats = service.submit(batch)
+            identical = identical and same_results(references[i], results)
+            totals.append(stats.total_s)
+            round_lis.append(
+                load_imbalance(stats.round_wall_s)
+                if stats.round_wall_s
+                else 0.0
+            )
+        migrations = service.rebalance_total
+        n_workers_final = service.n_workers
+    # Steady state: the last third of the stream — the rebalancing
+    # session has converged by then, the frozen one never changes.
+    tail = max(1, len(totals) // 3)
+    return {
+        "identical": identical,
+        "migrations": migrations,
+        "n_workers_final": n_workers_final,
+        "batch_total_s": [round(t, 6) for t in totals],
+        "steady_batch_s": sum(totals[-tail:]) / tail,
+        "round_li_mean": sum(round_lis[-tail:]) / tail,
+    }
+
+
+def run(quick: bool = False) -> dict:
+    n_families = 6 if quick else 10
+    n_batches = 9 if quick else 15
+    batch_size = 40 if quick else 60
+
+    db = IndexedDatabase.build(
+        DatabaseConfig(
+            proteome=ProteomeConfig(n_families=n_families, seed=2024),
+            max_variants_per_peptide=8,
+        )
+    )
+    spectra = generate_run(
+        db.entries, SyntheticRunConfig(n_spectra=batch_size, seed=909)
+    )
+    # The same batch repeated: identical work per step, so steady-state
+    # tails of the two sessions are directly comparable.
+    batches = [list(spectra) for _ in range(n_batches)]
+    serial = SerialSearchEngine(db)
+    references = [serial.run(batches[0])] * n_batches
+
+    fault = FaultPlan(
+        [
+            FaultSpec(
+                kind="slow",
+                stage="reply",
+                rank=SLOW_RANK,
+                every_batch=True,
+                scale=SLOW_SCALE,
+            )
+        ]
+    )
+    frozen = _run_session(
+        db,
+        ServiceConfig(n_workers=N_WORKERS, fault_plan=fault, max_retries=1),
+        batches,
+        references,
+    )
+    rebalanced = _run_session(
+        db,
+        ServiceConfig(
+            n_workers=N_WORKERS,
+            fault_plan=fault,
+            max_retries=1,
+            rebalance_li=0.3,
+            rebalance_window=2,
+            rebalance_cooldown=1,
+        ),
+        batches,
+        references,
+    )
+
+    identical = frozen["identical"] and rebalanced["identical"]
+    if not identical:
+        raise SystemExit(
+            "bench_rebalance: results diverged from the serial engine; "
+            "refusing to report performance for wrong answers"
+        )
+    speedup = (
+        frozen["steady_batch_s"] / rebalanced["steady_batch_s"]
+        if rebalanced["steady_batch_s"] > 0
+        else 0.0
+    )
+    for session in (frozen, rebalanced):
+        session.pop("identical")
+        session["steady_batch_s"] = round(session["steady_batch_s"], 6)
+        session["round_li_mean"] = round(session["round_li_mean"], 6)
+    return {
+        "benchmark": "rebalance",
+        "quick": quick,
+        "platform": platform.platform(),
+        "workload": {
+            "n_entries": db.n_entries,
+            "n_batches": n_batches,
+            "batch_size": batch_size,
+            "n_workers": N_WORKERS,
+            "slow_rank": SLOW_RANK,
+            "slow_scale": SLOW_SCALE,
+        },
+        "frozen": frozen,
+        "rebalanced": rebalanced,
+        "speedup": {"rebalanced_vs_frozen": round(speedup, 6)},
+        "identical_results": identical,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small workload (CI smoke)"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=OUT_PATH, help="output JSON path"
+    )
+    args = parser.parse_args()
+    report = run(quick=args.quick)
+    args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="ascii")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -66,6 +66,18 @@ Shard-routing checks (``--shard-baseline``/``--shard-fresh``):
    (the fleet costs fan-out/merge overhead and oversubscribes small
    runners, but must not blow up by an order of magnitude).
 
+Elastic-rebalancing checks (``--rebalance-baseline``/
+``--rebalance-fresh``):
+
+1. ``identical_results`` is true (both sessions == serial engine,
+   before and after every migration),
+2. the rebalancing session applied >= 1 migration (a dead trigger
+   means the benchmark measured two frozen sessions),
+3. rebalanced-vs-frozen steady latency >= ``--rebalance-gain`` on the
+   skewed-host harness (live re-planning must beat the frozen plan),
+   and >= ``--min-ratio`` x the committed gain when a baseline is
+   supplied.
+
 Any pair of reports may be supplied alone; at least one is required.
 
 Usage::
@@ -315,6 +327,53 @@ def check_shard(args, failures: list) -> None:
         )
 
 
+def check_rebalance(args, failures: list) -> None:
+    fresh = json.loads(args.rebalance_fresh.read_text(encoding="ascii"))
+
+    if not fresh.get("identical_results", False):
+        failures.append(
+            "fresh rebalance run reports identical_results=false — a "
+            "migration changed *what* was scored, not just where"
+        )
+
+    migrations = int(fresh.get("rebalanced", {}).get("migrations", 0))
+    print(f"rebalance migrations applied: {migrations} (required >= 1)")
+    if migrations < 1:
+        failures.append(
+            "rebalancing session never migrated — the LI trigger is "
+            "dead and the benchmark measured two frozen sessions"
+        )
+
+    gain = float(
+        fresh.get("speedup", {}).get("rebalanced_vs_frozen", float("nan"))
+    )
+    print(
+        f"rebalanced vs frozen steady latency: {gain:.2f}x "
+        f"(required >= {args.rebalance_gain:.2f}x)"
+    )
+    if not gain >= args.rebalance_gain:  # catches NaN too
+        failures.append(
+            f"rebalanced steady latency gain {gain:.2f}x below floor "
+            f"{args.rebalance_gain:.2f}x — live re-planning no longer "
+            "beats the frozen plan on the skewed-host harness"
+        )
+    if args.rebalance_baseline is not None:
+        committed = json.loads(
+            args.rebalance_baseline.read_text(encoding="ascii")
+        )
+        committed_gain = float(committed["speedup"]["rebalanced_vs_frozen"])
+        required = args.min_ratio * committed_gain
+        print(
+            f"  vs committed {committed_gain:.2f}x "
+            f"(required >= {required:.2f}x)"
+        )
+        if gain < required:
+            failures.append(
+                f"rebalance gain {gain:.2f}x below {args.min_ratio:.2f} x "
+                f"committed ({required:.2f}x)"
+            )
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -364,6 +423,28 @@ def main() -> int:
         type=Path,
         default=None,
         help="freshly measured shard-routing report",
+    )
+    parser.add_argument(
+        "--rebalance-baseline",
+        type=Path,
+        default=None,
+        help="committed BENCH_rebalance.json",
+    )
+    parser.add_argument(
+        "--rebalance-fresh",
+        type=Path,
+        default=None,
+        help="freshly measured elastic-rebalancing report",
+    )
+    parser.add_argument(
+        "--rebalance-gain",
+        type=float,
+        default=1.02,
+        help="minimum rebalanced-vs-frozen steady-latency ratio on the "
+        "skewed-host harness (default: 1.02 — the committed figure is "
+        "~1.2x at 2 workers with a 3x-slow rank; the floor only "
+        "requires the migration to not be a loss, with margin for "
+        "noisy shared runners)",
     )
     parser.add_argument(
         "--selectivity-floor",
@@ -472,15 +553,24 @@ def main() -> int:
         parser.error("--service-baseline requires --service-fresh")
     if args.shard_baseline is not None and args.shard_fresh is None:
         parser.error("--shard-baseline requires --shard-fresh")
+    if args.rebalance_baseline is not None and args.rebalance_fresh is None:
+        parser.error("--rebalance-baseline requires --rebalance-fresh")
     have_hotpath = args.baseline is not None
     have_parallel = args.parallel_fresh is not None
     have_service = args.service_fresh is not None
     have_shard = args.shard_fresh is not None
-    if not (have_hotpath or have_parallel or have_service or have_shard):
+    have_rebalance = args.rebalance_fresh is not None
+    if not (
+        have_hotpath
+        or have_parallel
+        or have_service
+        or have_shard
+        or have_rebalance
+    ):
         parser.error(
             "supply --baseline/--fresh, --parallel-fresh, "
-            "--service-fresh and/or --shard-fresh (each with its "
-            "optional committed baseline)"
+            "--service-fresh, --shard-fresh and/or --rebalance-fresh "
+            "(each with its optional committed baseline)"
         )
 
     failures: list = []
@@ -492,6 +582,8 @@ def main() -> int:
         check_service(args, failures)
     if have_shard:
         check_shard(args, failures)
+    if have_rebalance:
+        check_rebalance(args, failures)
 
     if failures:
         for f in failures:

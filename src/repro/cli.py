@@ -195,6 +195,27 @@ def build_parser() -> argparse.ArgumentParser:
                      "exceeds this soft deadline, speculatively re-run "
                      "its task on a fresh worker and take the first "
                      "answer (default: off)")
+    srv.add_argument("--rebalance-li", type=float, default=None,
+                     metavar="LI",
+                     help="arm elastic self-rebalancing: when a sliding "
+                     "window of batches sustains this Eq.-1 load "
+                     "imbalance (or a rank is chronically slow), "
+                     "re-plan with observed per-rank speed weights and "
+                     "migrate the session between rounds — results stay "
+                     "bit-identical (default: off)")
+    srv.add_argument("--rebalance-window", type=int, default=4,
+                     metavar="BATCHES",
+                     help="batches per rebalance decision window "
+                     "(default 4); the trigger judges window means, "
+                     "never single batches")
+    srv.add_argument("--min-workers", type=int, default=None,
+                     help="lower pool-size bound for elastic scaling "
+                     "(default: pin at --ranks)")
+    srv.add_argument("--max-workers", type=int, default=None,
+                     help="upper pool-size bound for elastic scaling: "
+                     "sustained imbalance that re-weighting cannot fix "
+                     "grows the pool up to this (default: pin at "
+                     "--ranks)")
     srv.add_argument("--shards", type=int, default=1,
                      help="cut the database into this many contiguous "
                      "precursor-mass shards, each with its own resident "
@@ -473,6 +494,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         metrics=metrics,
         flight_recorder=not args.no_flight_recorder,
         flight_dir=args.flight_dir,
+        rebalance_li=args.rebalance_li,
+        rebalance_window=args.rebalance_window,
+        min_workers=args.min_workers,
+        max_workers=args.max_workers,
     )
     source = "index archive" if args.index is not None else "FASTA"
     mode = "pipelined" if args.pipeline else "sequential"
@@ -576,6 +601,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"{100 * session.query_li_max:.1f}%, live gauge "
                 f"{100 * li_gauge.value:.1f}% over {li_gauge.n_updates} "
                 f"batches"
+            )
+        if args.rebalance_li is not None:
+            workers_now = (
+                service.n_workers_total if sharded else service.n_workers
+            )
+            print(
+                f"rebalancing: {service.rebalance_total} migrations "
+                f"(LI trigger {100 * args.rebalance_li:.0f}% over "
+                f"{args.rebalance_window}-batch windows), "
+                f"{workers_now} resident workers now"
             )
         if sharded and all_stats:
             total = service.shard_dispatch_total + service.shard_skip_total

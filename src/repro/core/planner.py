@@ -25,7 +25,7 @@ from repro.core.mapping import MappingTable
 from repro.core.partition import PartitionAssignment, PartitionPolicy
 from repro.errors import ConfigurationError
 
-__all__ = ["LBEPlan", "plan_distribution"]
+__all__ = ["LBEPlan", "plan_distribution", "changed_ranks"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -62,6 +62,43 @@ class LBEPlan:
         return np.array(
             [self.mapping.rank_size(r) for r in range(self.n_ranks)], dtype=np.int64
         )
+
+    def rank_loads(self, weights: np.ndarray) -> np.ndarray:
+        """Per-rank predicted work under this plan.
+
+        ``weights`` is indexed by the grouping's *input* space (for the
+        engine's plans: base peptide id — e.g. the structural
+        :class:`~repro.core.predict.WorkModel` prediction); rank
+        ``r``'s load sums over its assigned items.  This is what live
+        rebalancing divides observed wall times by to turn "rank 1 is
+        slow" into "rank 1's *speed* is 1/3" — a rank holding half the
+        work *should* take longer.
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        loads = np.empty(self.n_ranks, dtype=np.float64)
+        for rank in range(self.n_ranks):
+            items = self.grouping.order[self.assignment.members(rank)]
+            loads[rank] = float(weights[items].sum())
+        return loads
+
+
+def changed_ranks(old: LBEPlan, new: LBEPlan) -> List[int]:
+    """Ranks of ``new`` whose manifest differs from ``old``'s.
+
+    The live-migration diff: only these ranks need a re-attach (their
+    resident index no longer matches the plan); every other rank keeps
+    its state untouched.  Ranks beyond ``old.n_ranks`` (pool growth)
+    are always included; a shrink needs no entry here — the surplus
+    ranks are simply retired.  Manifests are compared in local-id
+    order, because that order *is* the index layout.
+    """
+    out: List[int] = []
+    for rank in range(new.n_ranks):
+        if rank >= old.n_ranks or not np.array_equal(
+            old.rank_global_ids(rank), new.rank_global_ids(rank)
+        ):
+            out.append(rank)
+    return out
 
 
 def plan_distribution(

@@ -96,9 +96,21 @@ class Counter:
 
 
 class Gauge:
-    """Last-written value with min/max watermarks and update count."""
+    """Last-written value with min/max watermarks and update count.
 
-    __slots__ = ("name", "value", "min", "max", "n_updates")
+    Two watermark scopes coexist: the lifetime ``min``/``max`` (what
+    :meth:`as_dict` reports) never reset, while a second *windowed*
+    pair feeds periodic consumers — :meth:`read_watermarks` returns
+    the extremes since the previous reset-read and (with
+    ``reset=True``) starts a fresh window.  The rebalance trigger
+    polls the window so it reacts to *recent* peaks, not to a spike a
+    thousand batches ago.
+    """
+
+    __slots__ = (
+        "name", "value", "min", "max", "n_updates",
+        "window_min", "window_max", "window_updates",
+    )
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -106,6 +118,9 @@ class Gauge:
         self.min = float("inf")
         self.max = float("-inf")
         self.n_updates = 0
+        self.window_min = float("inf")
+        self.window_max = float("-inf")
+        self.window_updates = 0
 
     def set(self, value: float) -> None:
         value = float(value)
@@ -115,6 +130,33 @@ class Gauge:
         if value > self.max:
             self.max = value
         self.n_updates += 1
+        if value < self.window_min:
+            self.window_min = value
+        if value > self.window_max:
+            self.window_max = value
+        self.window_updates += 1
+
+    def read_watermarks(self, reset: bool = False) -> Dict[str, float]:
+        """Extremes since the last reset-read: ``{min, max, n_updates}``.
+
+        An empty window reports zeros (mirroring :meth:`as_dict`).
+        ``reset=True`` atomically-enough (GIL granularity, like
+        :meth:`set`) clears the window so the next read starts fresh;
+        lifetime watermarks are untouched.
+        """
+        if self.window_updates == 0:
+            out = {"min": 0.0, "max": 0.0, "n_updates": 0}
+        else:
+            out = {
+                "min": self.window_min,
+                "max": self.window_max,
+                "n_updates": self.window_updates,
+            }
+        if reset:
+            self.window_min = float("inf")
+            self.window_max = float("-inf")
+            self.window_updates = 0
+        return out
 
     def as_dict(self) -> Dict[str, float]:
         if self.n_updates == 0:

@@ -81,6 +81,12 @@ EVENT_ATTRS: Dict[str, Tuple[str, ...]] = {
     "degraded.rank": ("rank",),
     # Shard-level degradation (sharding.py).
     "degraded.shard": ("shard",),
+    # Elastic rebalancing (service.py / rebalance.py): a window
+    # tripping the trigger, the applied migration, and the pool's
+    # size change (persistent.py emits the resize).
+    "rebalance.trigger": ("batch", "reason", "window_li", "n_workers"),
+    "rebalance.migrate": ("reason", "n_from", "n_to", "changed_ranks"),
+    "pool.resize": ("n_from", "n_to"),
     # Flight-recorder dump marker (ring.py): the last record written
     # before a black box is cut, naming why it exists.
     "flight.dump": ("reason",),

@@ -47,9 +47,18 @@ raise     raise :class:`FaultInjected` — travels the error-reply path,
           the worker stays alive and pipe-synchronized
 hang      sleep ``seconds`` (default far beyond any deadline) — the
           round's deadline must kill the worker
-slow      sleep ``seconds`` then continue normally — a straggler, not
-          a failure (hedging bait)
+slow      sleep ``seconds`` (plus ``scale`` × the command body's own
+          wall time at the ``reply`` stage) then continue normally — a
+          straggler, not a failure (hedging bait)
 ========  ==============================================================
+
+A one-shot ``slow`` fault models a transient straggler; a
+*chronically* slow worker (an oversubscribed or down-clocked host) is
+a ``slow`` spec with ``every_batch=True``: it re-fires on **every**
+matching batch, bypassing the once-ledger entirely, and with
+``scale=k`` at the ``reply`` stage it stretches each batch to
+``(1 + k)`` × the rank's real work time — exactly the multiplicative
+skew a heterogeneity-aware rebalancer must detect and absorb.
 
 Everything here is plain stdlib so the module imports in a bare spawn
 worker before any heavy package machinery.
@@ -120,6 +129,17 @@ class FaultSpec:
         default, so a crashed worker's respawned replacement survives
         and retries can heal.  ``False`` re-fires on every match (a
         persistent fault: retries exhaust, degradation kicks in).
+    every_batch:
+        Recurring straggler mode for ``slow`` faults: re-fire on every
+        matching batch, never consulting the once-ledger (``once`` is
+        ignored).  Requires a batch-bearing stage (``query`` or
+        ``reply``).  This is how a *chronically* slow rank is modeled.
+    scale:
+        Multiplicative slowdown for ``slow`` faults: at the ``reply``
+        stage (where the command body's wall time is known) the sleep
+        is ``seconds + scale × work_s``, so ``scale=2.0`` makes the
+        rank run at 1/3 speed regardless of how much work it holds.
+        Ignored at stages with no measured work.
     """
 
     kind: str
@@ -129,6 +149,8 @@ class FaultSpec:
     seconds: float = 0.0
     exit_code: int = 17
     once: bool = True
+    every_batch: bool = False
+    scale: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -142,6 +164,20 @@ class FaultSpec:
         if self.seconds < 0:
             raise ConfigurationError(
                 f"fault seconds must be >= 0, got {self.seconds}"
+            )
+        if self.scale < 0:
+            raise ConfigurationError(
+                f"fault scale must be >= 0, got {self.scale}"
+            )
+        if (self.every_batch or self.scale) and self.kind != "slow":
+            raise ConfigurationError(
+                "every_batch/scale only apply to 'slow' faults, "
+                f"got kind {self.kind!r}"
+            )
+        if self.every_batch and self.stage not in ("query", "reply"):
+            raise ConfigurationError(
+                "every_batch requires a batch-bearing stage "
+                f"('query'/'reply'), got {self.stage!r}"
             )
 
     def matches(self, rank: int, stage: str, batch: Optional[int]) -> bool:
@@ -178,14 +214,27 @@ class FaultPlan:
 
     # -- firing ----------------------------------------------------------
 
-    def fire(self, rank: int, stage: str, batch: Optional[int] = None) -> None:
-        """Execute every matching spec (in order) at this coordinate."""
+    def fire(
+        self,
+        rank: int,
+        stage: str,
+        batch: Optional[int] = None,
+        *,
+        work_s: float = 0.0,
+    ) -> None:
+        """Execute every matching spec (in order) at this coordinate.
+
+        ``work_s`` is the command body's measured wall time, known only
+        at the ``reply`` stage — ``scale``-bearing slow specs stretch it.
+        """
         for index, spec in enumerate(self.specs):
             if not spec.matches(rank, stage, batch):
                 continue
-            if spec.once and not self._claim(index):
+            # Recurring stragglers bypass the ledger: they fire on every
+            # matching batch, in this worker and any respawned successor.
+            if not spec.every_batch and spec.once and not self._claim(index):
                 continue
-            self._execute(spec, rank, stage, batch)
+            self._execute(spec, rank, stage, batch, work_s=work_s)
 
     def _claim(self, index: int) -> bool:
         """Atomically claim once-only spec ``index``; True = we fire."""
@@ -213,13 +262,19 @@ class FaultPlan:
 
     @staticmethod
     def _execute(
-        spec: FaultSpec, rank: int, stage: str, batch: Optional[int]
+        spec: FaultSpec,
+        rank: int,
+        stage: str,
+        batch: Optional[int],
+        *,
+        work_s: float = 0.0,
     ) -> None:
         where = f"rank {rank} stage {stage!r}" + (
             f" batch {batch}" if batch is not None else ""
         )
         if spec.kind == "slow":
-            time.sleep(spec.seconds or 0.05)
+            delay = spec.seconds + spec.scale * max(work_s, 0.0)
+            time.sleep(delay if delay > 0 else 0.05)
         elif spec.kind == "hang":
             time.sleep(spec.seconds or _HANG_DEFAULT_S)
         elif spec.kind == "raise":
@@ -268,12 +323,19 @@ _LOCAL_FIRED: set = set()
 
 
 def maybe_inject(
-    plan: Optional[FaultPlan], rank: int, stage: str, batch: Optional[int] = None
+    plan: Optional[FaultPlan],
+    rank: int,
+    stage: str,
+    batch: Optional[int] = None,
+    *,
+    work_s: float = 0.0,
 ) -> None:
     """Fire ``plan``'s matching faults, or do nothing for ``plan=None``.
 
     The single call sites in the worker loops stay one line; the
-    fault-free fast path is one ``is None`` check.
+    fault-free fast path is one ``is None`` check.  ``work_s`` carries
+    the command body's wall time into ``scale``-bearing slow faults
+    (only the ``reply`` call site knows it).
     """
     if plan is not None:
-        plan.fire(rank, stage, batch)
+        plan.fire(rank, stage, batch, work_s=work_s)

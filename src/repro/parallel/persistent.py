@@ -53,7 +53,34 @@ retries exhausted      default: the round raises the lowest failing
                        returns a partial :class:`PoolBatchResult` whose
                        ``failed_ranks`` mask names the missing ranks
                        (their ``results`` entries are ``None``).
+crash during a live    the re-attach retries like any rank failure:
+re-attach              respawn + replay with exponential backoff —
+(:meth:`reconfigure`)  heals for R >= 1 even when the death happens
+                       *during the replayed attach itself* (the
+                       retry-of-retry path: each replay consumes one
+                       more attempt from the same per-rank budget).
+crash in a worker      surviving ranks are untouched; the dead new
+added by a resize      slot retries exactly like a re-attach above.
+                       A resize never destabilizes ranks it did not
+                       touch.
 =====================  ==================================================
+
+Live reconfiguration (the rebalance actuator)
+---------------------------------------------
+:meth:`PersistentPool.reconfigure` is the elastic-rebalancing
+primitive: **between rounds** (it refuses while a round is on the
+pipe) it atomically replaces the remembered ATTACH payloads, re-sends
+the ATTACH command to exactly the ranks whose payload changed (a live
+worker accepts a new ATTACH — its old state is simply dropped), and
+grows or shrinks the worker count: surplus ranks are shut down,
+fresh ranks are spawned and attached.  Respawn replay always uses the
+*new* payloads, so a worker that dies mid-reconfigure (or any time
+after) heals into the new plan, never the old one.  Untouched ranks
+keep their resident state — the whole point: migrating a plan that
+moved 10 % of the entries re-attaches only the ranks holding that
+10 %.  Note that surviving workers keep the ``size`` their entry loop
+was spawned with; command callables must not depend on it (the
+service's do not).
 
 Fault injection for the chaos suite lives in
 :mod:`repro.parallel.faults`; the plan reaches every worker (and every
@@ -280,7 +307,15 @@ def _persistent_worker_entry(
                 result = fn(rank, size, state, payload)
             wall = time.perf_counter() - t0
             cpu = time.process_time() - c0
-            maybe_inject(fault_plan, rank, "reply", batch)
+            # The reply stage knows the body's wall time — scale-bearing
+            # slow faults stretch it multiplicatively (a chronically
+            # slow host runs *everything* slower, not a fixed sleep).
+            # Re-measure afterwards so the *reported* wall includes the
+            # injected slowdown: the LI gauge is computed from reported
+            # walls, and a skew the gauge cannot see cannot be healed.
+            maybe_inject(fault_plan, rank, "reply", batch, work_s=wall)
+            wall = time.perf_counter() - t0
+            cpu = time.process_time() - c0
         except BaseException as exc:  # noqa: BLE001 - reported to the master
             try:
                 conn.send(
@@ -583,6 +618,171 @@ class PersistentPool:
             )
         self._attach = (fn, list(payloads))
         return self._dispatch(_ATTACH, fn, self._attach[1]).collect()
+
+    def reconfigure(
+        self,
+        fn: Callable[[int, int, Any], Any],
+        payloads: Sequence[Any],
+        changed: Optional[Sequence[int]] = None,
+    ) -> dict:
+        """Swap the pool's attach payloads (and size) between rounds.
+
+        ``len(payloads)`` becomes the new worker count: surplus ranks
+        are shut down, fresh ranks are spawned.  ``changed`` names the
+        surviving ranks whose payload differs and must be re-attached
+        (``None`` re-attaches every surviving rank); ranks added by
+        growth always attach.  Ranks in neither set keep their
+        resident state untouched.  The remembered attach is replaced
+        *first*, so any respawn — including one healing a death during
+        this very reconfigure — replays the new payloads.
+
+        Refuses (:class:`~repro.errors.PipelineError`) while a round
+        is on the pipe: the caller drains the in-flight round first —
+        that is the pipeline-safe migration barrier.
+
+        Returns ``{rank: (report, wall_s, cpu_s)}`` for every rank
+        that was (re-)attached.  Failures retry with the pool's
+        standard respawn/backoff budget; a rank that exhausts it is
+        **terminated** (so its next respawn replays the new payloads)
+        and the remaining ranks still re-attach — only then does the
+        first failure raise as :class:`~repro.errors.WorkerError`.
+        The invariant on every exit path, raising or not: each changed
+        rank either holds its new resident state or is dead pending a
+        respawn into it — no rank is ever left alive with the old
+        state, so the caller can (must) adopt the new configuration
+        even on failure.
+        """
+        self._check_open()
+        payloads = list(payloads)
+        new_n = len(payloads)
+        if new_n < 1:
+            raise ConfigurationError(
+                f"reconfigure needs >= 1 payloads, got {new_n}"
+            )
+        with self._round_lock:
+            self._check_open()
+            if self._inflight is not None and self._inflight.pending:
+                raise PipelineError(
+                    "cannot reconfigure while a round is on the pipe; "
+                    "collect() the pending handle first"
+                )
+            old_n = self.n_workers
+            if changed is None:
+                ranks = set(range(min(old_n, new_n)))
+            else:
+                ranks = {int(r) for r in changed}
+                bad = sorted(r for r in ranks if not 0 <= r < new_n)
+                if bad:
+                    raise ConfigurationError(
+                        f"changed ranks {bad} outside the new rank "
+                        f"space [0, {new_n})"
+                    )
+            # Shrink: retire surplus ranks (graceful SHUTDOWN, then the
+            # hammer) and drop their slots.  The channel list is mutated
+            # in place — the leak finalizer holds the list object.
+            shutdown_deadline = time.monotonic() + min(self.timeout, 5.0)
+            for rank in range(new_n, old_n):
+                channel = self._channels[rank]
+                if channel is None:
+                    continue
+                if channel.alive:
+                    try:
+                        channel.send((_SHUTDOWN,))
+                    except (BrokenPipeError, OSError):
+                        pass
+            for rank in range(new_n, old_n):
+                channel = self._channels[rank]
+                if channel is None:
+                    continue
+                channel.join(
+                    timeout=max(0.0, shutdown_deadline - time.monotonic())
+                )
+                channel.terminate_quietly()
+                channel.close()
+            del self._channels[new_n:]
+            # Grow: open empty slots; _reattach_rank spawns into them.
+            self._channels.extend(None for _ in range(old_n, new_n))
+            self.n_workers = new_n
+            self._attach = (fn, payloads)
+            if new_n != old_n and self._tracer.enabled:
+                self._tracer.event(
+                    "pool.resize", {"n_from": old_n, "n_to": new_n}
+                )
+            ranks |= set(range(old_n, new_n))
+            reports: dict = {}
+            failures: dict = {}
+            for rank in sorted(ranks):
+                try:
+                    reports[rank] = self._reattach_rank(rank)
+                except WorkerError as exc:
+                    # _reattach_rank already terminated the rank, so it
+                    # is dead pending a respawn into the NEW payloads —
+                    # keep going: the other changed ranks must not be
+                    # stranded on their old state.
+                    failures[rank] = exc
+            if failures:
+                raise failures[min(failures)]
+            return reports
+
+    def _reattach_rank(self, rank: int) -> Tuple[Any, float, float]:
+        """Send the remembered ATTACH to one rank (spawning it first
+        when the slot is empty), with the standard retry budget."""
+        attempts = 0
+        while True:
+            deadline = time.monotonic() + self.timeout
+            try:
+                channel = self._channels[rank]
+                if channel is not None and not channel.alive:
+                    # Dead slot: _respawn replays the (new) attach itself.
+                    report = self._respawn(rank, deadline)
+                    if report is None:  # unreachable: _attach is set
+                        raise WorkerError(
+                            f"no attach recorded for rank {rank}", rank=rank
+                        )
+                    return report
+                if channel is None:
+                    # Fresh slot from pool growth: plain spawn, no
+                    # respawn accounting — nothing died here.
+                    self._spawn(rank)
+                fn, payloads = self._attach
+                self._channels[rank].send((_ATTACH, fn, payloads[rank]))
+                return self._receive(rank, deadline)
+            except WorkerError as exc:
+                failure = exc
+            except (BrokenPipeError, OSError) as exc:
+                failure = WorkerError(
+                    f"worker {rank} died during re-attach: {exc}", rank=rank
+                )
+            attempts += 1
+            if attempts > self.max_retries:
+                failure.rank = rank
+                failure.retries = attempts - 1
+                # A failed attach may leave the worker alive but
+                # holding its OLD resident state; kill it so the next
+                # respawn replays the new payload instead.
+                channel = self._channels[rank]
+                if channel is not None:
+                    channel.terminate_quietly()
+                raise failure
+            delay = self.backoff_s * (2 ** (attempts - 1))
+            if self._tracer.enabled:
+                self._tracer.event(
+                    "retry",
+                    {
+                        "rank": rank,
+                        "attempt": attempts,
+                        "command": _ATTACH,
+                        "dead": True,
+                    },
+                )
+                self._tracer.event("backoff", {"rank": rank, "delay_s": delay})
+            if delay > 0:
+                time.sleep(delay)
+            # The failed worker cannot be resynchronized: kill it so the
+            # next attempt takes the respawn path.
+            channel = self._channels[rank]
+            if channel is not None:
+                channel.terminate_quietly()
 
     def run_batch(
         self, fn: Callable[[int, int, Any, Any], Any], payloads: Sequence[Any]

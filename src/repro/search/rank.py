@@ -44,6 +44,7 @@ __all__ = [
     "build_rank_index",
     "run_rank_queries",
     "merge_rank_payloads",
+    "observed_rank_speeds",
     "summarize_rank_output",
     "rank_stats_from_report",
     "worker_spans_from_report",
@@ -227,6 +228,47 @@ def merge_rank_payloads(
             )
         )
     return results, total_psms
+
+
+def observed_rank_speeds(
+    work_shares: Sequence[float],
+    wall_s: Sequence[float],
+    *,
+    floor: float = 0.05,
+) -> np.ndarray:
+    """Infer relative rank speeds from observed per-rank wall times.
+
+    ``work_shares`` is each rank's predicted work under the plan that
+    produced the observation (see :meth:`~repro.core.planner.LBEPlan.rank_loads`);
+    ``wall_s`` the per-rank query wall times (typically window means).
+    A rank's speed is work-per-wall-second — dividing out the shares is
+    what separates "slow because overloaded" (which re-planning at
+    equal speeds already fixes) from "slow because the *host* is slow"
+    (which needs a smaller share).  Speeds are normalized to unit mean
+    (only ratios matter to weighted LPT) and clamped to ``floor`` so a
+    stalled rank keeps a nonzero share — it must keep receiving work,
+    or its recovery could never be observed.  Ranks with no signal
+    (zero wall or zero share, e.g. freshly grown or degraded) report
+    the mean speed 1.0.
+    """
+    shares = np.asarray(work_shares, dtype=np.float64)
+    walls = np.asarray(wall_s, dtype=np.float64)
+    if shares.shape != walls.shape or shares.ndim != 1 or not shares.size:
+        raise ValueError(
+            f"work_shares {shares.shape} and wall_s {walls.shape} must be "
+            f"equal-length non-empty vectors"
+        )
+    if not 0.0 < floor <= 1.0:
+        raise ValueError(f"floor must be in (0, 1], got {floor}")
+    valid = (walls > 0.0) & (shares > 0.0)
+    speeds = np.ones(shares.size, dtype=np.float64)
+    if valid.any():
+        speeds[valid] = shares[valid] / walls[valid]
+        speeds[~valid] = speeds[valid].mean()
+    mean = speeds.mean()
+    if mean > 0:
+        speeds = speeds / mean
+    return np.maximum(speeds, floor)
 
 
 def summarize_rank_output(out: RankQueryOutput) -> dict:

@@ -35,10 +35,26 @@ sustained traffic.  This package amortizes all of it across a session:
   shards bit-identical to the unsharded engine.  A dead shard degrades
   coverage (``degraded_shards``) instead of killing the session.
 
+* :class:`~repro.service.rebalance.RebalancePolicy` — elastic
+  self-rebalancing: with ``rebalance_li`` set, a session watches its
+  live Eq.-1 LI over a sliding window of batches, re-plans with
+  per-rank speed weights inferred from observed walls, migrates
+  between rounds (re-attaching only the changed ranks) and can grow
+  the pool within ``min_workers``/``max_workers`` — results stay
+  bit-identical across every migration.
+  :meth:`~repro.service.service.SearchService.rebalance` requests the
+  same migration explicitly.
+
 ``repro serve`` on the CLI drives a session over MS2 batch files or a
-stdin manifest of paths (``--shards N`` selects the sharded tier).
+stdin manifest of paths (``--shards N`` selects the sharded tier;
+``--rebalance-li`` arms elastic rebalancing).
 """
 
+from repro.service.rebalance import (
+    RebalanceConfig,
+    RebalanceDecision,
+    RebalancePolicy,
+)
 from repro.service.service import (
     BatchStats,
     SearchService,
@@ -56,6 +72,9 @@ from repro.service.sharding import (
 __all__ = [
     "BatchStats",
     "DatabaseShard",
+    "RebalanceConfig",
+    "RebalanceDecision",
+    "RebalancePolicy",
     "SearchService",
     "ServiceConfig",
     "SessionStats",

@@ -100,7 +100,40 @@ retries exhausted        default: the batch's future fails loud.  With
 pipeline-thread bug      every admitted future fails with
                          :class:`~repro.errors.PipelineError`; the
                          session must be closed.
+rebalance migration      applied only **between rounds** (after the
+(live re-plan /          in-flight round is collected, before the next
+pool resize)             dispatch), so no batch ever straddles two
+                         plans: every batch merges against the plan
+                         stamped on it at dispatch time, and futures
+                         keep resolving strictly in order.  Results
+                         stay bit-identical across the migration — the
+                         plan moves *which rank scores what*, never
+                         what is scored.
+crash during a          the pool heals it with the standard
+rebalance re-attach      respawn/backoff budget; once retries exhaust
+                         the rank is left dead with the **new**
+                         manifest remembered, so the next round's
+                         respawn completes the migration — the session
+                         adopts the new plan either way and never
+                         mixes manifests from two plans in one merge.
 =======================  ================================================
+
+Elastic rebalancing (the heterogeneity story)
+---------------------------------------------
+With ``rebalance_li`` set, the session watches its own Eq.-1 LI gauge
+and per-rank wall/CPU vectors over a sliding window of batches
+(:class:`~repro.service.rebalance.RebalancePolicy`).  Sustained
+imbalance — or a chronically slow rank — recomputes the LBE plan with
+per-rank **speed weights** inferred from the observed walls (weighted
+LPT, paper §VIII), migrates between rounds by re-attaching only the
+ranks whose manifests changed
+(:meth:`~repro.parallel.persistent.PersistentPool.reconfigure`;
+``FragmentArena.take`` makes a re-attach one sub-arena gather), and
+can grow the worker pool within ``min_workers``/``max_workers``.
+:meth:`SearchService.rebalance` requests the same migration
+explicitly (e.g. an operator shrinking an idle session).  Every
+migration emits ``rebalance.trigger`` / ``rebalance.migrate`` (and
+``pool.resize``) trace events.
 
 ``close()`` drains: every already-admitted batch completes (each stage
 bounded by the pool deadline) before the workers shut down, so
@@ -126,7 +159,8 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.grouping import GroupingConfig
-from repro.core.planner import LBEPlan
+from repro.core.planner import LBEPlan, changed_ranks
+from repro.core.predict import WorkModel
 from repro.errors import (
     ConfigurationError,
     PipelineError,
@@ -162,6 +196,11 @@ from repro.search.rank import (
     rank_stats_from_report,
     worker_spans_from_report,
 )
+from repro.service.rebalance import (
+    RebalanceConfig,
+    RebalanceDecision,
+    RebalancePolicy,
+)
 from repro.spectra.model import Spectrum
 from repro.spectra.preprocess import (
     PreprocessConfig,
@@ -181,6 +220,12 @@ __all__ = [
 #: enough for steady-state monitoring, O(1) for unbounded streams
 #: (:attr:`SearchService.n_batches` keeps the lifetime count).
 _STATS_RETENTION = 1024
+
+#: Minimum predicted makespan gain (fractional) an automatic
+#: speed-only re-plan must promise before the session migrates —
+#: the churn gate that keeps noisy speed estimates from re-attaching
+#: workers every window for nothing.
+_MIN_MIGRATE_GAIN = 0.05
 
 #: Idle poll period of the pipeline thread: how often it re-checks,
 #: while *waiting for work*, that its service is still alive (the
@@ -264,6 +309,23 @@ class ServiceConfig:
     flight_dir:
         Directory the black boxes are dumped into (default: the
         system temp dir).  Created on first dump.
+    rebalance_li:
+        Eq.-1 LI level that arms elastic rebalancing (``None``, the
+        default, disables it): when a sliding window of batches
+        sustains this LI (or contains a chronically slow rank), the
+        session re-plans with observed speed weights and migrates
+        between rounds.  See the module docstring's elastic section.
+    rebalance_window:
+        Batches per rebalance decision window (the trigger judges
+        window means, never single batches).
+    rebalance_cooldown:
+        Decision windows to sit out after a migration before judging
+        the new plan.
+    min_workers / max_workers:
+        Elastic pool-size bounds: automatic escalation grows at most
+        to ``max_workers``; explicit :meth:`SearchService.rebalance`
+        resizes are clamped to both.  ``None`` bounds pin the size at
+        ``n_workers`` for automatic decisions.
     """
 
     n_workers: int = 2
@@ -286,6 +348,23 @@ class ServiceConfig:
     metrics: MetricsRegistry = field(default_factory=global_registry)
     flight_recorder: bool = True
     flight_dir: Optional[Path] = None
+    rebalance_li: Optional[float] = None
+    rebalance_window: int = 4
+    rebalance_cooldown: int = 1
+    min_workers: Optional[int] = None
+    max_workers: Optional[int] = None
+
+    def rebalance_config(self) -> Optional[RebalanceConfig]:
+        """The elastic-rebalancing knobs, or ``None`` when disabled."""
+        if self.rebalance_li is None:
+            return None
+        return RebalanceConfig(
+            li_threshold=self.rebalance_li,
+            window=self.rebalance_window,
+            cooldown=self.rebalance_cooldown,
+            min_workers=self.min_workers,
+            max_workers=self.max_workers,
+        )
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -312,6 +391,29 @@ class ServiceConfig:
             raise ConfigurationError(
                 f"hedge_after must be > 0 or None, got {self.hedge_after}"
             )
+        # Worker-pool bounds apply to explicit rebalance() clamping
+        # even when the automatic policy is unarmed, so validate them
+        # unconditionally.
+        if self.min_workers is not None and self.min_workers < 1:
+            raise ConfigurationError(
+                f"min_workers must be >= 1, got {self.min_workers}"
+            )
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be >= 1, got {self.max_workers}"
+            )
+        if (
+            self.min_workers is not None
+            and self.max_workers is not None
+            and self.min_workers > self.max_workers
+        ):
+            raise ConfigurationError(
+                f"min_workers {self.min_workers} > max_workers "
+                f"{self.max_workers}"
+            )
+        # Validate the rebalance knobs eagerly (constructing the
+        # RebalanceConfig runs its own __post_init__).
+        self.rebalance_config()
 
 
 @dataclass(slots=True)
@@ -400,6 +502,14 @@ class BatchStats:
     hedged: int = 0
     degraded_ranks: Tuple[int, ...] = ()
     flight_record: Optional[str] = None
+    #: Master-observed per-rank wall / process-CPU seconds of the whole
+    #: query round on the pipe (store open + query body + any straggler
+    #: or injected delay) — a superset of ``query_wall_s`` that sees
+    #: *everything* that makes a rank slow, which is why the elastic
+    #: rebalance policy watches these vectors rather than the workers'
+    #: self-reported query times.
+    round_wall_s: Tuple[float, ...] = ()
+    round_cpu_s: Tuple[float, ...] = ()
 
     @property
     def query_wall_max_s(self) -> float:
@@ -548,7 +658,7 @@ class _PendingBatch:
         "batch_dir", "n_processed", "peak_bytes", "handle",
         "dispatched_at", "round", "error", "t_start", "wait_s",
         "prep_s", "spill_s", "collect_wait_s", "parallel_s",
-        "prepared_overlapped", "released",
+        "prepared_overlapped", "released", "plan", "attach_stats",
     )
 
     def __init__(
@@ -575,6 +685,13 @@ class _PendingBatch:
         self.parallel_s = 0.0
         self.prepared_overlapped = False
         self.released = False
+        # A rebalance migration may swap the session's plan between
+        # this batch's dispatch and its merge — the plan (and the
+        # attach stats that describe the resident indexes it was
+        # scored on) are stamped at dispatch time so the merge always
+        # uses the manifests its round actually ran against.
+        self.plan: Optional[LBEPlan] = None
+        self.attach_stats: List[RankStats] = []
 
 
 class _PipelineState:
@@ -622,8 +739,16 @@ def _pipeline_main(state: _PipelineState, service_ref) -> None:
     while True:
         item = state.dequeue(block=inflight is None)
         if item is _TICK:
-            if service_ref() is None:
+            service = service_ref()
+            if service is None:
                 return  # orphaned session: nothing left to serve
+            try:
+                # An idle session has no round on the pipe, so a
+                # pending rebalance (an explicit resize, say) can be
+                # applied right now instead of waiting for traffic.
+                service._stage_rebalance()
+            finally:
+                del service
             continue
         service = service_ref()
         if service is None:
@@ -660,6 +785,12 @@ def _pipeline_main(state: _PipelineState, service_ref) -> None:
             # Stage 2 — gather N's worker payloads.
             if inflight is not None:
                 service._stage_collect(inflight)
+            # Rebalance point — the only moment in the cycle when no
+            # round is on the pipe (N collected, N+1 not dispatched):
+            # apply a pending migration here so no batch ever straddles
+            # two plans.  Batch N merges below against the plan stamped
+            # on it at dispatch time.
+            service._stage_rebalance()
             # Stage 3 — scatter N+1 before merging N, so the merge
             # overlaps the workers' next query phase.
             if nxt is not None and not service._stage_dispatch(nxt):
@@ -740,6 +871,18 @@ class SearchService:
         self._admission = threading.Semaphore(config.max_pending)
         self._state: _PipelineState | None = None
         self._thread: threading.Thread | None = None
+        # Elastic rebalancing: the decision policy (None when
+        # rebalance_li is unset), the decision waiting to be applied
+        # at the next between-rounds point as (decision, future-or-None)
+        # — explicit rebalance() callers block on the future, automatic
+        # triggers carry None — and the lifetime migration count.
+        self._rebalance_policy: Optional[RebalancePolicy] = None
+        self._pending_decision: Optional[
+            Tuple[RebalanceDecision, Optional[Future]]
+        ] = None
+        self._rebalance_total = 0
+        self._work_weights: Optional[np.ndarray] = None
+        self._m_rebalances = None
 
     # -- planning --------------------------------------------------------
 
@@ -869,6 +1012,12 @@ class SearchService:
             m.counter("service.respawned"),
             m.counter("service.degraded_batches"),
         )
+        self._m_rebalances = m.counter("service.rebalances")
+        rb = cfg.rebalance_config()
+        if rb is not None:
+            self._rebalance_policy = RebalancePolicy(
+                rb, cfg.n_workers, plan.rank_loads(self._structural_weights())
+            )
         if self._tracer.enabled:
             self._tracer.event(
                 "session.open",
@@ -1025,7 +1174,7 @@ class SearchService:
             batch.spill_s = wall() - t0
             batch.n_processed = len(processed)
             batch.peak_bytes = (
-                spectra_peak_bytes(processed) * self.config.n_workers
+                spectra_peak_bytes(processed) * self.n_workers
             )
             if self._tracer.enabled:
                 self._tracer.span(
@@ -1056,9 +1205,14 @@ class SearchService:
         # The same task object for every rank: the pool pickles it once
         # and reuses the buffer (measured in the round's scatter_bytes).
         try:
+            # Stamp the plan this round runs against: a rebalance
+            # migration between this dispatch and the merge must not
+            # change how the round's payloads are interpreted.
+            batch.plan = self.plan
+            batch.attach_stats = list(self._attach_stats)
             batch.dispatched_at = time.perf_counter()
             batch.handle = self._pool.dispatch(
-                service_query_worker, [task] * cfg.n_workers
+                service_query_worker, [task] * self._pool.n_workers
             )
             if self._tracer.enabled:
                 self._tracer.span(
@@ -1142,8 +1296,12 @@ class SearchService:
             else None
             for report in pool_round.results
         ]
+        # Merge against the plan stamped at dispatch time — a
+        # migration may already have swapped self.plan for the *next*
+        # round, but this round's payloads are laid out by its own.
+        plan = batch.plan if batch.plan is not None else self.plan
         merged, _n_psms = merge_rank_payloads(
-            gathered, batch.spectra, self.plan.mapping, cfg.top_k
+            gathered, batch.spectra, plan.mapping, cfg.top_k
         )
         merge_s = wall() - t0
 
@@ -1155,7 +1313,8 @@ class SearchService:
         # the resident index was built once, at open().  A degraded
         # rank keeps them too — its partition is known, its query
         # counters stay zero.
-        for stats, attach in zip(all_stats, self._attach_stats):
+        attach_stats = batch.attach_stats or self._attach_stats
+        for stats, attach in zip(all_stats, attach_stats):
             stats.n_entries = attach.n_entries
             stats.n_ions = attach.n_ions
             stats.build_time = attach.build_time
@@ -1186,7 +1345,7 @@ class SearchService:
             rank_stats=all_stats,
             phase_times=phase_times,
             policy_name=cfg.policy,
-            n_ranks=cfg.n_workers,
+            n_ranks=plan.n_ranks,
             degraded_ranks=degraded,
         )
         overlap_s = merge_s if merged_overlapped else 0.0
@@ -1212,6 +1371,8 @@ class SearchService:
             retries=pool_round.retries,
             hedged=pool_round.hedged,
             degraded_ranks=degraded,
+            round_wall_s=tuple(pool_round.wall_times),
+            round_cpu_s=tuple(pool_round.cpu_times),
         )
         self._observe_batch(batch, stats, pool_round, t0, merge_s)
         # A degraded batch is a survived fault: black-box it too, after
@@ -1255,6 +1416,7 @@ class SearchService:
             m_respawned.inc(stats.respawned)
             if stats.degraded_ranks:
                 m_degraded.inc()
+        self._feed_rebalance(stats)
         tracer = self._tracer
         if not tracer.enabled:
             return
@@ -1322,6 +1484,273 @@ class SearchService:
                 self._n_pending -= 1
         self._admission.release()
 
+    # -- elastic rebalancing ---------------------------------------------
+
+    def _structural_weights(self) -> np.ndarray:
+        """Per-base predicted work (cached): the speed-inference and
+        re-planning weight vector, shared by every migration."""
+        if self._work_weights is None:
+            base_lengths = np.array(
+                [p.length for p in self.database.base_peptides],
+                dtype=np.float64,
+            )
+            self._work_weights = WorkModel().structural(
+                self.database.entry_counts(), base_lengths
+            )
+        return self._work_weights
+
+    def _feed_rebalance(self, stats: BatchStats) -> None:
+        """Feed one batch's per-rank vectors to the rebalance policy
+        (runs on the pipeline thread, from ``_observe_batch``)."""
+        policy = self._rebalance_policy
+        if (
+            policy is None
+            or self._pending_decision is not None
+            or stats.degraded_ranks  # zero slots would read as "slow"
+        ):
+            return
+        # The round-level vectors (pipe-observed) see every source of
+        # rank slowness — body, store open, injected or real host skew
+        # — so they, not the workers' self-reported query times, drive
+        # the decision.
+        walls = stats.round_wall_s or stats.query_wall_s
+        cpus = stats.round_cpu_s or stats.query_cpu_s
+        decision = policy.observe(walls, cpus)
+        if decision is None:
+            return
+        self._pending_decision = (decision, None)
+        if self._tracer.enabled:
+            # Satellite: the LI gauge's windowed watermarks ride on the
+            # trigger event — the peak imbalance the window actually saw,
+            # not just its mean.  read-and-reset scopes them per trigger.
+            li_window = {"min": 0.0, "max": 0.0, "n_updates": 0}
+            if self._m_cache is not None:
+                li_window = self._m_cache[3].read_watermarks(reset=True)
+            self._tracer.event(
+                "rebalance.trigger",
+                {
+                    "batch": stats.batch_index,
+                    "reason": decision.reason,
+                    "window_li": round(decision.window_li, 9),
+                    "li_window_max": round(li_window["max"], 9),
+                    "n_workers": decision.n_workers,
+                    "speeds": [round(s, 6) for s in decision.speeds],
+                    "cpu_wall_ratio": [
+                        round(r, 6) for r in decision.cpu_wall_ratio
+                    ],
+                },
+            )
+
+    def _stage_rebalance(self) -> None:
+        """Apply a pending migration (runs on the pipeline thread, only
+        at points where no round is on the pipe).  Never raises: an
+        automatic migration that fails mid-re-attach has already been
+        healed or deferred by the pool (see ``_migrate``); an explicit
+        one routes its error to the caller's future.
+        """
+        pending = self._pending_decision
+        if pending is None or self._pool is None:
+            return
+        self._pending_decision = None
+        decision, future = pending
+        if future is not None and not future.set_running_or_notify_cancel():
+            return  # explicit caller cancelled while queued
+        try:
+            report = self._migrate(decision)
+        except BaseException as exc:  # noqa: BLE001 - routed, never fatal
+            if future is not None:
+                try:
+                    future.set_exception(exc)
+                except InvalidStateError:  # pragma: no cover
+                    pass
+            # Automatic trigger: the plan swap already happened (or
+            # nothing changed); dead ranks heal on the next round's
+            # respawn path.  The session itself stays serviceable.
+            return
+        if future is not None:
+            try:
+                future.set_result(report)
+            except InvalidStateError:  # pragma: no cover
+                pass
+
+    def _migrate(self, decision: RebalanceDecision) -> dict:
+        """Re-plan with the decision's speeds and migrate the session.
+
+        Returns a summary dict (the explicit :meth:`rebalance` result).
+        The plan swap is committed **even when the pool raises**
+        mid-re-attach: ``reconfigure`` guarantees every changed rank is
+        either re-attached to its new manifest or dead with the new
+        attach payload remembered, so adopting the new plan is the only
+        consistent choice on every path.
+        """
+        cfg = self.config
+        old_plan = self.plan
+        old_n = self._pool.n_workers
+        new_n = decision.n_workers
+        # Extend/truncate the observed speeds to the target width —
+        # a grown rank has no history, so it starts at the mean (1.0).
+        speeds = np.ones(new_n, dtype=np.float64)
+        take = min(len(decision.speeds), new_n)
+        speeds[:take] = decision.speeds[:take]
+        new_plan = make_lbe_plan(
+            self.database,
+            n_ranks=new_n,
+            policy="lpt",
+            policy_seed=cfg.policy_seed,
+            grouping=cfg.grouping,
+            rank_speeds=speeds,
+        )
+        changed = changed_ranks(old_plan, new_plan)
+        if new_n == old_n and changed and decision.reason in ("li", "slow_rank"):
+            # Churn gate for automatic speed-only migrations: noisy
+            # speed estimates re-plan to a *slightly* different layout
+            # every window; re-attaching for a negligible predicted
+            # gain costs more than it saves.  Predicted makespan =
+            # max(load / speed) under the inferred speeds.
+            weights = self._structural_weights()
+            old_ms = float(np.max(old_plan.rank_loads(weights) / speeds))
+            new_ms = float(np.max(new_plan.rank_loads(weights) / speeds))
+            if new_ms >= (1.0 - _MIN_MIGRATE_GAIN) * old_ms:
+                changed = []
+        if not changed and new_n == old_n:
+            # The observed speeds round to the same plan: nothing to
+            # migrate.  Tell the policy anyway so its cooldown arms —
+            # otherwise the same window re-triggers forever.
+            if self._rebalance_policy is not None:
+                self._rebalance_policy.rebalanced(
+                    new_n, new_plan.rank_loads(self._structural_weights())
+                )
+            return {
+                "migrated": False,
+                "n_workers": new_n,
+                "changed_ranks": [],
+                "reason": decision.reason,
+            }
+        tasks = [
+            AttachTask(
+                store_dir=str(self._spill.store.directory),
+                entry_ids=np.asarray(
+                    new_plan.rank_global_ids(r), dtype=np.int64
+                ),
+                settings=cfg.index,
+            )
+            for r in range(new_n)
+        ]
+        t0 = time.perf_counter()
+        error: Optional[BaseException] = None
+        try:
+            reports = self._pool.reconfigure(
+                service_attach_worker, tasks, changed=changed
+            )
+        except WorkerError as exc:
+            reports = {}
+            error = exc
+        migrate_s = time.perf_counter() - t0
+        # Commit the new plan unconditionally (see docstring).  Rebuild
+        # the attach-stats vector: re-attached ranks from their fresh
+        # reports, untouched ranks keep their open()-time stats, ranks
+        # whose re-attach died get empty stats until their respawn.
+        self._plan = new_plan
+        new_attach: List[RankStats] = []
+        for r in range(new_n):
+            if r in reports:
+                report, _wall, _cpu = reports[r]
+                new_attach.append(rank_stats_from_report(r, report))
+            elif r < old_n and r not in changed:
+                new_attach.append(self._attach_stats[r])
+            else:
+                new_attach.append(rank_stats_from_report(r, {}))
+        self._attach_stats = new_attach
+        if self._rebalance_policy is not None:
+            self._rebalance_policy.rebalanced(
+                new_n, new_plan.rank_loads(self._structural_weights())
+            )
+        self._rebalance_total += 1
+        if self._m_rebalances is not None:
+            self._m_rebalances.inc()
+        if self._tracer.enabled:
+            self._tracer.event(
+                "rebalance.migrate",
+                {
+                    "reason": decision.reason,
+                    "n_from": old_n,
+                    "n_to": new_n,
+                    "changed_ranks": list(changed),
+                    "migrate_s": round(migrate_s, 6),
+                    "healed": error is None,
+                },
+            )
+        if error is not None:
+            raise error
+        return {
+            "migrated": True,
+            "n_workers": new_n,
+            "changed_ranks": list(changed),
+            "reason": decision.reason,
+            "migrate_s": migrate_s,
+        }
+
+    def rebalance(
+        self,
+        *,
+        n_workers: Optional[int] = None,
+        speeds: Optional[Sequence[float]] = None,
+        reason: str = "manual",
+        timeout: Optional[float] = None,
+    ) -> dict:
+        """Request a live re-plan / pool resize and wait for it.
+
+        The migration itself runs on the pipeline thread at the next
+        between-rounds point (at most one idle-poll period away on a
+        quiet session), exactly like an automatic trigger — this call
+        only *requests* it and blocks on the outcome.  ``speeds``
+        defaults to equal speeds over the target width (a plain
+        weighted-LPT re-plan); ``n_workers`` defaults to the current
+        pool size and is clamped to ``min_workers``/``max_workers``
+        when bounds are configured.  Returns the migration summary
+        dict; raises :class:`~repro.errors.WorkerError` when a changed
+        rank's re-attach exhausted its retries (the session still
+        adopts the new plan — the dead rank heals on its next respawn).
+        """
+        if self._closed or self._pool is None or self._state is None:
+            raise ServiceError("rebalance() on a service that is not open")
+        target = self._pool.n_workers if n_workers is None else int(n_workers)
+        if target < 1:
+            raise ConfigurationError(
+                f"n_workers must be >= 1, got {target}"
+            )
+        # Clamp to the configured bounds whether or not the automatic
+        # policy is armed — bounds are a property of the pool, not of
+        # the trigger.
+        if self.config.min_workers is not None:
+            target = max(target, self.config.min_workers)
+        if self.config.max_workers is not None:
+            target = min(target, self.config.max_workers)
+        if speeds is None:
+            speed_vec = tuple(1.0 for _ in range(target))
+        else:
+            speed_vec = tuple(float(s) for s in speeds)
+            if len(speed_vec) != target or any(s <= 0 for s in speed_vec):
+                raise ConfigurationError(
+                    f"speeds must be {target} positive values, got {speeds!r}"
+                )
+        decision = RebalanceDecision(
+            speeds=speed_vec,
+            n_workers=target,
+            window_li=0.0,
+            reason=reason,
+        )
+        future: Future = Future()
+        state = self._state
+        with state.cond:
+            if self._pending_decision is not None:
+                raise ServiceError(
+                    "a rebalance is already pending; retry after it applies"
+                )
+            self._pending_decision = (decision, future)
+            state.cond.notify_all()
+        return future.result(timeout if timeout is not None else self.config.timeout)
+
     # -- introspection ---------------------------------------------------
 
     @property
@@ -1350,6 +1779,21 @@ class SearchService:
         """Stats of the most recent batches (bounded retention), in
         order; ``batch_index`` ties each entry to its lifetime position."""
         return list(self._stats)
+
+    @property
+    def n_workers(self) -> int:
+        """The **live** worker count — ``config.n_workers`` until a
+        rebalance resizes the pool, the pool's current size after."""
+        return (
+            self._pool.n_workers
+            if self._pool is not None
+            else self.config.n_workers
+        )
+
+    @property
+    def rebalance_total(self) -> int:
+        """Migrations (plan swaps / resizes) applied this session."""
+        return self._rebalance_total
 
     @property
     def respawn_total(self) -> int:

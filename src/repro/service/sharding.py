@@ -414,6 +414,10 @@ class ShardedSearchService:
         :class:`~repro.service.service.SearchService` with this config
         (``n_workers`` resident workers *per shard*,
         ``max_pending`` also bounds the sharded session's admission).
+        A ``rebalance_li`` setting arms elastic rebalancing **per
+        shard**: each inner session watches its own LI window and
+        migrates / resizes its own pool independently
+        (:attr:`rebalance_total` aggregates the fleet's migrations).
     n_shards:
         Mass-range shards to cut (1 is legal — a routed singleton).
     boundaries:
@@ -1021,6 +1025,21 @@ class ShardedSearchService:
     def respawn_total(self) -> int:
         """Workers respawned across every shard's pool."""
         return sum(s.respawn_total for s in self._services)
+
+    @property
+    def rebalance_total(self) -> int:
+        """Elastic migrations applied across the fleet: with
+        ``rebalance_li`` set on the per-shard config, every shard runs
+        its **own** :class:`~repro.service.rebalance.RebalancePolicy`
+        over its own pool, so a slow host under one shard migrates
+        that shard alone."""
+        return sum(s.rebalance_total for s in self._services)
+
+    @property
+    def n_workers_total(self) -> int:
+        """Live resident workers across the fleet (elastic resizes
+        move this off ``n_shards × config.n_workers``)."""
+        return sum(s.n_workers for s in self._services)
 
     @property
     def shard_dispatch_total(self) -> int:
